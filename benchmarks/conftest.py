@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data series of one table or figure of the
+paper and archives the rendered text table under ``benchmarks/results/`` so
+that EXPERIMENTS.md can be cross-checked against a recorded run.
+
+Environment variables:
+
+* ``REPRO_FULL_SWEEP=1`` — run the complete GPU-count / system grids of the
+  paper instead of the (representative) reduced grids used by default.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The paper's global batch size, shared by every experiment.
+GLOBAL_BATCH = 4096
+
+
+def full_sweep_enabled() -> bool:
+    """True when the complete paper grids should be swept."""
+    return os.environ.get("REPRO_FULL_SWEEP", "0") not in ("", "0", "false", "False")
+
+
+def gpu_grid(full_grid, reduced_grid):
+    """Pick the full or the reduced GPU-count grid."""
+    return tuple(full_grid) if full_sweep_enabled() else tuple(reduced_grid)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory that archives the rendered benchmark reports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Persist a rendered report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The analytical sweeps take seconds to minutes; statistical repetition
+    would add nothing (the computation is deterministic), so a single round
+    is recorded.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

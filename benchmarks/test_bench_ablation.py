@@ -1,0 +1,146 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify how much each modeling component
+contributes to the reproduced results:
+
+* the GPU-to-NVSwitch assignment search (the paper's extension of Calculon);
+* FlashAttention fusion / recompute;
+* ZeRO-1 optimizer-state sharding;
+* overlapping the data-parallel collectives with compute;
+* multi-NIC scaling of the inter-node bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH, run_once
+from repro.core.config_space import SearchSpace
+from repro.core.execution import ModelingOptions
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.search import find_optimal_config
+from repro.core.system import make_system
+from repro.utils.tables import format_table
+
+N_GPUS = 4096
+
+
+def _best_time(model, system, strategy, *, space=None, options=None):
+    result = find_optimal_config(
+        model,
+        system,
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        strategy=strategy,
+        space=space or SearchSpace(),
+        options=options or ModelingOptions(),
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gpu_assignment_search(benchmark, save_report):
+    """NVS-placement search ON vs OFF (paper's contribution over Calculon)."""
+
+    def run():
+        rows = []
+        for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+            system = make_system("B200", 8)
+            on = _best_time(model, system, strategy, space=SearchSpace(search_gpu_assignment=True))
+            off = _best_time(model, system, strategy, space=SearchSpace(search_gpu_assignment=False))
+            rows.append(
+                [model.name, strategy, on.best_time, off.best_time, off.best_time / on.best_time]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = "GPU-assignment search ablation (4096 B200, NVS 8)\n" + format_table(
+        ["model", "strategy", "search ON (s)", "search OFF (s)", "ratio"], rows
+    )
+    save_report("ablation_assignment_search", text)
+    for row in rows:
+        assert row[2] <= row[3] * 1.0001  # searching never hurts
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_flash_attention(benchmark, save_report):
+    """FlashAttention fusion/recompute vs storing the attention matrix."""
+
+    def run():
+        rows = []
+        for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+            system = make_system("B200", 8)
+            fused = _best_time(model, system, strategy, options=ModelingOptions(flash_attention=True))
+            plain = _best_time(model, system, strategy, options=ModelingOptions(flash_attention=False))
+            rows.append(
+                [
+                    model.name,
+                    fused.best_time,
+                    plain.best_time if plain.found else float("inf"),
+                    fused.best.memory_gb,
+                    plain.best.memory_gb if plain.found else float("inf"),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = "FlashAttention ablation (4096 B200, NVS 8)\n" + format_table(
+        ["model", "fused time (s)", "unfused time (s)", "fused mem (GB)", "unfused mem (GB)"],
+        rows,
+    )
+    save_report("ablation_flash_attention", text)
+    # Without the fused kernel the ViT is either infeasible outright or only
+    # survives via full recomputation, which costs roughly a 2x slowdown.
+    vit_row = rows[1]
+    assert vit_row[2] == float("inf") or vit_row[2] > 1.5 * vit_row[1]
+    # GPT also never gets faster without the fused kernel.
+    gpt_row = rows[0]
+    assert gpt_row[2] >= gpt_row[1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_zero_and_overlap(benchmark, save_report):
+    """ZeRO optimizer sharding and DP-overlap assumptions."""
+
+    def run():
+        system = make_system("B200", 8)
+        base = _best_time(GPT3_1T, system, "tp1d")
+        no_zero = _best_time(GPT3_1T, system, "tp1d", options=ModelingOptions(zero_optimizer=False))
+        no_overlap = _best_time(GPT3_1T, system, "tp1d", options=ModelingOptions(overlap_dp=False))
+        return [
+            ["baseline", base.best_time, base.best.memory_gb],
+            ["no ZeRO sharding", no_zero.best_time, no_zero.best.memory_gb],
+            ["no DP overlap", no_overlap.best_time, no_overlap.best.memory_gb],
+        ]
+
+    rows = run_once(benchmark, run)
+    text = "ZeRO / DP-overlap ablation (GPT3-1T, 4096 B200, NVS 8)\n" + format_table(
+        ["variant", "iteration (s)", "memory (GB)"], rows
+    )
+    save_report("ablation_zero_overlap", text)
+    base_time, base_mem = rows[0][1], rows[0][2]
+    assert rows[1][2] >= base_mem  # dropping ZeRO can only increase memory
+    assert rows[2][1] >= base_time  # exposing DP comm can only slow things down
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_multi_nic(benchmark, save_report):
+    """Multi-NIC scaling of the inter-node bandwidth (NCCL multi-ring)."""
+
+    def run():
+        multi = make_system("B200", 8)
+        single = make_system("B200", 8, nics_per_node=1)
+        rows = []
+        for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+            with_nics = _best_time(model, multi, strategy)
+            without = _best_time(model, single, strategy)
+            rows.append([model.name, with_nics.best_time, without.best_time])
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = "multi-NIC ablation (4096 B200, NVS 8)\n" + format_table(
+        ["model", "8 NICs/node (s)", "1 NIC/node (s)"], rows
+    )
+    save_report("ablation_multi_nic", text)
+    for row in rows:
+        assert row[1] <= row[2] * 1.0001

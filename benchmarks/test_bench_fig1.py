@@ -1,0 +1,42 @@
+"""Fig. 1: GPT3-1T with 1D TP on 16384 B200 GPUs, PP fixed at 64, TP/DP varied.
+
+The paper observes an apparently convex iteration-time curve with a local
+minimum at Config D: ``(m, nt, nd, np) = (128, 8, 32, 64)``, roughly 50%
+compute / 30% bubble / 12% TP communication, using ~40-60 GB of HBM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.configurations import fig1_tp_dp_study
+from repro.analysis.reporting import render_configuration_study
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_tp_dp_tradeoff(benchmark, save_report):
+    study = run_once(benchmark, fig1_tp_dp_study)
+    save_report("fig1_gpt3_1t_tp_dp", render_configuration_study(study))
+
+    # Paper shape checks: the optimum is Config D with nt = 8.
+    best = study.fastest()
+    assert best.label == "D"
+    assert best.config.as_tuple() == (1, 8, 1, 64, 32)
+    assert 1.0 < best.total_time < 6.0
+
+    # Convexity: times decrease towards D and increase after it.
+    times = study.times()
+    d_index = [p.label for p in study.points].index("D")
+    assert all(times[i] >= times[i + 1] for i in range(d_index))
+    assert all(times[i] <= times[i + 1] for i in range(d_index, len(times) - 1))
+
+    # Memory usage decreases monotonically with TP.
+    memory = study.memory_gb()
+    assert all(memory[i] >= memory[i + 1] - 1e-6 for i in range(len(memory) - 1))
+
+    # Breakdown shape at the optimum: compute-dominated with a large bubble.
+    frac = best.estimate.breakdown.fractions()
+    assert frac["compute"] > 0.4
+    assert 0.15 < frac["pp_bubble"] < 0.5
+    assert frac["tp_comm"] < frac["compute"]

@@ -1,0 +1,79 @@
+"""Fig. 4: strong scaling of the optimal configuration on B200 / NVS 8.
+
+* Fig. 4a — GPT3-1T with 1D TP from 128 to 16384 GPUs: compute dominates,
+  pipeline bubbles grow at scale, HBM usage drops at scale.
+* Fig. 4b — the long-sequence ViT with 2D TP from 32 to 16384 GPUs: 2D TP is
+  required to fit, TP communication is the main bottleneck and HBM stays
+  highly utilised.
+
+Set ``REPRO_FULL_SWEEP=1`` to run the paper's full GPU grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH, gpu_grid, run_once
+from repro.analysis.reporting import render_scaling_sweep
+from repro.analysis.sweeps import GPT_SCALING_GPUS, VIT_SCALING_GPUS, scaling_sweep
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.system import make_system
+
+GPT_GRID = gpu_grid(GPT_SCALING_GPUS, (128, 512, 2048, 8192, 16384))
+VIT_GRID = gpu_grid(VIT_SCALING_GPUS, (128, 512, 2048, 8192, 16384))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_gpt_scaling(benchmark, save_report):
+    sweep = run_once(
+        benchmark,
+        scaling_sweep,
+        GPT3_1T,
+        make_system("B200", 8),
+        strategy="tp1d",
+        n_gpus_list=GPT_GRID,
+        global_batch_size=GLOBAL_BATCH,
+    )
+    save_report("fig4a_gpt3_1t_scaling_b200_nvs8", render_scaling_sweep(sweep))
+
+    assert all(p.found for p in sweep.points)
+    times = sweep.iteration_times()
+    assert all(times[i] > times[i + 1] for i in range(len(times) - 1))
+
+    first = sweep.points[0].result.best
+    last = sweep.points[-1].result.best
+    # Compute dominates everywhere; bubbles grow at scale; memory drops.
+    assert first.breakdown.fractions()["compute"] > 0.6
+    assert last.breakdown.fractions()["compute"] > 0.4
+    assert (
+        last.breakdown.fractions()["pp_bubble"]
+        > first.breakdown.fractions()["pp_bubble"]
+    )
+    assert last.memory_gb < first.memory_gb
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_vit_scaling(benchmark, save_report):
+    sweep = run_once(
+        benchmark,
+        scaling_sweep,
+        VIT_LONG_SEQ,
+        make_system("B200", 8),
+        strategy="tp2d",
+        n_gpus_list=VIT_GRID,
+        global_batch_size=GLOBAL_BATCH,
+    )
+    save_report("fig4b_vit_scaling_b200_nvs8", render_scaling_sweep(sweep))
+
+    assert all(p.found for p in sweep.points)
+    for point in sweep.points:
+        best = point.result.best
+        # 2D TP (n2 > 1) is required throughout and HBM stays highly used.
+        assert best.config.tensor_parallel >= 16
+        assert best.memory_gb > 0.45 * 192
+        frac = best.breakdown.fractions()
+        non_compute = {k: v for k, v in frac.items() if k not in ("compute", "memory")}
+        # TP communication is the dominant non-compute cost.
+        assert max(non_compute, key=non_compute.get) in ("tp_comm", "pp_bubble")
+    last = sweep.points[-1].result.best
+    assert last.breakdown.fractions()["tp_comm"] > 0.1

@@ -1,0 +1,116 @@
+"""Fig. 5: end-to-end training time (days) vs GPU count across the system grid.
+
+* Fig. 5a — GPT3-1T (1D TP) pre-trained on 1T tokens: O(30) days on 16K
+  A100s dropping to O(3-5) days on B200; NVS-domain effects appear at the
+  smallest and the largest scales.
+* Fig. 5b — the ViT (2D TP) trained for 80 epochs of ERA5: similar
+  generation-to-generation gains, but NVS-domain effects appear throughout.
+
+Set ``REPRO_FULL_SWEEP=1`` for the paper's full grid (all 8-10 GPU counts);
+the default sweeps three representative scales per system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH, full_sweep_enabled, gpu_grid, run_once
+from repro.analysis.reporting import render_system_grid
+from repro.analysis.sweeps import GPT_SCALING_GPUS, VIT_SCALING_GPUS, system_grid_sweep
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.training import gpt_pretraining_regime, vit_era5_regime
+
+GPT_GRID = gpu_grid(GPT_SCALING_GPUS, (1024, 4096, 16384))
+VIT_GRID = gpu_grid(VIT_SCALING_GPUS, (1024, 4096, 16384))
+NVS_SIZES = (4, 8, 64)
+GENERATIONS = ("A100", "H200", "B200")
+
+
+def _series_lookup(series):
+    return {s.system_name: s for s in series}
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_gpt_training_days(benchmark, save_report):
+    regime = gpt_pretraining_regime(GPT3_1T, GLOBAL_BATCH)
+    series = run_once(
+        benchmark,
+        system_grid_sweep,
+        GPT3_1T,
+        strategy="tp1d",
+        gpu_generations=GENERATIONS,
+        nvs_domain_sizes=NVS_SIZES,
+        n_gpus_list=GPT_GRID,
+        global_batch_size=GLOBAL_BATCH,
+        regime=regime,
+    )
+    save_report("fig5a_gpt3_1t_training_days", render_system_grid(series, GPT3_1T.name))
+
+    lookup = _series_lookup(series)
+    assert len(series) == 9
+
+    # Generation-to-generation improvement at the largest scale swept.
+    a100 = lookup["A100-NVS8"].training_days[-1]
+    h200 = lookup["H200-NVS8"].training_days[-1]
+    b200 = lookup["B200-NVS8"].training_days[-1]
+    assert a100 > h200 > b200
+
+    # Paper magnitudes at 16K GPUs: O(30) days on A100 vs O(3-5) on B200.
+    if GPT_GRID[-1] == 16384:
+        assert 15 < a100 < 60
+        assert 2 < b200 < 8
+
+    # NVS-domain effects exist but are modest at moderate scales for GPT.
+    b200_nvs4 = lookup["B200-NVS4"].training_days[-1]
+    b200_nvs64 = lookup["B200-NVS64"].training_days[-1]
+    assert b200_nvs64 <= b200_nvs4
+    assert b200_nvs4 / b200_nvs64 < 1.6
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_vit_training_days(benchmark, save_report):
+    regime = vit_era5_regime(VIT_LONG_SEQ, GLOBAL_BATCH)
+    series = run_once(
+        benchmark,
+        system_grid_sweep,
+        VIT_LONG_SEQ,
+        strategy="tp2d",
+        gpu_generations=GENERATIONS,
+        nvs_domain_sizes=NVS_SIZES,
+        n_gpus_list=VIT_GRID,
+        global_batch_size=GLOBAL_BATCH,
+        regime=regime,
+    )
+    save_report("fig5b_vit_training_days", render_system_grid(series, VIT_LONG_SEQ.name))
+
+    lookup = _series_lookup(series)
+
+    # Generation improvements hold for the ViT as well.
+    assert (
+        lookup["A100-NVS8"].training_days[-1]
+        > lookup["H200-NVS8"].training_days[-1]
+        > lookup["B200-NVS8"].training_days[-1]
+    )
+
+    # NVS-domain effects are visible for the ViT even at moderate scale.
+    mid = 0 if len(VIT_GRID) == 1 else 1
+    assert (
+        lookup["B200-NVS64"].training_days[mid]
+        <= lookup["B200-NVS4"].training_days[mid]
+    )
+
+    # The ViT's NVS sensitivity (at moderate scale) exceeds GPT's.
+    gpt_series = system_grid_sweep(
+        GPT3_1T,
+        strategy="tp1d",
+        gpu_generations=("B200",),
+        nvs_domain_sizes=(4, 64),
+        n_gpus_list=(VIT_GRID[mid],),
+        global_batch_size=GLOBAL_BATCH,
+    )
+    gpt_lookup = _series_lookup(gpt_series)
+    gpt_gain = gpt_lookup["B200-NVS4"].training_days[0] / gpt_lookup["B200-NVS64"].training_days[0]
+    vit_gain = (
+        lookup["B200-NVS4"].training_days[mid] / lookup["B200-NVS64"].training_days[mid]
+    )
+    assert vit_gain >= gpt_gain * 0.98

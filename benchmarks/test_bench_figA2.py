@@ -1,0 +1,71 @@
+"""Fig. A2: plain 2D TP rationale studies for GPT3-1T and the ViT.
+
+* Fig. A2a — GPT3-1T with 2D TP on NVS 64: the high-DP (np = 1) regime is
+  attractive but consumes far more memory than SUMMA (shared weights and
+  activations), so large-PP configurations are chosen.
+* Fig. A2b — the ViT with 2D TP: the memory footprint is sensitive to the
+  n1/n2 split, and the low-PP configurations are favoured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.configurations import fig3_summa_study, figA2_tp2d_study
+from repro.analysis.reporting import render_configuration_study
+from repro.core.model import VIT_LONG_SEQ
+
+
+@pytest.mark.benchmark(group="figA2")
+def test_figA2a_gpt_2d_tp(benchmark, save_report):
+    study = run_once(benchmark, figA2_tp2d_study, nvs_domain_size=64)
+    save_report("figA2a_gpt3_1t_tp2d_nvs64", render_configuration_study(study))
+
+    # The np=1 (high-DP) points exist but use far more memory than the
+    # corresponding SUMMA points (shared weights/activations) ...
+    summa = fig3_summa_study(nvs_domain_size=64)
+    tp2d_np1 = [p for p in study.points if p.config.pipeline_parallel == 1]
+    summa_np1 = [p for p in summa.points if p.config.pipeline_parallel == 1]
+    assert tp2d_np1 and summa_np1
+    assert min(p.estimate.memory_gb for p in tp2d_np1) > min(
+        p.estimate.memory_gb for p in summa_np1
+    )
+
+    # ... so the fastest *feasible* 2D TP configuration uses pipelining.
+    best = study.fastest()
+    assert best.estimate.feasible
+    assert best.config.pipeline_parallel > 1
+
+
+@pytest.mark.benchmark(group="figA2")
+def test_figA2b_vit_2d_tp(benchmark, save_report):
+    study = run_once(
+        benchmark,
+        figA2_tp2d_study,
+        model=VIT_LONG_SEQ,
+        nvs_domain_size=8,
+        high_dp_regime=(32, 1),
+        low_dp_regime=(32, 16),
+    )
+    save_report("figA2b_vit_tp2d_nvs8", render_configuration_study(study))
+
+    # Memory is sensitive to the n1/n2 split for the ViT.
+    memory = study.memory_gb()
+    assert max(memory) > 1.3 * min(memory)
+
+    # The raw times favour the low-PP (np = 1) regime, but under plain 2D TP
+    # its shared activations do not fit on a 192 GB B200 at the large
+    # microbatch the regime implies, so the fastest *feasible* configuration
+    # falls back to pipelining.  (The paper's Fig. A2b reports the low-PP
+    # points as feasible; see EXPERIMENTS.md for the discussion of this
+    # deviation.)
+    np1_points = [p for p in study.points if p.config.pipeline_parallel == 1]
+    assert np1_points
+    assert min(p.total_time for p in np1_points) <= min(
+        p.total_time for p in study.points if p.config.pipeline_parallel > 1
+    )
+    best = study.fastest()
+    assert best.estimate.feasible
+    # TP communication stays a first-order cost for the ViT in every regime.
+    assert best.estimate.breakdown.fractions()["tp_comm"] > 0.2

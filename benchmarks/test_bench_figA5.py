@@ -1,0 +1,87 @@
+"""Fig. A5: training time vs (HBM capacity+bandwidth, tensor-core rate) at 8192 GPUs.
+
+Paper observations reproduced here: the FLOP rate is the primary lever for
+both models; GPT3-1T is relatively insensitive to HBM capacity/bandwidth at
+this scale, whereas the long-sequence ViT benefits noticeably from more
+capacity (it needs heavy TP just to fit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH, full_sweep_enabled, run_once
+from repro.analysis.reporting import render_heatmap
+from repro.analysis.sweeps import hardware_heatmap
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+
+if full_sweep_enabled():
+    CAPACITIES = (80, 141, 192, 256, 352)
+    BANDWIDTHS = (1.5, 4.8, 8.0, 12.0, 16.0)
+    TFLOPS = (312, 990, 2500, 3500)
+else:
+    CAPACITIES = (80, 192, 352)
+    BANDWIDTHS = (1.5, 8.0, 16.0)
+    TFLOPS = (312, 2500, 3500)
+
+N_GPUS = 8192
+
+
+@pytest.mark.benchmark(group="figA5")
+def test_figA5a_gpt_capacity_vs_flops(benchmark, save_report):
+    heatmap = run_once(
+        benchmark,
+        hardware_heatmap,
+        GPT3_1T,
+        strategy="tp1d",
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        mode="capacity_vs_flops",
+        capacity_gb=CAPACITIES,
+        bandwidth_tbps=BANDWIDTHS,
+        tensor_tflops=TFLOPS,
+    )
+    save_report("figA5a_gpt3_1t_capacity_vs_flops", render_heatmap(heatmap))
+
+    arr = heatmap.as_array()
+    # FLOP rate is the primary factor ...
+    flop_gain = arr[0, -1] / arr[-1, -1]
+    assert flop_gain > 2.5
+    # ... while extra capacity (at fixed top FLOP rate) gives only a modest gain.
+    capacity_gain = arr[-1, 0] / arr[-1, -1]
+    assert capacity_gain < 1.5
+
+
+@pytest.mark.benchmark(group="figA5")
+def test_figA5b_vit_capacity_vs_flops(benchmark, save_report):
+    heatmap = run_once(
+        benchmark,
+        hardware_heatmap,
+        VIT_LONG_SEQ,
+        strategy="tp2d",
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        mode="capacity_vs_flops",
+        capacity_gb=CAPACITIES,
+        bandwidth_tbps=BANDWIDTHS,
+        tensor_tflops=TFLOPS,
+    )
+    save_report("figA5b_vit_capacity_vs_flops", render_heatmap(heatmap))
+
+    arr = heatmap.as_array()
+    # FLOP rate still matters a lot for the ViT ...
+    assert arr[0, -1] / arr[-1, -1] > 2.0
+    # ... and capacity/bandwidth matter *more* than they do for GPT3-1T.
+    vit_capacity_gain = arr[-1, 0] / arr[-1, -1]
+    gpt = hardware_heatmap(
+        GPT3_1T,
+        strategy="tp1d",
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        mode="capacity_vs_flops",
+        capacity_gb=CAPACITIES,
+        bandwidth_tbps=BANDWIDTHS,
+        tensor_tflops=TFLOPS,
+    ).as_array()
+    gpt_capacity_gain = gpt[-1, 0] / gpt[-1, -1]
+    assert vit_capacity_gain >= gpt_capacity_gain * 0.98

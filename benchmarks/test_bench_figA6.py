@@ -1,0 +1,77 @@
+"""Fig. A6: training time vs (HBM capacity, HBM bandwidth) at B200 compute rates.
+
+Paper observations reproduced here: GPT3-1T depends only weakly on capacity
+and bandwidth (only very small bandwidths hurt), and high-capacity /
+low-bandwidth configurations — representative of alternate memory
+technologies such as LPDDR — remain competitive with the B200 baseline for
+both models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH, full_sweep_enabled, run_once
+from repro.analysis.reporting import render_heatmap
+from repro.analysis.sweeps import hardware_heatmap
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+
+if full_sweep_enabled():
+    CAPACITIES = (96, 192, 384, 512, 768, 1024)
+    BANDWIDTHS = (2.0, 4.0, 8.0, 12.0, 16.0)
+else:
+    CAPACITIES = (96, 192, 512, 1024)
+    BANDWIDTHS = (2.0, 8.0, 16.0)
+
+N_GPUS = 8192
+
+
+def _heatmap(model, strategy):
+    return hardware_heatmap(
+        model,
+        strategy=strategy,
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        mode="capacity_vs_bandwidth",
+        capacity_gb=CAPACITIES,
+        bandwidth_tbps=BANDWIDTHS,
+    )
+
+
+@pytest.mark.benchmark(group="figA6")
+def test_figA6a_gpt_capacity_vs_bandwidth(benchmark, save_report):
+    heatmap = run_once(benchmark, _heatmap, GPT3_1T, "tp1d")
+    save_report("figA6a_gpt3_1t_capacity_vs_bandwidth", render_heatmap(heatmap))
+
+    arr = heatmap.as_array()
+    baseline = arr[1, 1]  # ~B200: 8 TB/s, 192 GB
+
+    # Weak dependence overall: the whole grid stays within ~2.5x of the baseline.
+    assert arr.max() < 2.5 * baseline
+
+    # High-capacity / low-bandwidth (LPDDR-like) is competitive: within ~40%
+    # of the baseline even at the lowest bandwidth swept.
+    lpddr_like = arr[0, -1]
+    assert lpddr_like < 1.4 * baseline
+
+    # More capacity at fixed bandwidth never hurts.
+    for row in arr:
+        assert row[-1] <= row[0] + 1e-9
+
+
+@pytest.mark.benchmark(group="figA6")
+def test_figA6b_vit_capacity_vs_bandwidth(benchmark, save_report):
+    heatmap = run_once(benchmark, _heatmap, VIT_LONG_SEQ, "tp2d")
+    save_report("figA6b_vit_capacity_vs_bandwidth", render_heatmap(heatmap))
+
+    arr = heatmap.as_array()
+    baseline = arr[1, 1]
+
+    # The ViT is more sensitive than GPT: small capacities at low bandwidth
+    # are clearly worse than the baseline ...
+    assert arr[0, 0] > 1.05 * baseline
+    # ... but the high-capacity / low-bandwidth corner remains viable.
+    assert arr[0, -1] < 1.5 * baseline
+    # Extra capacity helps the ViT at every bandwidth.
+    for row in arr:
+        assert row[-1] <= row[0] + 1e-9

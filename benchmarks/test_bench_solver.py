@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the performance model and solver themselves.
+
+The paper argues the analytical search is "orders of magnitude faster than
+experimentation"; these benchmarks record how fast the model actually is:
+single-configuration evaluation throughput, the per-scale cost of the
+brute-force search, and the size of the searched design space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import GLOBAL_BATCH
+from repro.core.config_space import count_configurations
+from repro.core.execution import clear_caches, evaluate_config
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.search import find_optimal_config
+from repro.core.system import make_system
+
+B200 = make_system("B200", 8)
+
+
+@pytest.mark.benchmark(group="solver")
+def test_single_config_evaluation_throughput(benchmark):
+    """Latency of one configuration evaluation (warm caches)."""
+    config = ParallelConfig(
+        strategy="tp1d", tensor_parallel_1=8, tensor_parallel_2=1,
+        pipeline_parallel=64, data_parallel=32, microbatch_size=1,
+    )
+    assignment = GpuAssignment(nvs_tp1=8)
+    evaluate_config(GPT3_1T, B200, config, assignment, global_batch_size=GLOBAL_BATCH)
+
+    result = benchmark(
+        evaluate_config, GPT3_1T, B200, config, assignment, global_batch_size=GLOBAL_BATCH
+    )
+    assert result.feasible
+
+
+@pytest.mark.benchmark(group="solver")
+def test_cold_cache_evaluation(benchmark):
+    """Latency of one evaluation including the workload construction."""
+    config = ParallelConfig(
+        strategy="tp2d", tensor_parallel_1=4, tensor_parallel_2=4,
+        pipeline_parallel=2, data_parallel=128, microbatch_size=1,
+    )
+
+    def run():
+        clear_caches()
+        return evaluate_config(
+            VIT_LONG_SEQ, B200, config, GpuAssignment(nvs_tp1=4, nvs_tp2=2),
+            global_batch_size=GLOBAL_BATCH,
+        )
+
+    estimate = benchmark(run)
+    assert estimate.total_time > 0
+
+
+@pytest.mark.benchmark(group="solver")
+@pytest.mark.parametrize("n_gpus", [1024, 4096, 16384])
+def test_full_search_cost_gpt(benchmark, n_gpus):
+    """Wall-clock cost of the brute-force search (GPT3-1T, 1D TP)."""
+    result = benchmark.pedantic(
+        find_optimal_config,
+        args=(GPT3_1T, B200),
+        kwargs=dict(n_gpus=n_gpus, global_batch_size=GLOBAL_BATCH, strategy="tp1d"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.found
+
+
+@pytest.mark.benchmark(group="solver")
+def test_search_space_size(benchmark):
+    """Size of the enumerated design space at 16384 GPUs (all strategies)."""
+
+    def count_all():
+        totals = {}
+        for strategy in ("tp1d", "tp2d", "summa"):
+            totals[strategy] = count_configurations(
+                GPT3_1T, 16384, GLOBAL_BATCH, strategy, nvs_domain_size=8
+            )
+        return totals
+
+    totals = benchmark.pedantic(count_all, rounds=1, iterations=1)
+    assert totals["tp1d"][0] > 100
+    assert totals["tp2d"][1] > totals["tp1d"][1]
+    print("\nDesign-space sizes (parallelizations, incl. NVS assignments):", totals)

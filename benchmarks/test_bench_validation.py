@@ -1,0 +1,52 @@
+"""§IV Empirical Validation: predicted vs published-measured iteration times.
+
+The paper validates its model against Megatron-LM runs on 512 Perlmutter
+A100 GPUs (global batch 1024) for GPT3-175B and a 32K-sequence ViT,
+reporting relative errors of 11% (optimal GPT configuration), 4-15%
+(sub-optimal GPT), ~2% (near-optimal ViT) and 11-26% (sub-optimal ViT), and
+that predicted and measured times rank configurations identically.  The raw
+measured times are not published; this benchmark recomputes our predictions
+for the same configurations and checks the reconstructed comparison (see
+DESIGN.md for the substitution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import render_validation
+from repro.analysis.validation import (
+    PAPER_VALIDATION_CASES,
+    prediction_orders_match,
+    run_validation,
+)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_against_published_numbers(benchmark, save_report):
+    comparisons = run_once(benchmark, run_validation)
+    save_report("validation_megatron_lm", render_validation(comparisons))
+
+    assert len(comparisons) == len(PAPER_VALIDATION_CASES)
+
+    # Predicted iteration times are physically sensible (tens of seconds for
+    # a 175B model / 32K ViT at batch 1024 on 512 A100s).
+    for comp in comparisons:
+        assert 1.0 < comp.predicted_time < 200.0
+
+    # The paper's monotonicity claim: predicted and measured orderings agree.
+    assert prediction_orders_match(comparisons)
+
+    # The (near-)optimal configurations are the fastest predictions per model.
+    for model_key in ("gpt3-175b", "vit-32k"):
+        subset = [c for c in comparisons if c.case.model_key == model_key]
+        optimal = min(
+            (c for c in subset if c.case.is_optimal), key=lambda c: c.predicted_time
+        )
+        fastest = min(subset, key=lambda c: c.predicted_time)
+        assert optimal.predicted_time <= fastest.predicted_time * 1.05
+
+    # Published error bands are preserved by construction of the comparison.
+    for comp in comparisons:
+        assert 0.0 < comp.case.reported_error <= 0.26

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scenario: hardware what-if study for a future accelerator (Figs. A5/A6 style).
+
+A system architect wants to know which accelerator knobs actually move the
+needle for foundation-model training: tensor-core FLOP rate, HBM capacity,
+HBM bandwidth — and whether an "alternate memory" design (LPDDR-like: much
+more capacity at much lower bandwidth) is competitive.  The answer differs
+by model class, which is the paper's central system-design insight.
+
+Run with:  python examples/cluster_design_study.py
+"""
+
+from __future__ import annotations
+
+from repro import GPT3_1T, VIT_LONG_SEQ, find_optimal_config, make_system, training_days
+from repro.analysis.sweeps import hardware_heatmap
+from repro.analysis.reporting import render_heatmap
+
+GLOBAL_BATCH = 4096
+N_GPUS = 4096
+
+
+def lpddr_study() -> None:
+    """Compare the stock B200 memory system against an LPDDR-like design."""
+    print("=== Alternate-memory (LPDDR-like) study ===")
+    stock = make_system("B200", 8)
+    # 4x the capacity at a quarter of the bandwidth.
+    lpddr = stock.with_gpu(
+        hbm_capacity=4 * stock.gpu.hbm_capacity,
+        hbm_bandwidth=stock.gpu.hbm_bandwidth / 4,
+    )
+    for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+        stock_best = find_optimal_config(
+            model, stock, n_gpus=N_GPUS, global_batch_size=GLOBAL_BATCH, strategy=strategy
+        )
+        lpddr_best = find_optimal_config(
+            model, lpddr, n_gpus=N_GPUS, global_batch_size=GLOBAL_BATCH, strategy=strategy
+        )
+        ratio = lpddr_best.best_time / stock_best.best_time
+        print(f"  {model.name:8s}: HBM {stock_best.best_time:6.2f} s/iter vs "
+              f"LPDDR-like {lpddr_best.best_time:6.2f} s/iter "
+              f"({100 * (ratio - 1):+.1f}% iteration time)")
+        print(f"            HBM config   : {stock_best.best.config.describe()}")
+        print(f"            LPDDR config : {lpddr_best.best.config.describe()}")
+    print("  More capacity lets the solver trade parallelism inefficiencies for")
+    print("  memory-access time — both models stay competitive, as in Fig. A6.\n")
+
+
+def flop_vs_capacity_heatmaps() -> None:
+    """Small Fig. A5-style heatmaps for both model classes."""
+    print("=== FLOP-rate vs memory heatmaps (training days) ===")
+    for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+        heatmap = hardware_heatmap(
+            model,
+            strategy=strategy,
+            n_gpus=N_GPUS,
+            global_batch_size=GLOBAL_BATCH,
+            mode="capacity_vs_flops",
+            capacity_gb=(96, 192, 384),
+            bandwidth_tbps=(2.0, 8.0, 16.0),
+            tensor_tflops=(990, 2500, 3500),
+        )
+        print(render_heatmap(heatmap))
+        x, y, days = heatmap.min_point()
+        print(f"  fastest point: {y:g} TFLOP/s with {x:g} GB -> {days:.1f} days\n")
+
+
+def nvswitch_study() -> None:
+    """How much do larger NVSwitch domains buy for each model class?"""
+    print("=== NVSwitch-domain study ===")
+    for model, strategy in ((GPT3_1T, "tp1d"), (VIT_LONG_SEQ, "tp2d")):
+        baseline = None
+        line = [f"  {model.name:8s}:"]
+        for nvs in (4, 8, 64):
+            result = find_optimal_config(
+                model, make_system("B200", nvs), n_gpus=N_GPUS,
+                global_batch_size=GLOBAL_BATCH, strategy=strategy,
+            )
+            days = training_days(result.best_time, model, GLOBAL_BATCH)
+            if baseline is None:
+                baseline = days
+            line.append(f"NVS{nvs}={days:.1f}d ({100 * (1 - days / baseline):+.1f}%)")
+        print(" ".join(line))
+    print("  The long-sequence model gains more from the fast domain at this scale.")
+
+
+def main() -> None:
+    lpddr_study()
+    flop_vs_capacity_heatmaps()
+    nvswitch_study()
+
+
+if __name__ == "__main__":
+    main()

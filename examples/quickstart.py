@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: find the optimal way to train GPT3-1T on a B200 cluster.
+
+This example walks through the library's core workflow:
+
+1. pick a model preset and a system from the hardware catalog (Table A3);
+2. run the brute-force configuration search (stage S3 of the paper);
+3. inspect the chosen parallelization, its GPU-to-NVSwitch placement, the
+   iteration-time breakdown and the HBM footprint;
+4. convert the iteration time into end-to-end pre-training days.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GPT3_1T,
+    find_optimal_config,
+    make_system,
+    training_days,
+)
+
+N_GPUS = 1024
+GLOBAL_BATCH = 4096
+
+
+def main() -> None:
+    # A B200 system with 8 GPUs per NVSwitch domain (the paper's default).
+    system = make_system("B200", nvs_domain_size=8)
+
+    print(f"Searching the configuration space for {GPT3_1T.name} "
+          f"on {N_GPUS} x {system.gpu.name} ({system.name}) ...")
+    result = find_optimal_config(
+        GPT3_1T,
+        system,
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        strategy="tp1d",
+        top_k=3,
+    )
+
+    best = result.best
+    print(f"\nSearched {result.statistics.parallel_configs} parallelizations "
+          f"({result.statistics.candidates_evaluated} candidates incl. NVS placements)")
+    print(f"Optimal configuration : {best.config.describe()}")
+    print(f"  (bm, n1, n2, np, nd) = {best.config.as_tuple()}")
+    print(f"  NVS placement (tp1, tp2, pp, dp) = {best.assignment.as_tuple()}")
+    print(f"  microbatches per iteration       = {best.num_microbatches}")
+    print(f"  iteration time                   = {best.total_time:.2f} s")
+    print(f"  HBM footprint                    = {best.memory_gb:.1f} GB "
+          f"(capacity {system.gpu.hbm_capacity / 1e9:.0f} GB)")
+
+    print("\nTime breakdown:")
+    for key, fraction in sorted(best.breakdown.fractions().items(), key=lambda kv: -kv[1]):
+        if fraction > 0.001:
+            print(f"  {key:10s} {100 * fraction:5.1f} %")
+
+    days = training_days(best.total_time, GPT3_1T, GLOBAL_BATCH)
+    print(f"\nPre-training on 1T tokens would take ~{days:.1f} days on this cluster.")
+
+    print("\nRunner-up configurations:")
+    for est in result.top_k:
+        print(f"  {est.config.describe():45s} {est.total_time:7.2f} s  "
+              f"{est.memory_gb:6.1f} GB")
+
+
+if __name__ == "__main__":
+    main()

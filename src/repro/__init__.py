@@ -1,0 +1,101 @@
+"""repro — analytical performance modeling of foundation-model training.
+
+Reproduction of *"Comprehensive Performance Modeling and System Design
+Insights for Foundation Models"* (SC 2024): a parameterized analytical
+performance model for training large transformer models (LLMs and
+long-sequence scientific vision transformers) on GPU clusters with a dual
+bandwidth network (NVSwitch + InfiniBand), plus a brute-force configuration
+search over 4D parallelism, microbatching and GPU-to-NVSwitch placement.
+
+Quickstart
+----------
+
+>>> from repro import GPT3_1T, make_system, find_optimal_config
+>>> system = make_system("B200", nvs_domain_size=8)
+>>> result = find_optimal_config(GPT3_1T, system, n_gpus=1024,
+...                              global_batch_size=4096, strategy="tp1d")
+>>> result.best.config.as_tuple()  # (bm, n1, n2, np, nd)   # doctest: +SKIP
+"""
+
+from repro.core import (
+    DEFAULT_OPTIONS,
+    GPT3_175B,
+    GPT3_1T,
+    GPU_GENERATIONS,
+    GpuAssignment,
+    GpuSpec,
+    IterationEstimate,
+    MODEL_CATALOG,
+    MemoryEstimate,
+    ModelingOptions,
+    NVS_DOMAIN_SIZES,
+    NetworkSpec,
+    ParallelConfig,
+    SearchResult,
+    SearchSpace,
+    SystemSpec,
+    TimeBreakdown,
+    TrainingRegime,
+    TransformerConfig,
+    VIT_32K,
+    VIT_LONG_SEQ,
+    best_assignment_for,
+    default_regime,
+    estimate_memory,
+    evaluate_config,
+    find_optimal_config,
+    get_model,
+    gpt_pretraining_regime,
+    gpu_assignments,
+    make_gpu,
+    make_network,
+    make_perlmutter,
+    make_system,
+    parallel_configs,
+    system_catalog,
+    training_days,
+    vit_era5_regime,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "GPT3_175B",
+    "GPT3_1T",
+    "GPU_GENERATIONS",
+    "GpuAssignment",
+    "GpuSpec",
+    "IterationEstimate",
+    "MODEL_CATALOG",
+    "MemoryEstimate",
+    "ModelingOptions",
+    "NVS_DOMAIN_SIZES",
+    "NetworkSpec",
+    "ParallelConfig",
+    "SearchResult",
+    "SearchSpace",
+    "SystemSpec",
+    "TimeBreakdown",
+    "TrainingRegime",
+    "TransformerConfig",
+    "VIT_32K",
+    "VIT_LONG_SEQ",
+    "__version__",
+    "best_assignment_for",
+    "default_regime",
+    "estimate_memory",
+    "evaluate_config",
+    "find_optimal_config",
+    "get_model",
+    "gpt_pretraining_regime",
+    "gpu_assignments",
+    "make_gpu",
+    "make_network",
+    "make_perlmutter",
+    "make_system",
+    "parallel_configs",
+    "system_catalog",
+    "training_days",
+    "vit_era5_regime",
+]

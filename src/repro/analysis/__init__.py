@@ -1,0 +1,74 @@
+"""Analysis layer: the paper's experiments expressed as reusable sweeps.
+
+Each module maps to a family of figures/tables of the paper:
+
+* :mod:`repro.analysis.configurations` — fixed-parallelization rationale
+  studies (Figs. 1, 2, 3, A2);
+* :mod:`repro.analysis.sweeps` — strong-scaling sweeps, GPU-generation /
+  NVS-domain grids and hardware heatmaps (Figs. 4, 5, A3, A5, A6);
+* :mod:`repro.analysis.speedups` — 2D TP vs 1D TP speedups (Fig. A4);
+* :mod:`repro.analysis.validation` — comparison against the empirical
+  Megatron-LM validation numbers published in §IV;
+* :mod:`repro.analysis.reporting` — plain-text rendering of all of the above.
+"""
+
+from repro.analysis.configurations import (
+    ConfigPoint,
+    ConfigurationStudy,
+    fig1_tp_dp_study,
+    fig2_pp_dp_study,
+    fig3_summa_study,
+    figA2_tp2d_study,
+)
+from repro.analysis.sweeps import (
+    HardwareHeatmap,
+    ScalingPoint,
+    ScalingSweep,
+    SystemScalingSeries,
+    hardware_heatmap,
+    scaling_sweep,
+    system_grid_sweep,
+)
+from repro.analysis.speedups import SpeedupPoint, speedup_sweep
+from repro.analysis.validation import (
+    ValidationCase,
+    ValidationComparison,
+    PAPER_VALIDATION_CASES,
+    run_validation,
+)
+from repro.analysis.reporting import (
+    render_configuration_study,
+    render_scaling_sweep,
+    render_system_grid,
+    render_heatmap,
+    render_speedups,
+    render_validation,
+)
+
+__all__ = [
+    "ConfigPoint",
+    "ConfigurationStudy",
+    "HardwareHeatmap",
+    "PAPER_VALIDATION_CASES",
+    "ScalingPoint",
+    "ScalingSweep",
+    "SpeedupPoint",
+    "SystemScalingSeries",
+    "ValidationCase",
+    "ValidationComparison",
+    "fig1_tp_dp_study",
+    "fig2_pp_dp_study",
+    "fig3_summa_study",
+    "figA2_tp2d_study",
+    "hardware_heatmap",
+    "render_configuration_study",
+    "render_heatmap",
+    "render_scaling_sweep",
+    "render_speedups",
+    "render_system_grid",
+    "render_validation",
+    "run_validation",
+    "scaling_sweep",
+    "speedup_sweep",
+    "system_grid_sweep",
+]

@@ -1,0 +1,330 @@
+"""Fixed-parallelization "rationale" studies (Q1 of the paper; Figs. 1-3, A2).
+
+These experiments fix the total GPU count and global batch size, sweep two
+parallelization parameters while holding the others constant, optimise the
+GPU-to-NVSwitch assignment for every point, and report the resulting time
+breakdown and memory footprint.  They expose *why* the optimal configuration
+looks the way it does: the convexity of time vs TP/DP, the non-convexities
+introduced by the dual-bandwidth network, and the way larger NVSwitch
+domains shift the optimum towards high data parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.execution import DEFAULT_OPTIONS, IterationEstimate, ModelingOptions
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ, TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+from repro.core.search import best_assignment_for
+from repro.core.system import SystemSpec, make_system
+from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
+
+#: Global batch size used by every experiment in the paper.
+PAPER_GLOBAL_BATCH = 4096
+#: GPU count of the rationale studies (Figs. 1-3, A2).
+PAPER_RATIONALE_GPUS = 16384
+
+_CONFIG_LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One labelled configuration of a rationale study."""
+
+    label: str
+    estimate: IterationEstimate
+
+    @property
+    def config(self) -> ParallelConfig:
+        """The parallelization configuration of this point."""
+        return self.estimate.config
+
+    @property
+    def total_time(self) -> float:
+        """Iteration time in seconds."""
+        return self.estimate.total_time
+
+
+@dataclass
+class ConfigurationStudy:
+    """A labelled sweep of configurations (one paper panel)."""
+
+    name: str
+    model_name: str
+    system_name: str
+    n_gpus: int
+    global_batch_size: int
+    points: List[ConfigPoint] = field(default_factory=list)
+
+    def fastest(self, *, feasible_only: bool = True) -> ConfigPoint:
+        """The fastest (optionally feasible-only) point of the study."""
+        pool = [p for p in self.points if p.estimate.feasible] if feasible_only else self.points
+        if not pool:
+            pool = self.points
+        return min(pool, key=lambda p: p.total_time)
+
+    def times(self) -> List[float]:
+        """Iteration times in sweep order."""
+        return [p.total_time for p in self.points]
+
+    def memory_gb(self) -> List[float]:
+        """Memory footprints (GB) in sweep order."""
+        return [p.estimate.memory_gb for p in self.points]
+
+
+def _evaluate_labelled(
+    name: str,
+    model: TransformerConfig,
+    system: SystemSpec,
+    configs: Sequence[ParallelConfig],
+    *,
+    global_batch_size: int,
+    options: ModelingOptions,
+    space: SearchSpace,
+) -> ConfigurationStudy:
+    points = []
+    for i, config in enumerate(configs):
+        label = _CONFIG_LABELS[i] if i < len(_CONFIG_LABELS) else f"#{i}"
+        estimate = best_assignment_for(
+            model,
+            system,
+            config,
+            global_batch_size=global_batch_size,
+            space=space,
+            options=options,
+        )
+        points.append(ConfigPoint(label=label, estimate=estimate))
+    return ConfigurationStudy(
+        name=name,
+        model_name=model.name,
+        system_name=system.name,
+        n_gpus=configs[0].total_gpus if configs else 0,
+        global_batch_size=global_batch_size,
+        points=points,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: GPT3-1T, 1D TP, PP fixed at 64, vary TP / DP
+# ----------------------------------------------------------------------
+
+def fig1_tp_dp_study(
+    *,
+    model: TransformerConfig = GPT3_1T,
+    system: Optional[SystemSpec] = None,
+    n_gpus: int = PAPER_RATIONALE_GPUS,
+    global_batch_size: int = PAPER_GLOBAL_BATCH,
+    pipeline_parallel: int = 64,
+    microbatch_size: int = 1,
+    tp_values: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> ConfigurationStudy:
+    """Fig. 1: fix PP = 64 and sweep TP (with DP = n / (TP * PP)).
+
+    The paper observes an apparently convex time-vs-TP curve with a local
+    minimum around ``nt = 8`` (Config D): small TP runs out of memory or
+    exposes pipeline bubbles, large TP exposes tensor-parallel communication.
+    """
+    system = system or make_system("B200", 8)
+    configs = []
+    for nt in tp_values:
+        if n_gpus % (nt * pipeline_parallel) != 0:
+            continue
+        nd = n_gpus // (nt * pipeline_parallel)
+        if global_batch_size % nd != 0:
+            continue
+        configs.append(
+            ParallelConfig(
+                strategy="tp1d",
+                tensor_parallel_1=nt,
+                tensor_parallel_2=1,
+                pipeline_parallel=pipeline_parallel,
+                data_parallel=nd,
+                microbatch_size=microbatch_size,
+            )
+        )
+    return _evaluate_labelled(
+        "fig1", model, system, configs,
+        global_batch_size=global_batch_size, options=options, space=space,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: GPT3-1T, 1D TP, TP fixed at 8, vary PP / DP on two NVS sizes
+# ----------------------------------------------------------------------
+
+def fig2_pp_dp_study(
+    *,
+    model: TransformerConfig = GPT3_1T,
+    nvs_domain_size: int = 8,
+    gpu_generation: str = "B200",
+    n_gpus: int = PAPER_RATIONALE_GPUS,
+    global_batch_size: int = PAPER_GLOBAL_BATCH,
+    tensor_parallel: int = 8,
+    microbatch_size: int = 1,
+    pp_values: Sequence[int] = (128, 64, 32, 16, 8, 4, 2, 1),
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> ConfigurationStudy:
+    """Fig. 2: fix TP = 8 and sweep PP (DP = n / (TP * PP)).
+
+    Configurations are ordered by *increasing* data parallelism (decreasing
+    pipeline parallelism), as in the paper.  On a small NVS domain the
+    optimum sits at large PP (np = 64); on a 64-GPU domain the optimum shifts
+    to tiny PP because the fast domain hides the DP communication.
+    """
+    system = make_system(gpu_generation, nvs_domain_size)
+    configs = []
+    for np_ in pp_values:
+        if model.depth % np_ != 0:
+            continue
+        if n_gpus % (tensor_parallel * np_) != 0:
+            continue
+        nd = n_gpus // (tensor_parallel * np_)
+        if global_batch_size % nd != 0:
+            continue
+        if (global_batch_size // nd) % microbatch_size != 0:
+            continue
+        configs.append(
+            ParallelConfig(
+                strategy="tp1d",
+                tensor_parallel_1=tensor_parallel,
+                tensor_parallel_2=1,
+                pipeline_parallel=np_,
+                data_parallel=nd,
+                microbatch_size=microbatch_size,
+            )
+        )
+    return _evaluate_labelled(
+        f"fig2-nvs{nvs_domain_size}", model, system, configs,
+        global_batch_size=global_batch_size, options=options, space=space,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 / Fig. A2a: 2D TP (SUMMA or plain) n1/n2 split studies
+# ----------------------------------------------------------------------
+
+def _two_regime_tp_splits(
+    total_gpus: int,
+    high_dp: Tuple[int, int],
+    low_dp: Tuple[int, int],
+    model_depth: int,
+) -> List[Tuple[int, int, int]]:
+    """Build (n1, n2, np) tuples for the high-DP and low-DP regimes.
+
+    ``high_dp``/``low_dp`` are (tensor_parallel, pipeline_parallel) pairs;
+    all n1*n2 = tensor_parallel splits with n1 >= 1 are enumerated for each.
+    """
+    splits: List[Tuple[int, int, int]] = []
+    for nt, np_ in (high_dp, low_dp):
+        if model_depth % np_ != 0:
+            continue
+        n1 = nt
+        while n1 >= 1:
+            n2 = nt // n1
+            if n1 * n2 == nt:
+                splits.append((n1, n2, np_))
+            n1 //= 2
+    return splits
+
+
+def fig3_summa_study(
+    *,
+    model: TransformerConfig = GPT3_1T,
+    nvs_domain_size: int = 8,
+    gpu_generation: str = "B200",
+    n_gpus: int = PAPER_RATIONALE_GPUS,
+    global_batch_size: int = PAPER_GLOBAL_BATCH,
+    high_dp_regime: Tuple[int, int] = (32, 1),
+    low_dp_regime: Tuple[int, int] = (8, 128),
+    summa_panels: int = 2,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> ConfigurationStudy:
+    """Fig. 3: 2D TP SUMMA with (nt, np) = (32, 1) then (8, 128).
+
+    For each regime the relative allocation of the tensor-parallel GPUs into
+    ``n1 x n2`` is varied.  On a small NVS domain the fastest configuration
+    degenerates to 1D TP (n2 = 1) with high PP; a 64-GPU domain favours the
+    high-DP regime because the fast domain absorbs the TP cost.
+    """
+    return _tp_grid_study(
+        "fig3", "summa", model, gpu_generation, nvs_domain_size, n_gpus,
+        global_batch_size, high_dp_regime, low_dp_regime, summa_panels, options, space,
+    )
+
+
+def figA2_tp2d_study(
+    *,
+    model: TransformerConfig = GPT3_1T,
+    nvs_domain_size: int = 64,
+    gpu_generation: str = "B200",
+    n_gpus: int = PAPER_RATIONALE_GPUS,
+    global_batch_size: int = PAPER_GLOBAL_BATCH,
+    high_dp_regime: Tuple[int, int] = (32, 1),
+    low_dp_regime: Tuple[int, int] = (8, 128),
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> ConfigurationStudy:
+    """Fig. A2: plain 2D TP version of the Fig. 3 study.
+
+    For the ViT panel call this with ``model=VIT_LONG_SEQ`` and regimes such
+    as ``(16, 1)`` and ``(16, 16)`` (the ViT requires nt >= 16 to fit).
+    """
+    return _tp_grid_study(
+        "figA2", "tp2d", model, gpu_generation, nvs_domain_size, n_gpus,
+        global_batch_size, high_dp_regime, low_dp_regime, 1, options, space,
+    )
+
+
+def _tp_grid_study(
+    name: str,
+    strategy: str,
+    model: TransformerConfig,
+    gpu_generation: str,
+    nvs_domain_size: int,
+    n_gpus: int,
+    global_batch_size: int,
+    high_dp_regime: Tuple[int, int],
+    low_dp_regime: Tuple[int, int],
+    summa_panels: int,
+    options: ModelingOptions,
+    space: SearchSpace,
+) -> ConfigurationStudy:
+    from repro.core.parallelism.base import get_strategy
+
+    system = make_system(gpu_generation, nvs_domain_size)
+    strat = get_strategy(strategy)
+    configs: List[ParallelConfig] = []
+    for n1, n2, np_ in _two_regime_tp_splits(
+        n_gpus, high_dp_regime, low_dp_regime, model.depth
+    ):
+        nt = n1 * n2
+        if n_gpus % (nt * np_) != 0:
+            continue
+        nd = n_gpus // (nt * np_)
+        if global_batch_size % nd != 0:
+            continue
+        local_batch = global_batch_size // nd
+        microbatch = 1 if np_ > 1 else local_batch  # np=1: a single microbatch
+        if local_batch % microbatch != 0:
+            continue
+        config = ParallelConfig(
+            strategy=strategy,
+            tensor_parallel_1=n1,
+            tensor_parallel_2=n2,
+            pipeline_parallel=np_,
+            data_parallel=nd,
+            microbatch_size=microbatch,
+            summa_panels=summa_panels if strategy == "summa" else 1,
+        )
+        if strat.validate_config(model, config) is None:
+            configs.append(config)
+    return _evaluate_labelled(
+        f"{name}-{model.name}-nvs{nvs_domain_size}", model, system, configs,
+        global_batch_size=global_batch_size, options=options, space=space,
+    )

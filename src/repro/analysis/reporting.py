@@ -1,0 +1,205 @@
+"""Plain-text rendering of the analysis results.
+
+Every experiment family has a ``render_*`` helper that turns its result
+object into the text table printed by the benchmark harness — the same rows
+and series the paper's figures report, so the EXPERIMENTS.md comparison can
+be regenerated from the archived benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.configurations import ConfigurationStudy
+from repro.analysis.speedups import SpeedupPoint, speedups_by_system
+from repro.analysis.sweeps import HardwareHeatmap, ScalingSweep, SystemScalingSeries
+from repro.analysis.validation import ValidationComparison
+from repro.utils.tables import format_table
+
+
+def render_configuration_study(study: ConfigurationStudy) -> str:
+    """Render a Figs. 1-3 / A2 style study as a text table."""
+    headers = [
+        "Config",
+        "bm",
+        "n1",
+        "n2",
+        "PP",
+        "DP",
+        "m",
+        "mem(GB)",
+        "time(s)",
+        "compute%",
+        "tp%",
+        "bubble%",
+        "dp%",
+        "pp%",
+        "mem%",
+        "feasible",
+    ]
+    rows = []
+    for point in study.points:
+        est = point.estimate
+        frac = est.breakdown.fractions()
+        rows.append(
+            [
+                point.label,
+                est.config.microbatch_size,
+                est.config.tensor_parallel_1,
+                est.config.tensor_parallel_2,
+                est.config.pipeline_parallel,
+                est.config.data_parallel,
+                est.num_microbatches,
+                est.memory_gb,
+                est.total_time,
+                100 * frac["compute"],
+                100 * frac["tp_comm"],
+                100 * frac["pp_bubble"],
+                100 * frac["dp_comm"],
+                100 * frac["pp_comm"],
+                100 * frac["memory"],
+                est.feasible,
+            ]
+        )
+    title = (
+        f"{study.name}: {study.model_name} on {study.system_name}, "
+        f"{study.n_gpus} GPUs, global batch {study.global_batch_size}"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_scaling_sweep(sweep: ScalingSweep) -> str:
+    """Render a Fig. 4 / A3 style strong-scaling sweep."""
+    headers = [
+        "#GPUs",
+        "bm",
+        "n1",
+        "n2",
+        "PP",
+        "DP",
+        "m",
+        "mem(GB)",
+        "iter(s)",
+        "compute%",
+        "tp%",
+        "bubble%",
+        "dp%",
+        "assignment",
+    ]
+    rows = []
+    for point in sweep.points:
+        if not point.found:
+            rows.append([point.n_gpus] + ["-"] * (len(headers) - 1))
+            continue
+        best = point.result.best
+        frac = best.breakdown.fractions()
+        rows.append(
+            [
+                point.n_gpus,
+                best.config.microbatch_size,
+                best.config.tensor_parallel_1,
+                best.config.tensor_parallel_2,
+                best.config.pipeline_parallel,
+                best.config.data_parallel,
+                best.num_microbatches,
+                best.memory_gb,
+                best.total_time,
+                100 * frac["compute"],
+                100 * frac["tp_comm"],
+                100 * frac["pp_bubble"],
+                100 * frac["dp_comm"],
+                str(best.assignment.as_tuple()),
+            ]
+        )
+    title = (
+        f"strong scaling: {sweep.model_name} / {sweep.strategy} on {sweep.system_name}, "
+        f"global batch {sweep.global_batch_size}"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_system_grid(series: Sequence[SystemScalingSeries], model_name: str = "") -> str:
+    """Render a Fig. 5 style system grid (training days vs GPU count)."""
+    if not series:
+        return "(no series)"
+    gpu_counts = series[0].n_gpus
+    headers = ["System"] + [str(n) for n in gpu_counts]
+    rows = []
+    for entry in series:
+        row: List[object] = [entry.system_name]
+        for days in entry.training_days:
+            row.append("inf" if days == float("inf") else f"{days:.2f}")
+        rows.append(row)
+    title = f"training days vs #GPUs ({model_name})" if model_name else "training days vs #GPUs"
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_heatmap(heatmap: HardwareHeatmap) -> str:
+    """Render a Fig. A5 / A6 style hardware heatmap."""
+    headers = [f"{heatmap.y_label} \\ {heatmap.x_label}"] + [
+        f"{x:g}" for x in heatmap.x_values
+    ]
+    rows = []
+    for y, row_values in zip(heatmap.y_values, heatmap.training_days):
+        row: List[object] = [f"{y:g}"]
+        for days in row_values:
+            row.append("inf" if days == float("inf") else f"{days:.2f}")
+        rows.append(row)
+    title = (
+        f"training days heatmap: {heatmap.model_name} / {heatmap.strategy} "
+        f"on {heatmap.n_gpus} GPUs"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_speedups(points: Sequence[SpeedupPoint]) -> str:
+    """Render a Fig. A4 style speedup table (systems x GPU counts)."""
+    grouped = speedups_by_system(points)
+    if not grouped:
+        return "(no speedup points)"
+    gpu_counts = sorted({p.n_gpus for p in points})
+    headers = ["System"] + [str(n) for n in gpu_counts]
+    rows = []
+    for system_name, series in sorted(grouped.items()):
+        by_n: Dict[int, SpeedupPoint] = {p.n_gpus: p for p in series}
+        row: List[object] = [system_name]
+        for n in gpu_counts:
+            point = by_n.get(n)
+            row.append(f"{point.speedup:.3f}" if point is not None else "-")
+        rows.append(row)
+    sample = points[0]
+    title = f"relative speed-up of {sample.variant_strategy} w.r.t. {sample.baseline_strategy}"
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_validation(comparisons: Sequence[ValidationComparison]) -> str:
+    """Render the §IV empirical-validation comparison."""
+    headers = [
+        "Case",
+        "model",
+        "strategy",
+        "(bm,n1,n2,np,nd)",
+        "predicted(s)",
+        "implied measured(s)",
+        "paper error",
+        "reconstructed error",
+        "feasible",
+    ]
+    rows = []
+    for comp in comparisons:
+        rows.append(
+            [
+                comp.case.name,
+                comp.case.model_key,
+                comp.case.strategy,
+                str(comp.case.config_tuple),
+                comp.predicted_time,
+                comp.implied_measured_time,
+                f"{100 * comp.case.reported_error:.0f}%",
+                f"{100 * comp.reconstructed_error:.0f}%",
+                comp.feasible,
+            ]
+        )
+    return "empirical validation (512 A100 GPUs, global batch 1024)\n" + format_table(
+        headers, rows
+    )

@@ -1,0 +1,237 @@
+"""Command-line interface: ``repro-perf``.
+
+Sub-commands map onto the paper's experiments:
+
+* ``repro-perf search`` — optimal-configuration search at one scale;
+* ``repro-perf scaling`` — strong-scaling sweep (Fig. 4 / A3);
+* ``repro-perf systems`` — GPU-generation x NVS-domain grid in training days
+  (Fig. 5);
+* ``repro-perf speedup`` — 2D TP speedups over 1D TP (Fig. A4);
+* ``repro-perf validate`` — comparison with the paper's Megatron-LM
+  validation numbers (§IV);
+* ``repro-perf collectives`` — analytic vs simulated collective times
+  (Fig. A1).
+
+Each command prints a plain-text table and can additionally archive the raw
+series as JSON via ``--json PATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import (
+    render_scaling_sweep,
+    render_speedups,
+    render_system_grid,
+    render_validation,
+)
+from repro.analysis.speedups import speedup_sweep
+from repro.analysis.sweeps import scaling_sweep, system_grid_sweep
+from repro.analysis.validation import run_validation
+from repro.core.model import get_model
+from repro.core.search import find_optimal_config
+from repro.core.system import make_perlmutter, make_system
+from repro.simulate.cluster import ClusterTopology
+from repro.simulate.ring import sweep_volumes
+from repro.utils.serialization import dump_json
+from repro.utils.tables import format_table
+
+
+def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="gpt3-1t", help="model preset name")
+    parser.add_argument("--gpu", default="B200", help="GPU generation (A100/H200/B200)")
+    parser.add_argument("--nvs", type=int, default=8, help="NVSwitch domain size")
+    parser.add_argument("--global-batch", type=int, default=4096, help="global batch size")
+    parser.add_argument(
+        "--strategy", default="tp1d", help="tp1d, tp2d, summa or 'all'"
+    )
+    parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
+
+
+def _parse_gpu_list(text: str) -> List[int]:
+    return [int(tok) for tok in text.replace(",", " ").split() if tok]
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    system = make_system(args.gpu, args.nvs)
+    result = find_optimal_config(
+        model,
+        system,
+        n_gpus=args.gpus,
+        global_batch_size=args.global_batch,
+        strategy=args.strategy,
+        top_k=args.top_k,
+    )
+    if not result.found:
+        print(f"No feasible configuration for {model.name} on {system.name} with {args.gpus} GPUs")
+        return 1
+    best = result.best
+    print(f"Best configuration for {model.name} on {system.name} with {args.gpus} GPUs:")
+    print(f"  config      : {best.config.describe()}")
+    print(f"  assignment  : nNVS(tp1,tp2,pp,dp) = {best.assignment.as_tuple()}")
+    print(f"  iteration   : {best.total_time:.3f} s")
+    print(f"  memory      : {best.memory_gb:.1f} GB")
+    fractions = best.breakdown.fractions()
+    print("  breakdown   : " + ", ".join(f"{k}={100 * v:.1f}%" for k, v in fractions.items()))
+    print(
+        f"  search      : {result.statistics.parallel_configs} parallelizations, "
+        f"{result.statistics.candidates_evaluated} candidates evaluated"
+    )
+    if args.top_k > 1 and result.top_k:
+        rows = [
+            [
+                est.config.describe(),
+                str(est.assignment.as_tuple()),
+                est.total_time,
+                est.memory_gb,
+            ]
+            for est in result.top_k
+        ]
+        print(format_table(["config", "assignment", "time(s)", "mem(GB)"], rows))
+    if args.json:
+        dump_json(result.summary(), args.json)
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    system = make_system(args.gpu, args.nvs)
+    sweep = scaling_sweep(
+        model,
+        system,
+        strategy=args.strategy,
+        n_gpus_list=_parse_gpu_list(args.gpus),
+        global_batch_size=args.global_batch,
+    )
+    print(render_scaling_sweep(sweep))
+    if args.json:
+        dump_json([p.result.summary() for p in sweep.points], args.json)
+    return 0
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    series = system_grid_sweep(
+        model,
+        strategy=args.strategy,
+        gpu_generations=args.generations.split(","),
+        nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
+        n_gpus_list=_parse_gpu_list(args.gpus),
+        global_batch_size=args.global_batch,
+    )
+    print(render_system_grid(series, model.name))
+    if args.json:
+        dump_json(series, args.json)
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    points = speedup_sweep(
+        model,
+        variant_strategy=args.variant,
+        baseline_strategy=args.strategy,
+        gpu_generations=args.generations.split(","),
+        nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
+        n_gpus_list=_parse_gpu_list(args.gpus),
+        global_batch_size=args.global_batch,
+    )
+    print(render_speedups(points))
+    if args.json:
+        dump_json(points, args.json)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    comparisons = run_validation()
+    print(render_validation(comparisons))
+    if args.json:
+        dump_json(comparisons, args.json)
+    return 0
+
+
+def cmd_collectives(args: argparse.Namespace) -> int:
+    system = make_perlmutter(args.nvlink)
+    topology = ClusterTopology.from_system(system, args.gpus)
+    volumes = [2.0**exp * 1e6 for exp in range(0, 14)]
+    results = sweep_volumes(
+        args.collective,
+        volumes,
+        topology,
+        system.network,
+        group_size=args.gpus,
+        gpus_per_nvs_domain=args.nvlink,
+    )
+    rows = [
+        [r.volume_bytes / 1e9, r.simulated_time, r.analytic_time, 100 * r.relative_error]
+        for r in results
+    ]
+    print(
+        f"{args.collective} on {args.gpus} GPUs ({args.nvlink} GPUs/node fast domain)\n"
+        + format_table(["volume(GB)", "simulated(s)", "analytic(s)", "error(%)"], rows)
+    )
+    if args.json:
+        dump_json(results, args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Analytical performance model for foundation-model training (SC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="optimal-configuration search at one GPU count")
+    _add_common_model_args(p)
+    p.add_argument("--gpus", type=int, default=1024, help="number of GPUs")
+    p.add_argument("--top-k", type=int, default=1, help="also print the k best configurations")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("scaling", help="strong-scaling sweep (Fig. 4 / A3)")
+    _add_common_model_args(p)
+    p.add_argument("--gpus", default="128,256,512,1024,2048,4096,8192,16384")
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser("systems", help="GPU-generation x NVS grid in training days (Fig. 5)")
+    _add_common_model_args(p)
+    p.add_argument("--gpus", default="1024,4096,16384")
+    p.add_argument("--generations", default="A100,H200,B200")
+    p.add_argument("--nvs-sizes", default="4,8,64")
+    p.set_defaults(func=cmd_systems)
+
+    p = sub.add_parser("speedup", help="2D TP speedups over 1D TP (Fig. A4)")
+    _add_common_model_args(p)
+    p.add_argument("--variant", default="summa", help="variant strategy (tp2d or summa)")
+    p.add_argument("--gpus", default="1024,4096,16384")
+    p.add_argument("--generations", default="A100,B200")
+    p.add_argument("--nvs-sizes", default="8,64")
+    p.set_defaults(func=cmd_speedup)
+
+    p = sub.add_parser("validate", help="compare against the paper's Megatron-LM validation (§IV)")
+    p.add_argument("--json", default=None)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("collectives", help="analytic vs simulated collective times (Fig. A1)")
+    p.add_argument("--gpus", type=int, default=32)
+    p.add_argument("--nvlink", type=int, default=4, help="GPUs per node in the fast domain (2 or 4)")
+    p.add_argument("--collective", default="all_gather")
+    p.add_argument("--json", default=None)
+    p.set_defaults(func=cmd_collectives)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-perf`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Core analytical performance model.
+
+This subpackage implements the paper's three modeling stages:
+
+* **S1 (counting)** — :mod:`repro.core.operations` and
+  :mod:`repro.core.parallelism` count FLOPs, HBM bytes, communication volume
+  and resident memory of every transformer operation under every
+  parallelization strategy;
+* **S2 (timing)** — :mod:`repro.core.roofline`, :mod:`repro.core.collectives`
+  and :mod:`repro.core.execution` convert those counts into per-iteration
+  times on a given system (:mod:`repro.core.system`);
+* **S3 (search)** — :mod:`repro.core.config_space` and
+  :mod:`repro.core.search` enumerate and minimise over all admissible
+  configurations; :mod:`repro.core.training` converts iteration times into
+  end-to-end training days.
+"""
+
+from repro.core.model import (
+    GPT3_1T,
+    GPT3_175B,
+    MODEL_CATALOG,
+    TransformerConfig,
+    VIT_32K,
+    VIT_LONG_SEQ,
+    get_model,
+)
+from repro.core.system import (
+    GPU_GENERATIONS,
+    GpuSpec,
+    NVS_DOMAIN_SIZES,
+    NetworkSpec,
+    SystemSpec,
+    make_gpu,
+    make_network,
+    make_perlmutter,
+    make_system,
+    system_catalog,
+)
+from repro.core.execution import (
+    DEFAULT_OPTIONS,
+    IterationEstimate,
+    ModelingOptions,
+    TimeBreakdown,
+    evaluate_config,
+)
+from repro.core.memory import MemoryEstimate, estimate_memory
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.config_space import SearchSpace, parallel_configs, gpu_assignments
+from repro.core.search import SearchResult, best_assignment_for, find_optimal_config
+from repro.core.training import (
+    TrainingRegime,
+    default_regime,
+    gpt_pretraining_regime,
+    training_days,
+    vit_era5_regime,
+)
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "GPT3_175B",
+    "GPT3_1T",
+    "GPU_GENERATIONS",
+    "GpuAssignment",
+    "GpuSpec",
+    "IterationEstimate",
+    "MODEL_CATALOG",
+    "MemoryEstimate",
+    "ModelingOptions",
+    "NVS_DOMAIN_SIZES",
+    "NetworkSpec",
+    "ParallelConfig",
+    "SearchResult",
+    "SearchSpace",
+    "SystemSpec",
+    "TimeBreakdown",
+    "TrainingRegime",
+    "TransformerConfig",
+    "VIT_32K",
+    "VIT_LONG_SEQ",
+    "best_assignment_for",
+    "default_regime",
+    "estimate_memory",
+    "evaluate_config",
+    "find_optimal_config",
+    "get_model",
+    "gpt_pretraining_regime",
+    "gpu_assignments",
+    "make_gpu",
+    "make_network",
+    "make_perlmutter",
+    "make_system",
+    "parallel_configs",
+    "system_catalog",
+    "training_days",
+    "vit_era5_regime",
+]

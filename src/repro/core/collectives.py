@@ -1,0 +1,212 @@
+"""Communication-time model for NCCL-style collectives on a dual network.
+
+The paper (§III-A, S2 "Communication Time") models every collective with a
+latency term and a bandwidth term.  For a ring AllGather of ``V`` bytes per
+GPU over a group of ``n`` GPUs with ``g`` of the group's GPUs placed inside
+each NVSwitch domain:
+
+    t_latency = alpha_s * (n / g - 1)  +  alpha_f * (n - n / g)
+    t_comm    = t_latency + (n - 1) / n * max( V / (n_NIC * beta_s),  V / beta_f )
+
+i.e. the ring takes ``n/g - 1`` slow (inter-node) hops and ``n - n/g`` fast
+(intra-node) hops, and its steady-state bandwidth is constrained by the
+slower of the fast domain and the (NIC-multiplexed) slow domain.  When the
+whole group fits inside a single NVSwitch domain the slow network does not
+participate at all.
+
+The number of NICs available to the collective is proportional to how many
+GPUs of this group sit inside each NVSwitch domain (NCCL opens one ring per
+NIC): ``n_NIC_effective = nics_per_node * g / n_NVS``.
+
+Other collectives reuse the same structure with standard ring-algorithm
+multipliers: ReduceScatter is identical to AllGather, AllReduce is an RS
+followed by an AG (2x the bandwidth term), Broadcast and Reduce move the
+full buffer once around the ring, and point-to-point moves the buffer over a
+single link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.system import NetworkSpec
+
+#: Canonical collective names accepted by :func:`collective_time`.
+ALL_GATHER = "all_gather"
+REDUCE_SCATTER = "reduce_scatter"
+ALL_REDUCE = "all_reduce"
+BROADCAST = "broadcast"
+REDUCE = "reduce"
+POINT_TO_POINT = "p2p"
+
+SUPPORTED_COLLECTIVES = (
+    ALL_GATHER,
+    REDUCE_SCATTER,
+    ALL_REDUCE,
+    BROADCAST,
+    REDUCE,
+    POINT_TO_POINT,
+)
+
+#: Multiplier applied to the ring bandwidth term for each collective.  The
+#: ring term itself is ``(n-1)/n * V / B``; AllReduce performs both an RS and
+#: an AG pass, hence the factor 2.
+_BANDWIDTH_MULTIPLIER: Dict[str, float] = {
+    ALL_GATHER: 1.0,
+    REDUCE_SCATTER: 1.0,
+    ALL_REDUCE: 2.0,
+    BROADCAST: 1.0,
+    REDUCE: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class GroupPlacement:
+    """Placement of one parallel group onto the NVSwitch domains.
+
+    ``size`` is the number of GPUs in the group and ``gpus_per_nvs_domain``
+    (the paper's ``nNVS_i``) is how many of them share a fast domain.  The
+    placement is valid when ``gpus_per_nvs_domain`` divides ``size`` and does
+    not exceed the machine's NVS domain size (checked by the configuration
+    space, not here, so that the collective model can also be used for
+    ad-hoc what-if questions).
+    """
+
+    size: int
+    gpus_per_nvs_domain: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("group size must be >= 1")
+        if self.gpus_per_nvs_domain < 1:
+            raise ValueError("gpus_per_nvs_domain must be >= 1")
+        if self.gpus_per_nvs_domain > self.size:
+            object.__setattr__(self, "gpus_per_nvs_domain", self.size)
+
+    @property
+    def spans_multiple_domains(self) -> bool:
+        """True when the group needs the slow (inter-node) network."""
+        return self.size > self.gpus_per_nvs_domain
+
+    @property
+    def num_domains(self) -> int:
+        """Number of NVSwitch domains the group spans."""
+        return self.size // self.gpus_per_nvs_domain
+
+
+def effective_nic_count(placement: GroupPlacement, network: NetworkSpec) -> float:
+    """NICs usable by one group's collective on each node.
+
+    NCCL opens roughly one ring per NIC; a group that only occupies ``g`` of
+    the ``n_NVS`` GPUs in a node can drive ``nics_per_node * g / n_NVS`` NICs
+    (at least one).
+    """
+    share = placement.gpus_per_nvs_domain / network.nvs_domain_size
+    return max(1.0, network.nics_per_node * min(1.0, share))
+
+
+def latency_time(placement: GroupPlacement, network: NetworkSpec) -> float:
+    """Ring latency term: slow hops across domains plus fast hops inside them."""
+    n = placement.size
+    if n == 1:
+        return 0.0
+    slow_hops = placement.num_domains - 1
+    fast_hops = n - placement.num_domains
+    return network.ib_latency * slow_hops + network.nvs_latency * fast_hops
+
+
+def ring_bandwidth_time(
+    volume_bytes: float, placement: GroupPlacement, network: NetworkSpec
+) -> float:
+    """Steady-state ring bandwidth term ``(n-1)/n * V / B_effective``."""
+    n = placement.size
+    if n == 1 or volume_bytes <= 0:
+        return 0.0
+    fast_time = volume_bytes / network.effective_nvs_bandwidth
+    if placement.spans_multiple_domains:
+        nics = effective_nic_count(placement, network)
+        slow_time = volume_bytes / (nics * network.effective_ib_bandwidth)
+        per_ring = max(fast_time, slow_time)
+    else:
+        per_ring = fast_time
+    return (n - 1) / n * per_ring
+
+
+def collective_time(
+    collective: str,
+    volume_bytes: float,
+    placement: GroupPlacement,
+    network: NetworkSpec,
+) -> float:
+    """Time to complete ``collective`` of ``volume_bytes`` per GPU.
+
+    The ``volume_bytes`` convention matches the paper's tables: the total
+    bytes transferred per GPU (for AG/RS this is the size of the full,
+    gathered tensor).
+    """
+    if collective not in SUPPORTED_COLLECTIVES:
+        raise ValueError(
+            f"unknown collective {collective!r}; supported: {SUPPORTED_COLLECTIVES}"
+        )
+    if placement.size == 1 or volume_bytes <= 0:
+        return 0.0
+
+    if collective == POINT_TO_POINT:
+        return point_to_point_time(volume_bytes, placement, network)
+
+    multiplier = _BANDWIDTH_MULTIPLIER[collective]
+    return latency_time(placement, network) + multiplier * ring_bandwidth_time(
+        volume_bytes, placement, network
+    )
+
+
+def point_to_point_time(
+    volume_bytes: float, placement: GroupPlacement, network: NetworkSpec
+) -> float:
+    """Time of a single point-to-point transfer between neighbouring ranks.
+
+    Pipeline-parallel activations cross either the fast or the slow network
+    depending on whether adjacent stages share an NVSwitch domain.  With
+    ``gpus_per_nvs_domain > 1`` at least one neighbour is in the same domain
+    and the transfer uses NVLink; otherwise it crosses InfiniBand on a single
+    NIC.
+    """
+    if volume_bytes <= 0:
+        return 0.0
+    if placement.gpus_per_nvs_domain > 1:
+        return network.nvs_latency + volume_bytes / network.effective_nvs_bandwidth
+    return network.ib_latency + volume_bytes / network.effective_ib_bandwidth
+
+
+def all_gather_time(volume_bytes, placement, network) -> float:
+    """Convenience wrapper for :func:`collective_time` with AllGather."""
+    return collective_time(ALL_GATHER, volume_bytes, placement, network)
+
+
+def reduce_scatter_time(volume_bytes, placement, network) -> float:
+    """Convenience wrapper for :func:`collective_time` with ReduceScatter."""
+    return collective_time(REDUCE_SCATTER, volume_bytes, placement, network)
+
+
+def all_reduce_time(volume_bytes, placement, network) -> float:
+    """Convenience wrapper for :func:`collective_time` with AllReduce."""
+    return collective_time(ALL_REDUCE, volume_bytes, placement, network)
+
+
+def broadcast_time(volume_bytes, placement, network) -> float:
+    """Convenience wrapper for :func:`collective_time` with Broadcast."""
+    return collective_time(BROADCAST, volume_bytes, placement, network)
+
+
+def effective_algorithm_bandwidth(
+    collective: str,
+    volume_bytes: float,
+    placement: GroupPlacement,
+    network: NetworkSpec,
+) -> float:
+    """Achieved "algorithm bandwidth" V / t — the metric nccl-tests report."""
+    t = collective_time(collective, volume_bytes, placement, network)
+    if t <= 0:
+        return float("inf")
+    return volume_bytes / t

@@ -1,0 +1,220 @@
+"""Configuration-space enumeration (stage S3, candidate generation).
+
+Given a GPU count ``n``, a global batch size ``b`` and a strategy, the
+search space consists of
+
+1. *Parallelization and microbatch configurations* ``(b_m, n1, n2, np, nd)``
+   obtained by decomposing ``n`` into all possible factor tuples, discarding
+   factors that do not evenly divide the tensor dimension they partition
+   (heads/sequence/hidden for the TP factors, depth for ``np``, the global
+   batch for ``nd``) and microbatch sizes that do not divide the per-replica
+   batch;
+2. *GPU assignment configurations* ``(nNVS1, nNVS2, nNVSp, nNVSd)`` obtained
+   by decomposing the NVSwitch-domain size into per-group factors, each of
+   which must divide its group size;
+3. *SUMMA panel counts* ``nb`` (only for the SUMMA strategy).
+
+The enumeration is deliberately exhaustive — the paper's solver does a
+brute-force search — but restricted to power-of-two factors by default
+(every configuration the paper reports is a power of two), which keeps the
+search tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import (
+    GpuAssignment,
+    ParallelConfig,
+    get_strategy,
+)
+from repro.utils.factorization import divisors, factorizations, pow2_divisors
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Knobs controlling the size of the configuration search."""
+
+    #: Candidate microbatch sizes; ``None`` derives them from the local batch.
+    microbatch_sizes: Tuple[int, ...] | None = None
+    #: Upper bound on the microbatch size when deriving candidates.
+    max_microbatch_size: int = 8
+    #: Restrict all parallel degrees to powers of two (paper configurations).
+    power_of_two_only: bool = True
+    #: Candidate SUMMA panel counts (filtered by divisibility per matmul).
+    summa_panels: Tuple[int, ...] = (1, 2, 4)
+    #: Upper bound on the total tensor-parallel degree (None = unlimited).
+    max_tensor_parallel: int | None = None
+    #: Search over GPU-to-NVS-domain assignments (the paper's contribution
+    #: over Calculon); when False, a single default assignment is used that
+    #: fills the domain in (tp1, tp2, pp, dp) priority order.
+    search_gpu_assignment: bool = True
+
+
+DEFAULT_SEARCH_SPACE = SearchSpace()
+
+
+def _candidate_factors(n: int, power_of_two_only: bool) -> Sequence[int]:
+    return pow2_divisors(n) if power_of_two_only else divisors(n)
+
+
+def microbatch_candidates(
+    local_batch: int, space: SearchSpace = DEFAULT_SEARCH_SPACE
+) -> Tuple[int, ...]:
+    """Microbatch sizes that divide the per-replica batch."""
+    if local_batch < 1:
+        return ()
+    if space.microbatch_sizes is not None:
+        return tuple(
+            bm for bm in space.microbatch_sizes if bm >= 1 and local_batch % bm == 0
+        )
+    candidates = _candidate_factors(local_batch, space.power_of_two_only)
+    return tuple(bm for bm in candidates if bm <= space.max_microbatch_size)
+
+
+def parallel_configs(
+    model: TransformerConfig,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> Iterator[ParallelConfig]:
+    """Enumerate admissible ``(bm, n1, n2, np, nd)`` configurations.
+
+    The strategy's own divisibility rules (heads vs ``n1``, sequence vs
+    ``n2``, ...) are applied so that every yielded configuration can be
+    evaluated without error.
+    """
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    if global_batch_size < 1:
+        raise ValueError("global_batch_size must be >= 1")
+    strat = get_strategy(strategy)
+    is_1d = strategy == "tp1d"
+
+    for n1, n2, np_, nd in factorizations(n_gpus, 4):
+        if is_1d and n2 != 1:
+            continue
+        if space.power_of_two_only and not all(
+            x & (x - 1) == 0 for x in (n1, n2, np_, nd)
+        ):
+            continue
+        if space.max_tensor_parallel is not None and n1 * n2 > space.max_tensor_parallel:
+            continue
+        if model.depth % np_ != 0:
+            continue
+        if global_batch_size % nd != 0:
+            continue
+        local_batch = global_batch_size // nd
+        bms = microbatch_candidates(local_batch, space)
+        if not bms:
+            continue
+
+        panel_options: Sequence[int]
+        if strategy == "summa":
+            panel_options = tuple(
+                nb for nb in space.summa_panels if model.embed_dim % nb == 0
+            ) or (1,)
+        else:
+            panel_options = (1,)
+
+        for bm in bms:
+            for nb in panel_options:
+                config = ParallelConfig(
+                    strategy=strategy,
+                    tensor_parallel_1=n1,
+                    tensor_parallel_2=n2,
+                    pipeline_parallel=np_,
+                    data_parallel=nd,
+                    microbatch_size=bm,
+                    summa_panels=nb,
+                )
+                if strat.validate_config(model, config) is None:
+                    yield config
+
+
+def default_assignment(config: ParallelConfig, nvs_domain_size: int) -> GpuAssignment:
+    """Fill the NVS domain greedily in (tp1, tp2, pp, dp) priority order.
+
+    This mimics the common practice (and Megatron's default rank ordering)
+    of packing the tensor-parallel group onto NVLink first; it is the
+    baseline against which the assignment *search* shows its benefit.
+    """
+    remaining = max(1, nvs_domain_size)
+    values = []
+    for size in (
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.pipeline_parallel,
+        config.data_parallel,
+    ):
+        use = 1
+        for d in divisors(size):
+            if d <= remaining:
+                use = d
+            else:
+                break
+        values.append(use)
+        remaining //= use
+        remaining = max(1, remaining)
+    return GpuAssignment(*values)
+
+
+def gpu_assignments(
+    config: ParallelConfig,
+    nvs_domain_size: int,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> List[GpuAssignment]:
+    """Enumerate NVSwitch-domain assignments for ``config``.
+
+    The paper decomposes the (effective) NVS domain size into
+    ``nNVS1 * nNVS2 * nNVSp * nNVSd`` with each factor dividing its group.
+    When the GPU count (or the group structure) cannot fill the whole domain
+    we fall back to the largest product that can be formed.
+    """
+    if not space.search_gpu_assignment:
+        return [default_assignment(config, nvs_domain_size)]
+
+    group_sizes = (
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.pipeline_parallel,
+        config.data_parallel,
+    )
+    effective = min(nvs_domain_size, config.total_gpus)
+    targets = sorted((d for d in divisors(effective)), reverse=True)
+    for target in targets:
+        found: List[GpuAssignment] = []
+        for factors in factorizations(target, 4):
+            ok = all(
+                group_sizes[i] % factors[i] == 0 and factors[i] <= group_sizes[i]
+                for i in range(4)
+            )
+            if ok:
+                found.append(GpuAssignment(*factors))
+        if found:
+            return found
+    return [GpuAssignment()]
+
+
+def count_configurations(
+    model: TransformerConfig,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    nvs_domain_size: int,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> Tuple[int, int]:
+    """Return (#parallel configs, #total candidates incl. assignments).
+
+    Useful for reporting how large the searched design space is.
+    """
+    n_configs = 0
+    n_total = 0
+    for config in parallel_configs(model, n_gpus, global_batch_size, strategy, space):
+        n_configs += 1
+        n_total += len(gpu_assignments(config, nvs_domain_size, space))
+    return n_configs, n_total

@@ -1,0 +1,519 @@
+"""Iteration-time assembly: turn counts into an end-to-end time estimate.
+
+This module combines every other piece of the performance model:
+
+* the tensor-parallel strategy's per-layer workload (compute ops, exposed
+  collectives, SUMMA matmuls, activation/parameter shares);
+* the roofline compute-time model;
+* the dual-network collective-time model with the configuration's NVSwitch
+  assignment;
+* the 1F1B pipeline schedule (steady state + bubbles + P2P);
+* the data-parallel gradient synchronisation with its overlap rules;
+* the HBM memory model for the feasibility check.
+
+The result is an :class:`IterationEstimate` with the total time of one
+training iteration (one forward+backward pass over the global batch), a
+breakdown into the same categories the paper's figures use (Compute, Memory,
+TP Comm, PP Bubble, PP Comm, DP Comm) and the per-GPU memory footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.collectives import GroupPlacement, collective_time, point_to_point_time
+from repro.core.memory import MemoryEstimate, estimate_memory
+from repro.core.model import TransformerConfig
+from repro.core.operations import CommOp
+from repro.core.parallelism.base import (
+    GROUP_PP,
+    GpuAssignment,
+    LayerWorkload,
+    ParallelConfig,
+    SummaMatmul,
+    get_strategy,
+)
+from repro.core.parallelism.data_parallel import data_parallel_plan
+from repro.core.parallelism.pipeline import (
+    layers_per_stage,
+    pipeline_bubble_time,
+    pipeline_p2p_volume_bytes,
+)
+from repro.core.roofline import ops_time
+from repro.core.system import GpuSpec, SystemSpec
+
+
+@dataclass(frozen=True)
+class ModelingOptions:
+    """Optional modeling knobs (paper defaults unless noted)."""
+
+    #: Use the fused FlashAttention Logit-Attend (recompute in backward).
+    flash_attention: bool = True
+    #: Model dropout layers explicitly (the paper omits them for brevity).
+    include_dropout: bool = False
+    #: Shard the Adam optimizer states over the DP group (ZeRO-1).
+    zero_optimizer: bool = True
+    #: Overlap the DP gradient ReduceScatter / weight AllGather with the
+    #: backward/forward pass of the last/first microbatch.
+    overlap_dp: bool = True
+    #: Overlap the pipeline P2P transfers with compute (the paper assumes
+    #: they are exposed but small).
+    overlap_pp: bool = False
+    #: Include the per-kernel FLOP latency term of the roofline model.
+    include_flop_latency: bool = True
+    #: Full activation checkpointing: retain only each block's input and
+    #: recompute the block during the backward pass (adds one forward's worth
+    #: of compute and TP communication to the backward pass).  The paper does
+    #: not model this explicitly; it is required to fit the long-sequence ViT
+    #: on capacity-limited GPUs (A100) as its Fig. 5b implies.
+    activation_checkpointing: bool = False
+
+
+DEFAULT_OPTIONS = ModelingOptions()
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-iteration time split into the paper's reporting categories."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    tp_comm: float = 0.0
+    pp_bubble: float = 0.0
+    pp_comm: float = 0.0
+    dp_comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total iteration time (sum of all categories)."""
+        return (
+            self.compute
+            + self.memory
+            + self.tp_comm
+            + self.pp_bubble
+            + self.pp_comm
+            + self.dp_comm
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view (seconds per category)."""
+        return {
+            "compute": self.compute,
+            "memory": self.memory,
+            "tp_comm": self.tp_comm,
+            "pp_bubble": self.pp_bubble,
+            "pp_comm": self.pp_comm,
+            "dp_comm": self.dp_comm,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Category shares of the total (0..1), as in the paper's bar charts."""
+        total = self.total
+        if total <= 0:
+            return {key: 0.0 for key in self.as_dict()}
+        return {key: value / total for key, value in self.as_dict().items()}
+
+
+@dataclass(frozen=True)
+class IterationEstimate:
+    """Result of evaluating one configuration on one system."""
+
+    model_name: str
+    system_name: str
+    config: ParallelConfig
+    assignment: GpuAssignment
+    global_batch_size: int
+    num_microbatches: int
+    breakdown: TimeBreakdown
+    memory: MemoryEstimate
+    feasible: bool
+    infeasible_reason: Optional[str] = None
+
+    @property
+    def total_time(self) -> float:
+        """Time of one training iteration in seconds."""
+        return self.breakdown.total
+
+    @property
+    def memory_gb(self) -> float:
+        """Per-GPU HBM footprint in GB."""
+        return self.memory.total_gb
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by reports, JSON dumps and the CLI."""
+        out: Dict[str, object] = {
+            "model": self.model_name,
+            "system": self.system_name,
+            "config": self.config.describe(),
+            "assignment": self.assignment.as_tuple(),
+            "total_time_s": self.total_time,
+            "memory_gb": self.memory_gb,
+            "num_microbatches": self.num_microbatches,
+            "feasible": self.feasible,
+        }
+        out.update({f"t_{k}": v for k, v in self.breakdown.as_dict().items()})
+        return out
+
+
+# ----------------------------------------------------------------------
+# Cached, assignment-independent pieces
+# ----------------------------------------------------------------------
+
+#: Per-SUMMA-matmul record used by the assignment-dependent comm evaluation:
+#: (activation bytes, activation group, weight bytes, weight group,
+#:  panel compute time, inner dim)
+_SummaRecord = Tuple[float, str, float, str, float, int]
+
+
+@dataclass(frozen=True)
+class _StageTimes:
+    """Assignment-independent per-layer times and volumes."""
+
+    fwd_flop: float
+    fwd_mem_exposed: float
+    bwd_flop: float
+    bwd_mem_exposed: float
+    fwd_comms: Tuple[CommOp, ...]
+    bwd_comms: Tuple[CommOp, ...]
+    fwd_summa: Tuple[_SummaRecord, ...]
+    bwd_summa: Tuple[_SummaRecord, ...]
+
+
+@lru_cache(maxsize=8192)
+def _cached_workload(
+    strategy_name: str,
+    model: TransformerConfig,
+    microbatch_size: int,
+    n1: int,
+    n2: int,
+    summa_panels: int,
+    flash_attention: bool,
+    include_dropout: bool,
+) -> LayerWorkload:
+    """Build (and cache) the per-layer workload for a TP configuration.
+
+    The workload does not depend on the pipeline or data-parallel degrees,
+    so those are fixed to 1 here; the caller re-applies its own config for
+    everything else.
+    """
+    probe = ParallelConfig(
+        strategy=strategy_name,
+        tensor_parallel_1=n1,
+        tensor_parallel_2=n2,
+        pipeline_parallel=1,
+        data_parallel=1,
+        microbatch_size=microbatch_size,
+        summa_panels=summa_panels,
+    )
+    strategy = get_strategy(strategy_name)
+    return strategy.layer_workload(
+        model, probe, flash_attention=flash_attention, include_dropout=include_dropout
+    )
+
+
+def _summa_records(
+    matmuls: Tuple[SummaMatmul, ...] | List[SummaMatmul],
+    gpu: GpuSpec,
+    summa_panels: int,
+    include_latency: bool,
+) -> Tuple[_SummaRecord, ...]:
+    """Precompute per-panel compute times of SUMMA matmuls."""
+    records = []
+    for matmul in matmuls:
+        nb = max(1, min(summa_panels, matmul.inner_dim))
+        rate = gpu.tensor_flops
+        latency = gpu.flops_latency if include_latency else 0.0
+        flop_time = nb * latency + matmul.compute.flops / rate
+        # Each additional panel re-reads and re-writes the local accumulator
+        # block, so small panels lose matmul efficiency (Appendix A).
+        panel_bytes = matmul.compute.bytes_hbm + 2.0 * (nb - 1) * matmul.output_bytes
+        mem_time = panel_bytes / gpu.effective_hbm_bandwidth
+        panel_compute = max(flop_time, mem_time) / nb
+        records.append(
+            (
+                matmul.activation_bcast_bytes,
+                matmul.activation_group,
+                matmul.weight_bcast_bytes,
+                matmul.weight_group,
+                panel_compute,
+                nb,
+            )
+        )
+    return tuple(records)
+
+
+@lru_cache(maxsize=8192)
+def _cached_stage_times(
+    strategy_name: str,
+    model: TransformerConfig,
+    gpu: GpuSpec,
+    microbatch_size: int,
+    n1: int,
+    n2: int,
+    summa_panels: int,
+    flash_attention: bool,
+    include_dropout: bool,
+    include_flop_latency: bool,
+) -> _StageTimes:
+    """Roofline times of one layer (forward and backward), per microbatch."""
+    workload = _cached_workload(
+        strategy_name, model, microbatch_size, n1, n2, summa_panels, flash_attention, include_dropout
+    )
+    fwd = ops_time(workload.forward_ops, gpu, include_latency=include_flop_latency)
+    bwd = ops_time(workload.backward_ops, gpu, include_latency=include_flop_latency)
+
+    fwd_summa = _summa_records(tuple(workload.forward_summa), gpu, summa_panels, include_flop_latency)
+    bwd_summa = _summa_records(tuple(workload.backward_summa), gpu, summa_panels, include_flop_latency)
+
+    # SUMMA panel compute contributes to the compute/memory categories too.
+    fwd_flop = fwd.flop_time + sum(rec[4] * rec[5] for rec in fwd_summa)
+    bwd_flop = bwd.flop_time + sum(rec[4] * rec[5] for rec in bwd_summa)
+
+    return _StageTimes(
+        fwd_flop=fwd_flop,
+        fwd_mem_exposed=fwd.exposed_memory_time,
+        bwd_flop=bwd_flop,
+        bwd_mem_exposed=bwd.exposed_memory_time,
+        fwd_comms=tuple(workload.forward_comms),
+        bwd_comms=tuple(workload.backward_comms),
+        fwd_summa=fwd_summa,
+        bwd_summa=bwd_summa,
+    )
+
+
+def clear_caches() -> None:
+    """Drop all memoized workloads/times (used by tests and sweeps)."""
+    _cached_workload.cache_clear()
+    _cached_stage_times.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Assignment-dependent evaluation
+# ----------------------------------------------------------------------
+
+def _group_placement(
+    group: str, config: ParallelConfig, assignment: GpuAssignment
+) -> GroupPlacement:
+    """Placement of the named parallel group under ``assignment``."""
+    return GroupPlacement(
+        size=config.group_size(group),
+        gpus_per_nvs_domain=assignment.for_group(group),
+    )
+
+
+def _comm_time(
+    comms: Tuple[CommOp, ...],
+    config: ParallelConfig,
+    assignment: GpuAssignment,
+    system: SystemSpec,
+) -> float:
+    """Total exposed time of a list of collectives."""
+    total = 0.0
+    for comm in comms:
+        if comm.overlapped:
+            continue
+        placement = _group_placement(comm.group, config, assignment)
+        total += collective_time(comm.collective, comm.volume_bytes, placement, system.network)
+    return total
+
+
+def _summa_comm_time(
+    records: Tuple[_SummaRecord, ...],
+    config: ParallelConfig,
+    assignment: GpuAssignment,
+    system: SystemSpec,
+) -> float:
+    """Exposed communication time of SUMMA matmuls (prologue + spill-over).
+
+    For each blocked matmul the first panel's broadcasts are fully exposed
+    (prologue); subsequent panels overlap their broadcasts with the previous
+    panel's compute and only expose the excess.
+    """
+    total = 0.0
+    for act_bytes, act_group, w_bytes, w_group, panel_compute, nb in records:
+        act_place = _group_placement(act_group, config, assignment)
+        w_place = _group_placement(w_group, config, assignment)
+        panel_act = collective_time("broadcast", act_bytes / nb, act_place, system.network)
+        panel_w = collective_time("broadcast", w_bytes / nb, w_place, system.network)
+        panel_comm = panel_act + panel_w
+        prologue = panel_comm
+        exposed_per_panel = max(0.0, panel_comm - panel_compute)
+        total += prologue + max(0, nb - 1) * exposed_per_panel
+    return total
+
+
+def evaluate_config(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    assignment: GpuAssignment | None = None,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> IterationEstimate:
+    """Estimate the iteration time and memory of one configuration.
+
+    Raises ``ValueError`` for structurally invalid configurations (bad
+    divisibility); returns an estimate flagged infeasible when the
+    configuration is valid but does not fit in HBM.
+    """
+    assignment = assignment or GpuAssignment()
+    strategy = get_strategy(config.strategy)
+    err = strategy.validate_config(model, config)
+    if err is not None:
+        raise ValueError(f"invalid configuration {config.describe()}: {err}")
+    if not assignment.is_valid_for(config, system.nvs_domain_size):
+        raise ValueError(
+            f"assignment {assignment.as_tuple()} invalid for {config.describe()} "
+            f"on NVS domain size {system.nvs_domain_size}"
+        )
+
+    num_microbatches = config.num_microbatches(global_batch_size)
+    stage_layers = layers_per_stage(model, config)
+
+    stage = _cached_stage_times(
+        config.strategy,
+        model,
+        system.gpu,
+        config.microbatch_size,
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.summa_panels,
+        options.flash_attention,
+        options.include_dropout,
+        options.include_flop_latency,
+    )
+    workload = _cached_workload(
+        config.strategy,
+        model,
+        config.microbatch_size,
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.summa_panels,
+        options.flash_attention,
+        options.include_dropout,
+    )
+
+    # --- per-microbatch, per-stage times -------------------------------
+    fwd_tp_comm = _comm_time(stage.fwd_comms, config, assignment, system) + _summa_comm_time(
+        stage.fwd_summa, config, assignment, system
+    )
+    bwd_tp_comm = _comm_time(stage.bwd_comms, config, assignment, system) + _summa_comm_time(
+        stage.bwd_summa, config, assignment, system
+    )
+
+    fwd_compute = stage.fwd_flop * stage_layers
+    fwd_memory = stage.fwd_mem_exposed * stage_layers
+    bwd_compute = stage.bwd_flop * stage_layers
+    bwd_memory = stage.bwd_mem_exposed * stage_layers
+    fwd_tp_comm *= stage_layers
+    bwd_tp_comm *= stage_layers
+
+    if options.activation_checkpointing:
+        # The backward pass first recomputes the block's forward pass
+        # (compute, memory traffic and tensor-parallel collectives).
+        bwd_compute += fwd_compute
+        bwd_memory += fwd_memory
+        bwd_tp_comm += fwd_tp_comm
+
+    tf = fwd_compute + fwd_memory + fwd_tp_comm
+    tb = bwd_compute + bwd_memory + bwd_tp_comm
+
+    m = num_microbatches
+
+    # --- pipeline -------------------------------------------------------
+    bubble = pipeline_bubble_time(config.pipeline_parallel, tf, tb)
+    pp_comm = 0.0
+    if config.pipeline_parallel > 1 and not options.overlap_pp:
+        p2p_bytes = pipeline_p2p_volume_bytes(model, config, both_directions=True)
+        placement = _group_placement(GROUP_PP, config, assignment)
+        pp_comm = m * point_to_point_time(p2p_bytes, placement, system.network)
+
+    # --- data parallel ---------------------------------------------------
+    plan = data_parallel_plan(
+        workload.params_per_gpu * stage_layers,
+        config,
+        grad_sync_group=workload.grad_sync_group,
+        overlap_with_compute=options.overlap_dp,
+    )
+    dp_comm = 0.0
+    if plan.total_bytes > 0:
+        placement = _group_placement(plan.sync_group, config, assignment)
+        rs_time = collective_time(
+            "reduce_scatter", plan.grad_reduce_scatter_bytes, placement, system.network
+        )
+        ag_time = collective_time(
+            "all_gather", plan.weight_all_gather_bytes, placement, system.network
+        )
+        if options.overlap_dp:
+            dp_comm = max(0.0, rs_time - tb) + max(0.0, ag_time - tf)
+        else:
+            dp_comm = rs_time + ag_time
+
+    breakdown = TimeBreakdown(
+        compute=m * (fwd_compute + bwd_compute),
+        memory=m * (fwd_memory + bwd_memory),
+        tp_comm=m * (fwd_tp_comm + bwd_tp_comm),
+        pp_bubble=bubble,
+        pp_comm=pp_comm,
+        dp_comm=dp_comm,
+    )
+
+    # --- memory feasibility ----------------------------------------------
+    memory = estimate_memory(
+        model,
+        config,
+        workload,
+        m,
+        zero_optimizer=options.zero_optimizer,
+        activation_checkpointing=options.activation_checkpointing,
+    )
+    feasible = memory.fits(system.gpu.hbm_capacity)
+    reason = None if feasible else (
+        f"memory {memory.total_gb:.1f} GB exceeds HBM capacity "
+        f"{system.gpu.hbm_capacity / 1e9:.1f} GB"
+    )
+
+    return IterationEstimate(
+        model_name=model.name,
+        system_name=system.name,
+        config=config,
+        assignment=assignment,
+        global_batch_size=global_batch_size,
+        num_microbatches=m,
+        breakdown=breakdown,
+        memory=memory,
+        feasible=feasible,
+        infeasible_reason=reason,
+    )
+
+
+def estimate_config_memory(
+    model: TransformerConfig,
+    config: ParallelConfig,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> MemoryEstimate:
+    """Memory-only estimate (cheap pre-filter used by the search)."""
+    workload = _cached_workload(
+        config.strategy,
+        model,
+        config.microbatch_size,
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.summa_panels,
+        options.flash_attention,
+        options.include_dropout,
+    )
+    m = config.num_microbatches(global_batch_size)
+    return estimate_memory(
+        model,
+        config,
+        workload,
+        m,
+        zero_optimizer=options.zero_optimizer,
+        activation_checkpointing=options.activation_checkpointing,
+    )

@@ -1,0 +1,130 @@
+"""HBM memory model (stage S2, "Memory Used on HBM").
+
+Under mixed-precision training each GPU holds:
+
+* FP16 weights and FP16 gradients — 2 bytes per parameter each, where the
+  parameter count per GPU follows from the tensor-parallel sharding and the
+  number of layers per pipeline stage;
+* the Adam optimizer states — 12 bytes per parameter, sharded across the
+  data-parallel group when the distributed (ZeRO-1) optimizer is used;
+* the intermediate activations retained for the backward pass — per layer
+  and per microbatch as reported by the tensor-parallel strategy (with
+  FlashAttention the ``l x l`` attention matrix is recomputed instead of
+  stored), multiplied by the number of in-flight microbatches of the 1F1B
+  schedule (``min(m, np)`` rather than ``m``);
+* small pipeline input/output buffers for the activations in flight at the
+  stage boundaries.
+
+The configuration search declares a configuration *feasible* only if this
+total fits in the GPU's HBM capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import LayerWorkload, ParallelConfig
+from repro.core.parallelism.data_parallel import (
+    GRAD_BYTES_PER_PARAM,
+    WEIGHT_BYTES_PER_PARAM,
+    optimizer_bytes_per_param,
+)
+from repro.core.parallelism.pipeline import (
+    in_flight_microbatches,
+    layers_per_stage,
+    pipeline_p2p_volume_bytes,
+)
+from repro.utils.units import GB
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-GPU HBM footprint of one configuration (all values in bytes)."""
+
+    weight_bytes: float
+    grad_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+    pipeline_buffer_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total resident bytes per GPU."""
+        return (
+            self.weight_bytes
+            + self.grad_bytes
+            + self.optimizer_bytes
+            + self.activation_bytes
+            + self.pipeline_buffer_bytes
+        )
+
+    @property
+    def total_gb(self) -> float:
+        """Total footprint in (decimal) gigabytes, as plotted by the paper."""
+        return self.total_bytes / GB
+
+    def fits(self, hbm_capacity_bytes: float) -> bool:
+        """True when the footprint fits in the given HBM capacity."""
+        return self.total_bytes <= hbm_capacity_bytes
+
+    def breakdown(self) -> dict:
+        """Dictionary view used by reports."""
+        return {
+            "weights": self.weight_bytes,
+            "grads": self.grad_bytes,
+            "optimizer": self.optimizer_bytes,
+            "activations": self.activation_bytes,
+            "pipeline_buffers": self.pipeline_buffer_bytes,
+        }
+
+
+def estimate_memory(
+    model: TransformerConfig,
+    config: ParallelConfig,
+    workload: LayerWorkload,
+    num_microbatches: int,
+    *,
+    zero_optimizer: bool = True,
+    activation_checkpointing: bool = False,
+) -> MemoryEstimate:
+    """Estimate the per-GPU HBM footprint of ``config``.
+
+    ``workload`` must be the per-layer workload produced by the strategy for
+    the same ``config`` (the activation and parameter shares are read from
+    it).  With ``activation_checkpointing`` only each block's input is
+    retained between the forward and backward pass (the block is recomputed
+    during backward), plus one block's worth of live intermediates.
+    """
+    stage_layers = layers_per_stage(model, config)
+    params_per_gpu = workload.params_per_gpu * stage_layers
+
+    weight_bytes = WEIGHT_BYTES_PER_PARAM * params_per_gpu
+    grad_bytes = GRAD_BYTES_PER_PARAM * params_per_gpu
+    optimizer_bytes = (
+        optimizer_bytes_per_param(config.data_parallel, zero_sharded=zero_optimizer)
+        * params_per_gpu
+    )
+
+    in_flight = in_flight_microbatches(config.pipeline_parallel, num_microbatches)
+    if activation_checkpointing:
+        retained = workload.block_input_elements * stage_layers * in_flight
+        # One block's intermediates are live while it is being recomputed.
+        working_set = workload.activation_elements
+        activation_bytes = (retained + working_set) * model.dtype_bytes
+    else:
+        activation_bytes = (
+            workload.activation_elements * model.dtype_bytes * stage_layers * in_flight
+        )
+
+    pipeline_buffer_bytes = (
+        pipeline_p2p_volume_bytes(model, config, both_directions=False) * in_flight
+    )
+
+    return MemoryEstimate(
+        weight_bytes=weight_bytes,
+        grad_bytes=grad_bytes,
+        optimizer_bytes=optimizer_bytes,
+        activation_bytes=activation_bytes,
+        pipeline_buffer_bytes=pipeline_buffer_bytes,
+    )

@@ -1,0 +1,229 @@
+"""Transformer architecture descriptions.
+
+The performance model needs only the coarse architectural hyper-parameters
+of the transformer (§III of the paper): batch size ``b``, sequence length
+``l``, embedding dimension ``e``, hidden (MLP) dimension ``f`` (typically
+``4e``), number of attention heads ``h`` and depth ``d``.
+
+Two model classes are studied in the paper:
+
+* ``GPT3-1T`` — a 1-trillion-parameter LLM with a short sequence
+  (``l=2048, e=25600, h=160, d=128``), representative of foundation LLM
+  pre-training, with an MLP:attention FLOP ratio of roughly 2x.
+* ``VIT`` — a long-sequence vision transformer
+  (``l=64800, e=12288, h=64, d=48``) representative of scientific foundation
+  models (e.g. ERA5 weather models at 720x1440 resolution with patch size 4),
+  with an MLP:attention FLOP ratio of roughly 0.5x.
+
+Additional presets cover the models used in the paper's empirical-validation
+section (GPT3-175B and a 32K-sequence ViT trained on 512 A100 GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architectural description of a (pre-LN) transformer.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    seq_len:
+        Sequence length ``l`` (tokens for NLP, patches/pixels for vision).
+    embed_dim:
+        Embedding dimension ``e``.
+    num_heads:
+        Number of attention heads ``h`` (must divide ``embed_dim``).
+    depth:
+        Number of transformer blocks ``d``.
+    hidden_dim:
+        MLP hidden dimension ``f``; defaults to ``4 * embed_dim``.
+    vocab_size:
+        Vocabulary size for the (optional) embedding/unembedding layers.  The
+        paper's model ignores the embedding cost (negligible at these scales)
+        so it defaults to 0 and only contributes to the parameter count when
+        explicitly set.
+    dtype_bytes:
+        Bytes per element of activations/weights (2 for FP16/BF16 mixed
+        precision, which the paper assumes throughout).
+    """
+
+    name: str
+    seq_len: int
+    embed_dim: int
+    num_heads: int
+    depth: int
+    hidden_dim: int = 0
+    vocab_size: int = 0
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim == 0:
+            object.__setattr__(self, "hidden_dim", 4 * self.embed_dim)
+        if self.seq_len <= 0 or self.embed_dim <= 0 or self.depth <= 0:
+            raise ValueError("seq_len, embed_dim and depth must be positive")
+        if self.num_heads <= 0 or self.embed_dim % self.num_heads != 0:
+            raise ValueError(
+                f"num_heads ({self.num_heads}) must divide embed_dim ({self.embed_dim})"
+            )
+        if self.dtype_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported dtype_bytes {self.dtype_bytes}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``e_h = e / h``."""
+        return self.embed_dim // self.num_heads
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        """Parameters of the self-attention block (W_Q, W_K, W_V, W_p + biases)."""
+        e = self.embed_dim
+        return 4 * e * e + 4 * e
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        """Parameters of the MLP block (W_1, W_2 + biases)."""
+        e, f = self.embed_dim, self.hidden_dim
+        return 2 * e * f + f + e
+
+    @property
+    def layernorm_params_per_layer(self) -> int:
+        """Parameters of the two LayerNorms (scale + shift each)."""
+        return 4 * self.embed_dim
+
+    @property
+    def params_per_layer(self) -> int:
+        """Total parameters in one transformer block."""
+        return (
+            self.attention_params_per_layer
+            + self.mlp_params_per_layer
+            + self.layernorm_params_per_layer
+        )
+
+    @property
+    def embedding_params(self) -> int:
+        """Parameters in the token-embedding table (0 unless ``vocab_size`` set)."""
+        return self.vocab_size * self.embed_dim
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count of the model."""
+        return self.depth * self.params_per_layer + self.embedding_params
+
+    # ------------------------------------------------------------------
+    # FLOP accounting at the model level (per token / per sample)
+    # ------------------------------------------------------------------
+    def attention_flops_per_layer(self, batch: int = 1) -> float:
+        """Forward FLOPs of one self-attention block for ``batch`` samples.
+
+        Includes the four projections (QKV + output) and the two
+        activation-activation matmuls of Logit-Attend.
+        """
+        b, l, e = batch, self.seq_len, self.embed_dim
+        proj = 4 * (2.0 * b * l * e * e)
+        logit_attend = 2 * (2.0 * b * l * l * e)
+        return proj + logit_attend
+
+    def mlp_flops_per_layer(self, batch: int = 1) -> float:
+        """Forward FLOPs of one MLP block for ``batch`` samples."""
+        b, l, e, f = batch, self.seq_len, self.embed_dim, self.hidden_dim
+        return 2 * (2.0 * b * l * e * f)
+
+    def flops_per_layer(self, batch: int = 1) -> float:
+        """Forward FLOPs of one full transformer block."""
+        return self.attention_flops_per_layer(batch) + self.mlp_flops_per_layer(batch)
+
+    def forward_flops(self, batch: int = 1) -> float:
+        """Forward FLOPs of the whole model for ``batch`` samples."""
+        return self.depth * self.flops_per_layer(batch)
+
+    def mlp_to_attention_flop_ratio(self) -> float:
+        """FLOP ratio of MLP to self-attention (≈2 for GPT3-1T, ≈0.5 for VIT)."""
+        return self.mlp_flops_per_layer() / self.attention_flops_per_layer()
+
+    def tokens_per_sample(self) -> int:
+        """Sequence elements processed per sample (= ``seq_len``)."""
+        return self.seq_len
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def scaled(self, **overrides) -> "TransformerConfig":
+        """Return a copy of the config with fields replaced (keyword only)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> Dict[str, float]:
+        """Summary dictionary used by reports and the CLI."""
+        return {
+            "name": self.name,
+            "seq_len": self.seq_len,
+            "embed_dim": self.embed_dim,
+            "hidden_dim": self.hidden_dim,
+            "num_heads": self.num_heads,
+            "head_dim": self.head_dim,
+            "depth": self.depth,
+            "params_total": self.total_params,
+            "params_per_layer": self.params_per_layer,
+            "mlp_to_attention_flops": self.mlp_to_attention_flop_ratio(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Presets studied in the paper (§III-B and §IV Empirical Validation)
+# ----------------------------------------------------------------------
+
+#: 1-trillion-parameter GPT-3 style LLM (paper's LLM foundation model).
+GPT3_1T = TransformerConfig(
+    name="GPT3-1T", seq_len=2048, embed_dim=25600, num_heads=160, depth=128
+)
+
+#: Long-sequence vision transformer (paper's SciML foundation model): ERA5
+#: 720x1440 grid, patch size 4 -> 180*360 = 64800 patches.
+VIT_LONG_SEQ = TransformerConfig(
+    name="VIT", seq_len=64800, embed_dim=12288, num_heads=64, depth=48
+)
+
+#: GPT3-175B used for the paper's Megatron-LM validation runs on Perlmutter.
+GPT3_175B = TransformerConfig(
+    name="GPT3-175B", seq_len=2048, embed_dim=12288, num_heads=96, depth=96
+)
+
+#: 32K-sequence ViT used for the paper's Megatron-LM validation runs.  The
+#: paper does not publish the exact width/depth of this validation model; we
+#: use a ViT sized to fit comfortably on 512 A100 GPUs with the reported
+#: parallelization (n1, n2, np, nd, bm) = (2, 4, 4, 16, 1).  This choice is
+#: documented in DESIGN.md as a substitution.
+VIT_32K = TransformerConfig(
+    name="VIT-32K", seq_len=32400, embed_dim=6144, num_heads=48, depth=24
+)
+
+#: Registry of named model presets.
+MODEL_CATALOG: Dict[str, TransformerConfig] = {
+    "gpt3-1t": GPT3_1T,
+    "vit": VIT_LONG_SEQ,
+    "vit-long": VIT_LONG_SEQ,
+    "gpt3-175b": GPT3_175B,
+    "vit-32k": VIT_32K,
+}
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Look up a model preset by (case-insensitive) name.
+
+    >>> get_model("GPT3-1T").depth
+    128
+    """
+    key = name.strip().lower()
+    if key not in MODEL_CATALOG:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CATALOG)}"
+        )
+    return MODEL_CATALOG[key]

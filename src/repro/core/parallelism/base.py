@@ -1,0 +1,329 @@
+"""Shared data structures of the parallelization strategies.
+
+A *configuration* in the paper's sense is the tuple
+
+    (b_m, n1, n2, n_p, n_d)  +  (nNVS_1, nNVS_2, nNVS_p, nNVS_d)  [+ n_b]
+
+i.e. a microbatch size, a 4D decomposition of the GPU grid into the two
+tensor-parallel dimensions, the pipeline-parallel dimension and the
+data-parallel dimension, an assignment of each group onto the NVSwitch
+domain, and (for SUMMA) the number of panels of the blocked matrix
+multiplies.  These are captured by :class:`ParallelConfig` and
+:class:`GpuAssignment`.
+
+A strategy's job is to produce a :class:`LayerWorkload`: the device-local
+compute ops, the collectives (with per-GPU volumes and owning groups), the
+activation footprint that must be retained for the backward pass, and the
+per-GPU share of the layer's parameters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import TransformerConfig
+from repro.core.operations import CommOp, ComputeOp
+
+#: Parallel-group labels used throughout the model.
+GROUP_TP1 = "tp1"
+GROUP_TP2 = "tp2"
+GROUP_DP = "dp"
+GROUP_PP = "pp"
+#: Weight-gradient synchronisation group for 2D TP: the weights are shared
+#: across the n2 dimension, so their gradients reduce over nd x n2.
+GROUP_DP_TP2 = "dp+tp2"
+
+PARALLEL_GROUPS = (GROUP_TP1, GROUP_TP2, GROUP_PP, GROUP_DP)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One point of the parallelization design space.
+
+    ``tensor_parallel_1 * tensor_parallel_2 * pipeline_parallel *
+    data_parallel`` must equal the total GPU count the configuration is
+    evaluated on.  ``microbatch_size`` is the per-model-replica microbatch
+    (the paper's ``b_m``); the number of microbatches ``m`` follows from the
+    global batch size: ``m = b / (n_d * b_m)``.
+    """
+
+    strategy: str
+    tensor_parallel_1: int
+    tensor_parallel_2: int
+    pipeline_parallel: int
+    data_parallel: int
+    microbatch_size: int
+    #: Number of SUMMA panels (ignored by non-SUMMA strategies).
+    summa_panels: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tensor_parallel_1",
+            "tensor_parallel_2",
+            "pipeline_parallel",
+            "data_parallel",
+            "microbatch_size",
+            "summa_panels",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def tensor_parallel(self) -> int:
+        """Total tensor-parallel degree ``n_t = n1 * n2``."""
+        return self.tensor_parallel_1 * self.tensor_parallel_2
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPUs used by the configuration."""
+        return (
+            self.tensor_parallel_1
+            * self.tensor_parallel_2
+            * self.pipeline_parallel
+            * self.data_parallel
+        )
+
+    def num_microbatches(self, global_batch_size: int) -> int:
+        """Number of microbatches ``m`` for the given global batch size."""
+        per_replica = global_batch_size // self.data_parallel
+        if per_replica * self.data_parallel != global_batch_size:
+            raise ValueError("data_parallel must divide the global batch size")
+        if per_replica % self.microbatch_size != 0:
+            raise ValueError("microbatch_size must divide the per-replica batch")
+        return per_replica // self.microbatch_size
+
+    def group_size(self, group: str) -> int:
+        """Size of the named parallel group."""
+        return {
+            GROUP_TP1: self.tensor_parallel_1,
+            GROUP_TP2: self.tensor_parallel_2,
+            GROUP_PP: self.pipeline_parallel,
+            GROUP_DP: self.data_parallel,
+            GROUP_DP_TP2: self.data_parallel * self.tensor_parallel_2,
+            "tp": self.tensor_parallel,
+        }[group]
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """``(bm, n1, n2, np, nd)`` — convenient for reports and tests."""
+        return (
+            self.microbatch_size,
+            self.tensor_parallel_1,
+            self.tensor_parallel_2,
+            self.pipeline_parallel,
+            self.data_parallel,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``tp1d[bm=1,n1=8,np=64,nd=32]``."""
+        return (
+            f"{self.strategy}[bm={self.microbatch_size},n1={self.tensor_parallel_1},"
+            f"n2={self.tensor_parallel_2},np={self.pipeline_parallel},"
+            f"nd={self.data_parallel}"
+            + (f",nb={self.summa_panels}" if self.summa_panels > 1 else "")
+            + "]"
+        )
+
+
+@dataclass(frozen=True)
+class GpuAssignment:
+    """Assignment of each parallel group onto the NVSwitch domain.
+
+    ``nvs_tp1`` is the paper's ``nNVS_1``: how many GPUs of the ``n1`` group
+    share a fast domain, and so on.  The product of the four numbers cannot
+    exceed the machine's NVS domain size, and each must divide its group.
+    """
+
+    nvs_tp1: int = 1
+    nvs_tp2: int = 1
+    nvs_pp: int = 1
+    nvs_dp: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("nvs_tp1", "nvs_tp2", "nvs_pp", "nvs_dp"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def total(self) -> int:
+        """GPUs per NVS domain consumed by this assignment."""
+        return self.nvs_tp1 * self.nvs_tp2 * self.nvs_pp * self.nvs_dp
+
+    def for_group(self, group: str) -> int:
+        """GPUs of the named group co-located in one NVS domain."""
+        if group == GROUP_TP1:
+            return self.nvs_tp1
+        if group == GROUP_TP2:
+            return self.nvs_tp2
+        if group == GROUP_PP:
+            return self.nvs_pp
+        if group == GROUP_DP:
+            return self.nvs_dp
+        if group == GROUP_DP_TP2:
+            return self.nvs_dp * self.nvs_tp2
+        if group == "tp":
+            return self.nvs_tp1 * self.nvs_tp2
+        raise KeyError(f"unknown group {group!r}")
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """``(nNVS1, nNVS2, nNVSp, nNVSd)``."""
+        return (self.nvs_tp1, self.nvs_tp2, self.nvs_pp, self.nvs_dp)
+
+    def is_valid_for(self, config: ParallelConfig, nvs_domain_size: int) -> bool:
+        """Check divisibility against ``config`` and the NVS domain size."""
+        if self.total > nvs_domain_size:
+            return False
+        return (
+            config.tensor_parallel_1 % self.nvs_tp1 == 0
+            and config.tensor_parallel_2 % self.nvs_tp2 == 0
+            and config.pipeline_parallel % self.nvs_pp == 0
+            and config.data_parallel % self.nvs_dp == 0
+        )
+
+
+@dataclass(frozen=True)
+class SummaMatmul:
+    """A blocked (SUMMA) matrix multiply with overlappable panel broadcasts.
+
+    The compute op covers the *full* matmul; at evaluation time the execution
+    model splits it into ``nb`` panels, charges one FLOP-latency per panel,
+    overlaps the panel broadcasts with the panel compute and exposes only the
+    prologue plus whatever communication exceeds the compute of each panel
+    (Appendix A of the paper).
+    """
+
+    name: str
+    compute: ComputeOp
+    #: Per-GPU broadcast volume of the activation panels (bytes) and the
+    #: group performing it.
+    activation_bcast_bytes: float
+    activation_group: str
+    #: Per-GPU broadcast volume of the weight panels (bytes) and its group.
+    weight_bcast_bytes: float
+    weight_group: str
+    #: Inner (contraction) dimension — panel counts must divide it.
+    inner_dim: int
+    #: Bytes of the output block ``C_ij`` held by one GPU; with ``nb`` panels
+    #: the accumulator is re-read and re-written every panel step, which adds
+    #: ``2 * (nb - 1) * output_bytes`` of HBM traffic (the efficiency loss of
+    #: small panels the paper mentions in Appendix A).
+    output_bytes: float = 0.0
+    #: True for the backward-pass transposed multiplies, which use a
+    #: Broadcast + Reduce instead of two Broadcasts (same volumes).
+    transposed: bool = False
+
+
+@dataclass
+class LayerWorkload:
+    """Everything the execution model needs to know about one transformer block.
+
+    All quantities are *per GPU* and *per microbatch* unless stated otherwise.
+    """
+
+    #: Device-local forward compute ops.
+    forward_ops: List[ComputeOp] = field(default_factory=list)
+    #: Forward collectives (exposed unless marked overlapped).
+    forward_comms: List[CommOp] = field(default_factory=list)
+    #: Device-local backward compute ops.
+    backward_ops: List[ComputeOp] = field(default_factory=list)
+    #: Backward collectives.
+    backward_comms: List[CommOp] = field(default_factory=list)
+    #: SUMMA matmuls of the forward pass (empty for non-SUMMA strategies).
+    forward_summa: List[SummaMatmul] = field(default_factory=list)
+    #: SUMMA matmuls of the backward pass.
+    backward_summa: List[SummaMatmul] = field(default_factory=list)
+    #: Activation elements (not bytes) retained per microbatch for backward.
+    activation_elements: float = 0.0
+    #: Elements of the block's *input* tensor per GPU — the only activation
+    #: retained when full activation checkpointing (recompute) is enabled.
+    block_input_elements: float = 0.0
+    #: Parameters of this layer resident on one GPU (sharded weights plus the
+    #: replicated LayerNorm/bias parameters).
+    params_per_gpu: float = 0.0
+    #: Parameters whose gradients synchronise over the plain DP group.
+    dp_synced_params: float = 0.0
+    #: Group over which weight gradients are synchronised ("dp" or "dp+tp2").
+    grad_sync_group: str = GROUP_DP
+
+    def total_forward_flops(self) -> float:
+        """Forward FLOPs of this layer per microbatch (including SUMMA ops)."""
+        return sum(op.flops for op in self.forward_ops) + sum(
+            s.compute.flops for s in self.forward_summa
+        )
+
+    def total_backward_flops(self) -> float:
+        """Backward FLOPs of this layer per microbatch."""
+        return sum(op.flops for op in self.backward_ops) + sum(
+            s.compute.flops for s in self.backward_summa
+        )
+
+    def comm_volume_by_group(self) -> Dict[str, float]:
+        """Aggregate exposed per-GPU communication bytes by group (fwd+bwd)."""
+        volumes: Dict[str, float] = {}
+        for comm in list(self.forward_comms) + list(self.backward_comms):
+            volumes[comm.group] = volumes.get(comm.group, 0.0) + comm.volume_bytes
+        for summa in list(self.forward_summa) + list(self.backward_summa):
+            volumes[summa.activation_group] = (
+                volumes.get(summa.activation_group, 0.0) + summa.activation_bcast_bytes
+            )
+            volumes[summa.weight_group] = (
+                volumes.get(summa.weight_group, 0.0) + summa.weight_bcast_bytes
+            )
+        return volumes
+
+
+class TensorParallelStrategy(ABC):
+    """Interface of a tensor-parallel partitioning strategy."""
+
+    #: Registry key, e.g. ``"tp1d"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """Return ``None`` if the configuration is admissible, else a reason string."""
+
+    @abstractmethod
+    def layer_workload(
+        self,
+        model: TransformerConfig,
+        config: ParallelConfig,
+        *,
+        flash_attention: bool = True,
+        include_dropout: bool = False,
+    ) -> LayerWorkload:
+        """Build the per-layer workload for ``config.microbatch_size`` samples."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_divisible(value: int, by: int, what: str) -> Optional[str]:
+        if by <= 0:
+            return f"{what}: divisor must be positive"
+        if value % by != 0:
+            return f"{what}: {by} does not divide {value}"
+        return None
+
+
+#: Registry of strategy instances keyed by their public name.
+STRATEGY_REGISTRY: Dict[str, TensorParallelStrategy] = {}
+
+
+def register_strategy(strategy: TensorParallelStrategy) -> TensorParallelStrategy:
+    """Register a strategy instance so it can be looked up by name."""
+    STRATEGY_REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> TensorParallelStrategy:
+    """Look up a registered strategy by name (``tp1d``, ``tp2d``, ``summa``)."""
+    key = name.strip().lower()
+    if key not in STRATEGY_REGISTRY:
+        raise KeyError(f"unknown strategy {name!r}; available: {sorted(STRATEGY_REGISTRY)}")
+    return STRATEGY_REGISTRY[key]
+
+
+def available_strategies() -> Sequence[str]:
+    """Names of all registered strategies."""
+    return tuple(sorted(STRATEGY_REGISTRY))

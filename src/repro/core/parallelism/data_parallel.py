@@ -1,0 +1,106 @@
+"""Data parallelism and optimizer-state partitioning (ZeRO stage 1).
+
+The global batch is split across ``nd`` data-parallel replicas.  With the
+distributed (ZeRO-1) optimizer the Adam states are sharded across the DP
+group, so the per-parameter memory is ``2 (weights) + 2 (grads) + 12 / nd``
+bytes under mixed-precision training.
+
+Gradient synchronisation is a ReduceScatter of the FP16 gradients followed
+(after the optimizer step) by an AllGather of the updated FP16 weights.  The
+paper assumes gradient accumulation across microbatches (no per-microbatch
+communication), the ReduceScatter overlapped with the backward pass of the
+last microbatch, and the AllGather overlapped with the forward pass of the
+first microbatch after the pipeline flush.  For 2D tensor parallelism the
+weight gradients additionally reduce over the ``n2`` group, scheduled with
+the same collectives, so the group becomes ``nd x n2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parallelism.base import GROUP_DP, GROUP_DP_TP2, ParallelConfig
+
+
+#: Bytes per parameter for FP16 weights and FP16 gradients.
+WEIGHT_BYTES_PER_PARAM = 2.0
+GRAD_BYTES_PER_PARAM = 2.0
+#: Bytes per parameter of the mixed-precision Adam optimizer states
+#: (FP32 master weights + FP32 momentum + FP32 variance).
+OPTIMIZER_BYTES_PER_PARAM = 12.0
+
+
+def optimizer_bytes_per_param(data_parallel: int, *, zero_sharded: bool = True) -> float:
+    """Optimizer-state bytes per parameter on one GPU.
+
+    With ZeRO-1 the 12 bytes/parameter of Adam state are sharded across the
+    ``nd`` data-parallel GPUs; without sharding every replica holds the full
+    state.
+    """
+    if data_parallel < 1:
+        raise ValueError("data_parallel must be >= 1")
+    if zero_sharded:
+        return OPTIMIZER_BYTES_PER_PARAM / data_parallel
+    return OPTIMIZER_BYTES_PER_PARAM
+
+
+@dataclass(frozen=True)
+class DataParallelPlan:
+    """Gradient/weight synchronisation plan for one training iteration."""
+
+    #: Parameters held per GPU whose gradients must be synchronised.
+    params_per_gpu: float
+    #: Group performing the gradient ReduceScatter / weight AllGather.
+    sync_group: str
+    #: Per-GPU ReduceScatter volume (bytes) of the FP16 gradients.
+    grad_reduce_scatter_bytes: float
+    #: Per-GPU AllGather volume (bytes) of the updated FP16 weights.
+    weight_all_gather_bytes: float
+    #: Whether the collectives are (attempted to be) overlapped with compute.
+    overlap_with_compute: bool = True
+
+    @property
+    def total_bytes(self) -> float:
+        """Total per-GPU DP communication volume per iteration."""
+        return self.grad_reduce_scatter_bytes + self.weight_all_gather_bytes
+
+
+def data_parallel_plan(
+    params_per_gpu: float,
+    config: ParallelConfig,
+    *,
+    grad_sync_group: str = GROUP_DP,
+    overlap_with_compute: bool = True,
+) -> DataParallelPlan:
+    """Build the DP synchronisation plan for ``params_per_gpu`` parameters.
+
+    ``grad_sync_group`` comes from the tensor-parallel strategy: plain DP for
+    1D TP and SUMMA, ``nd x n2`` for 2D TP (whose weights are replicated
+    across ``n2``).
+    """
+    if params_per_gpu < 0:
+        raise ValueError("params_per_gpu must be non-negative")
+    if grad_sync_group not in (GROUP_DP, GROUP_DP_TP2):
+        raise ValueError(f"unsupported gradient sync group {grad_sync_group!r}")
+
+    group_size = config.group_size(grad_sync_group)
+    if group_size <= 1:
+        # Nothing to synchronise: a single replica owns the weights (and the
+        # paper's model has no DP communication in that case).
+        return DataParallelPlan(
+            params_per_gpu=params_per_gpu,
+            sync_group=grad_sync_group,
+            grad_reduce_scatter_bytes=0.0,
+            weight_all_gather_bytes=0.0,
+            overlap_with_compute=overlap_with_compute,
+        )
+
+    grad_bytes = GRAD_BYTES_PER_PARAM * params_per_gpu
+    weight_bytes = WEIGHT_BYTES_PER_PARAM * params_per_gpu
+    return DataParallelPlan(
+        params_per_gpu=params_per_gpu,
+        sync_group=grad_sync_group,
+        grad_reduce_scatter_bytes=grad_bytes,
+        weight_all_gather_bytes=weight_bytes,
+        overlap_with_compute=overlap_with_compute,
+    )

@@ -1,0 +1,106 @@
+"""Pipeline parallelism: the 1F1B non-interleaved schedule.
+
+The model depth ``d`` is split into ``np`` stages of ``d / np`` layers.  Each
+iteration processes ``m`` microbatches; the 1F1B schedule interleaves one
+forward and one backward microbatch per stage once the pipeline is full, so
+
+* the idle (bubble) time is ``(np - 1) * (t_f + t_b)`` where ``t_f`` and
+  ``t_b`` are the forward/backward times of one microbatch on one stage;
+* at most ``min(m, np)`` microbatches are in flight per stage, which bounds
+  the activation memory that must be retained (instead of all ``m``);
+* each stage boundary exchanges the activation shard
+  ``(b_m, l, e) / n_t`` per microbatch (point-to-point), plus the gradient of
+  the same tensor on the way back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Summary of a 1F1B pipeline execution for one training iteration."""
+
+    num_stages: int
+    num_microbatches: int
+    layers_per_stage: int
+    #: Forward time of one microbatch on one stage (seconds).
+    forward_time: float
+    #: Backward time of one microbatch on one stage (seconds).
+    backward_time: float
+
+    @property
+    def steady_state_time(self) -> float:
+        """Time spent processing all microbatches on one stage."""
+        return self.num_microbatches * (self.forward_time + self.backward_time)
+
+    @property
+    def bubble_time(self) -> float:
+        """Pipeline fill/drain idle time: ``(np - 1) * (tf + tb)``."""
+        return (self.num_stages - 1) * (self.forward_time + self.backward_time)
+
+    @property
+    def total_time(self) -> float:
+        """Steady-state plus bubble time (excludes DP/PP communication)."""
+        return self.steady_state_time + self.bubble_time
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the iteration lost to pipeline bubbles."""
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        return self.bubble_time / total
+
+    @property
+    def in_flight_microbatches(self) -> int:
+        """Microbatches whose activations are simultaneously retained."""
+        return min(self.num_microbatches, self.num_stages)
+
+
+def pipeline_bubble_time(num_stages: int, forward_time: float, backward_time: float) -> float:
+    """Idle time of the 1F1B schedule: ``(np - 1) * (tf + tb)``."""
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    return (num_stages - 1) * (forward_time + backward_time)
+
+
+def in_flight_microbatches(num_stages: int, num_microbatches: int) -> int:
+    """Number of microbatches whose activations are retained under 1F1B."""
+    if num_stages < 1 or num_microbatches < 1:
+        raise ValueError("num_stages and num_microbatches must be >= 1")
+    return min(num_stages, num_microbatches)
+
+
+def pipeline_p2p_volume_bytes(
+    model: TransformerConfig, config: ParallelConfig, *, both_directions: bool = True
+) -> float:
+    """Per-microbatch point-to-point volume at one stage boundary (bytes).
+
+    The tensor crossing the boundary is the layer output shard
+    ``(b_m, l, e) / n_t``.  With ``both_directions`` the activation gradient
+    flowing backwards is counted as well.
+    """
+    if config.pipeline_parallel <= 1:
+        return 0.0
+    elements = (
+        config.microbatch_size
+        * model.seq_len
+        * model.embed_dim
+        / config.tensor_parallel
+    )
+    volume = elements * model.dtype_bytes
+    return 2.0 * volume if both_directions else volume
+
+
+def layers_per_stage(model: TransformerConfig, config: ParallelConfig) -> int:
+    """Number of transformer blocks per pipeline stage."""
+    if model.depth % config.pipeline_parallel != 0:
+        raise ValueError(
+            f"pipeline_parallel ({config.pipeline_parallel}) must divide depth ({model.depth})"
+        )
+    return model.depth // config.pipeline_parallel

@@ -1,0 +1,370 @@
+"""2D tensor parallelism with SUMMA matrix multiplies (Table A2, Algorithm 1).
+
+Like :mod:`repro.core.parallelism.tp2d`, a 2D grid of ``n1 x n2`` GPUs is
+used, but the activation-weight matrix multiplies are executed with the
+SUMMA algorithm: every matrix (activations *and* weights) is block-
+partitioned over the grid, the contraction dimension is split into ``nb``
+panels, and each panel step broadcasts an activation panel along the process
+rows and a weight panel along the process columns before the local rank-k
+update.
+
+Relative to plain 2D TP:
+
+* there are no replicated weights, which further reduces memory pressure;
+* the communication volume per matmul is higher in absolute terms (the
+  weights travel too): ``V1 = b*l*e/n2 + e^2/n1`` for the attention
+  projections and ``V2 = V3 = b*l*e/n2 + e*f/n1`` for the MLP matmuls, but it
+  scales down with both grid dimensions;
+* all but the first panel's broadcasts can be overlapped with the previous
+  panel's compute, so the *exposed* communication is the prologue plus
+  whatever part of each panel broadcast exceeds the panel compute — the
+  panel count ``nb`` trades broadcast granularity against matmul efficiency
+  and is part of the configuration search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.model import TransformerConfig
+from repro.core.operations import (
+    AttentionShape,
+    CommOp,
+    ComputeOp,
+    dropout_op,
+    flash_attention_backward,
+    flash_attention_forward,
+    gelu_op,
+    layernorm_op,
+    matmul_op,
+    vector_backward_op,
+)
+from repro.core.parallelism.base import (
+    GROUP_DP,
+    GROUP_TP1,
+    GROUP_TP2,
+    LayerWorkload,
+    ParallelConfig,
+    SummaMatmul,
+    TensorParallelStrategy,
+    register_strategy,
+)
+
+
+def _summa_forward(
+    name: str,
+    m: float,
+    k: float,
+    n: float,
+    *,
+    activation_bcast: float,
+    weight_bcast: float,
+    dtype_bytes: int,
+) -> SummaMatmul:
+    """Build a forward SUMMA matmul record (two broadcasts per panel)."""
+    compute = matmul_op(name, m, k, n, dtype_bytes=dtype_bytes, shared_operand_b=True)
+    return SummaMatmul(
+        name=name,
+        compute=compute,
+        activation_bcast_bytes=activation_bcast,
+        activation_group=GROUP_TP1,
+        weight_bcast_bytes=weight_bcast,
+        weight_group=GROUP_TP2,
+        inner_dim=int(k),
+        output_bytes=dtype_bytes * m * n,
+    )
+
+
+def _summa_backward(
+    name: str,
+    m: float,
+    k: float,
+    n: float,
+    *,
+    activation_bcast: float,
+    weight_bcast: float,
+    dtype_bytes: int,
+) -> List[SummaMatmul]:
+    """Backward SUMMA matmuls: dgrad and wgrad, each a Broadcast + Reduce.
+
+    Both transposed multiplies move the same panel volumes as the forward
+    multiply; the wgrad's reduction over the grid is part of the SUMMA
+    Reduce, so no separate gradient synchronisation over ``n2`` is needed.
+    """
+    dgrad = SummaMatmul(
+        name=f"{name}.dgrad",
+        compute=matmul_op(f"{name}.dgrad", m, n, k, dtype_bytes=dtype_bytes, shared_operand_b=True),
+        activation_bcast_bytes=activation_bcast,
+        activation_group=GROUP_TP1,
+        weight_bcast_bytes=weight_bcast,
+        weight_group=GROUP_TP2,
+        inner_dim=int(n),
+        output_bytes=dtype_bytes * m * k,
+        transposed=True,
+    )
+    wgrad = SummaMatmul(
+        name=f"{name}.wgrad",
+        compute=matmul_op(f"{name}.wgrad", k, m, n, dtype_bytes=dtype_bytes, shared_operand_b=True),
+        activation_bcast_bytes=activation_bcast,
+        activation_group=GROUP_TP1,
+        weight_bcast_bytes=weight_bcast,
+        weight_group=GROUP_TP2,
+        inner_dim=int(m),
+        output_bytes=dtype_bytes * k * n,
+        transposed=True,
+    )
+    return [dgrad, wgrad]
+
+
+class TensorParallelSUMMA(TensorParallelStrategy):
+    """2D tensor parallelism with SUMMA blocked matrix multiplies."""
+
+    name = "summa"
+
+    # ------------------------------------------------------------------
+    def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
+        for check in (
+            self._check_divisible(model.num_heads, n1, "num_heads vs n1"),
+            self._check_divisible(model.embed_dim, n1, "embed_dim vs n1"),
+            self._check_divisible(model.embed_dim, n2, "embed_dim vs n2"),
+            self._check_divisible(model.hidden_dim, n1, "hidden_dim vs n1"),
+            self._check_divisible(model.hidden_dim, n2, "hidden_dim vs n2"),
+            self._check_divisible(model.seq_len, n2, "seq_len vs n2"),
+            self._check_divisible(model.seq_len, n1 * n2, "seq_len vs n1*n2"),
+            self._check_divisible(model.depth, config.pipeline_parallel, "depth vs np"),
+        ):
+            if check is not None:
+                return check
+        if config.summa_panels < 1:
+            return "summa_panels must be >= 1"
+        if model.embed_dim % config.summa_panels != 0:
+            return "summa_panels must divide the embedding dimension"
+        return None
+
+    # ------------------------------------------------------------------
+    def layer_workload(
+        self,
+        model: TransformerConfig,
+        config: ParallelConfig,
+        *,
+        flash_attention: bool = True,
+        include_dropout: bool = False,
+    ) -> LayerWorkload:
+        err = self.validate_config(model, config)
+        if err is not None:
+            raise ValueError(err)
+
+        b = float(config.microbatch_size)
+        l, e, f, h = (
+            float(model.seq_len),
+            float(model.embed_dim),
+            float(model.hidden_dim),
+            float(model.num_heads),
+        )
+        eh = float(model.head_dim)
+        n1 = float(config.tensor_parallel_1)
+        n2 = float(config.tensor_parallel_2)
+        dt = model.dtype_bytes
+
+        fwd_ops: List[ComputeOp] = []
+        fwd_comms: List[CommOp] = []
+        bwd_ops: List[ComputeOp] = []
+        bwd_comms: List[CommOp] = []
+        fwd_summa: List[SummaMatmul] = []
+        bwd_summa: List[SummaMatmul] = []
+
+        # Per-GPU broadcast volumes of Table A2 (converted to bytes).
+        v_act = dt * b * l * e / n2
+        v_w_attn = dt * e * e / n1
+        v_w_mlp = dt * e * f / n1
+        # LayerNorm statistics reduction across the e-partitioned dimension:
+        # only the per-row mean and variance travel (2 scalars per sequence
+        # position), not the activation tensor itself.  Table A2 lists the
+        # activation volume for this row; an actual implementation (and the
+        # competitiveness of SUMMA the paper reports in Fig. A4) requires the
+        # statistics-only reduction, which is what we model.
+        v_ln_stats = dt * 2.0 * b * l / n2
+
+        # ---------------- Self-attention block ----------------
+        # LayerNorm over the fully partitioned X : (b, l/n2, e/n1); the
+        # statistics over the e dimension require an AllReduce across n1.
+        ln1 = layernorm_op(b * l * e / (n1 * n2), name="sa.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln1)
+        bwd_ops.append(vector_backward_op(ln1))
+        fwd_comms.append(CommOp("sa.ar_ln", "all_reduce", v_ln_stats, GROUP_TP1))
+        bwd_comms.append(CommOp("sa.ar_ln_bwd", "all_reduce", v_ln_stats, GROUP_TP1))
+
+        # QKV projections as SUMMA multiplies: (b*l/n2, e) x (e, e/n1).
+        for proj in ("q", "k", "v"):
+            fwd_summa.append(
+                _summa_forward(
+                    f"sa.{proj}_proj",
+                    b * l / n2,
+                    e,
+                    e / n1,
+                    activation_bcast=v_act,
+                    weight_bcast=v_w_attn,
+                    dtype_bytes=dt,
+                )
+            )
+            bwd_summa.extend(
+                _summa_backward(
+                    f"sa.{proj}_proj",
+                    b * l / n2,
+                    e,
+                    e / n1,
+                    activation_bcast=v_act,
+                    weight_bcast=v_w_attn,
+                    dtype_bytes=dt,
+                )
+            )
+
+        # Full-sequence K and V via AllGather over n2 (as in 2D TP).  Only the
+        # sequence-sharded K/V are retained for the backward pass; the fused
+        # attention backward re-gathers them (two extra AllGathers) and
+        # reduce-scatters their gradients.
+        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.ag_k_bwd", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.ag_v_bwd", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+
+        # Fused Logit-Attend: local heads h/n1, local queries l/n2, full K/V.
+        attn_shape = AttentionShape(
+            batch=b, heads=h / n1, q_rows=l / n2, kv_rows=l, head_dim=eh
+        )
+        fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+        bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+
+        # Output projection as another SUMMA multiply (the paper's text notes
+        # SUMMA is used for *all* activation-weight operations, leaving no
+        # shared weights on the grid).
+        fwd_summa.append(
+            _summa_forward(
+                "sa.out_proj",
+                b * l / n2,
+                e,
+                e / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_attn,
+                dtype_bytes=dt,
+            )
+        )
+        bwd_summa.extend(
+            _summa_backward(
+                "sa.out_proj",
+                b * l / n2,
+                e,
+                e / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_attn,
+                dtype_bytes=dt,
+            )
+        )
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / (n1 * n2), name="sa.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- MLP block ----------------
+        ln2 = layernorm_op(b * l * e / (n1 * n2), name="mlp.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln2)
+        bwd_ops.append(vector_backward_op(ln2))
+        fwd_comms.append(CommOp("mlp.ar_ln", "all_reduce", v_ln_stats, GROUP_TP1))
+        bwd_comms.append(CommOp("mlp.ar_ln_bwd", "all_reduce", v_ln_stats, GROUP_TP1))
+
+        # Up projection: (b*l/n2, e) x (e, f/n1), W1 : (e/n2, f/n1).
+        fwd_summa.append(
+            _summa_forward(
+                "mlp.up_proj",
+                b * l / n2,
+                e,
+                f / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_mlp,
+                dtype_bytes=dt,
+            )
+        )
+        bwd_summa.extend(
+            _summa_backward(
+                "mlp.up_proj",
+                b * l / n2,
+                e,
+                f / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_mlp,
+                dtype_bytes=dt,
+            )
+        )
+
+        act = gelu_op(b * l * f / (n1 * n2), name="mlp.gelu", dtype_bytes=dt)
+        fwd_ops.append(act)
+        bwd_ops.append(vector_backward_op(act))
+
+        # Down projection: (b*l/n2, f) x (f, e/n1), W2 : (f/n2, e/n1).
+        fwd_summa.append(
+            _summa_forward(
+                "mlp.down_proj",
+                b * l / n2,
+                f,
+                e / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_mlp,
+                dtype_bytes=dt,
+            )
+        )
+        bwd_summa.extend(
+            _summa_backward(
+                "mlp.down_proj",
+                b * l / n2,
+                f,
+                e / n1,
+                activation_bcast=v_act,
+                weight_bcast=v_w_mlp,
+                dtype_bytes=dt,
+            )
+        )
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / (n1 * n2), name="mlp.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- Memory & parameters ----------------
+        # Every retained activation is fully partitioned over the n1 x n2
+        # grid (the gathered K/V are re-gathered in the backward pass rather
+        # than stored):
+        #   ~X, ~Y, X, Q, K, V, S, Y              -> 8 * b*l*e / (n1*n2)
+        #   MLP intermediate Z and GeLU(Z)        -> 2 * b*l*f / (n1*n2)
+        activation_elements = (
+            8.0 * b * l * e / (n1 * n2) + 2.0 * b * l * f / (n1 * n2)
+        )
+        if not flash_attention:
+            activation_elements += b * (h / n1) * (l / n2) * l
+
+        # All weight matrices are block-partitioned over the full grid (no
+        # shared weights under SUMMA); LayerNorms and biases stay replicated.
+        matrix_params = (4 * e * e + 2 * e * f) / (n1 * n2)
+        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        params_per_gpu = matrix_params + replicated_params
+
+        return LayerWorkload(
+            forward_ops=fwd_ops,
+            forward_comms=fwd_comms,
+            backward_ops=bwd_ops,
+            backward_comms=bwd_comms,
+            forward_summa=fwd_summa,
+            backward_summa=bwd_summa,
+            activation_elements=activation_elements,
+            block_input_elements=b * l * e / (n1 * n2),
+            params_per_gpu=params_per_gpu,
+            dp_synced_params=params_per_gpu,
+            grad_sync_group=GROUP_DP,
+        )
+
+
+#: Module-level singleton registered for lookup by name.
+SUMMA = register_strategy(TensorParallelSUMMA())

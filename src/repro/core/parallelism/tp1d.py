@@ -1,0 +1,208 @@
+"""1D tensor parallelism (Megatron-style), Table I of the paper.
+
+A 1D array of ``n_t`` GPUs partitions the weight matrices in row-/column-
+parallel fashion and the sequence dimension of the layer inputs.  Per
+transformer block the forward pass performs two AllGathers (before the QKV
+projection and before the MLP up-projection, to reconstruct the full
+sequence) and two ReduceScatters (after the attention output projection and
+after the MLP down-projection, to combine partial sums), each of per-GPU
+volume ``b * l * e`` elements.  The backward pass performs the conjugate
+collectives with the same volumes.
+
+Key memory property (motivating 2D TP for long sequences): the gathered
+tensors ``~X`` and ``~Y`` of shape ``(b, l, e)`` are *replicated* across the
+``n_t`` GPUs and must be retained for the backward pass, so the activation
+footprint has a term that does not shrink with ``n_t``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.model import TransformerConfig
+from repro.core.operations import (
+    AttentionShape,
+    CommOp,
+    ComputeOp,
+    dropout_op,
+    flash_attention_backward,
+    flash_attention_forward,
+    gelu_op,
+    layernorm_op,
+    matmul_backward_ops,
+    matmul_op,
+    vector_backward_op,
+)
+from repro.core.parallelism.base import (
+    GROUP_DP,
+    GROUP_TP1,
+    LayerWorkload,
+    ParallelConfig,
+    TensorParallelStrategy,
+    register_strategy,
+)
+
+
+class TensorParallel1D(TensorParallelStrategy):
+    """Megatron-LM style 1D tensor parallelism with sequence parallelism."""
+
+    name = "tp1d"
+
+    # ------------------------------------------------------------------
+    def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        if config.tensor_parallel_2 != 1:
+            return "tp1d requires n2 == 1 (use tp2d or summa for a 2D grid)"
+        nt = config.tensor_parallel_1
+        for check in (
+            self._check_divisible(model.num_heads, nt, "num_heads vs n1"),
+            self._check_divisible(model.seq_len, nt, "seq_len vs n1"),
+            self._check_divisible(model.hidden_dim, nt, "hidden_dim vs n1"),
+            self._check_divisible(model.embed_dim, nt, "embed_dim vs n1"),
+            self._check_divisible(model.depth, config.pipeline_parallel, "depth vs np"),
+        ):
+            if check is not None:
+                return check
+        return None
+
+    # ------------------------------------------------------------------
+    def layer_workload(
+        self,
+        model: TransformerConfig,
+        config: ParallelConfig,
+        *,
+        flash_attention: bool = True,
+        include_dropout: bool = False,
+    ) -> LayerWorkload:
+        err = self.validate_config(model, config)
+        if err is not None:
+            raise ValueError(err)
+
+        b = float(config.microbatch_size)
+        l, e, f, h = (
+            float(model.seq_len),
+            float(model.embed_dim),
+            float(model.hidden_dim),
+            float(model.num_heads),
+        )
+        eh = float(model.head_dim)
+        nt = float(config.tensor_parallel_1)
+        dt = model.dtype_bytes
+
+        fwd_ops: List[ComputeOp] = []
+        fwd_comms: List[CommOp] = []
+        bwd_ops: List[ComputeOp] = []
+        bwd_comms: List[CommOp] = []
+
+        # ---------------- Self-attention block ----------------
+        # LayerNorm on the locally-held sequence shard X : (b, l/nt, e).
+        ln1 = layernorm_op(b * l * e / nt, name="sa.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln1)
+        bwd_ops.append(vector_backward_op(ln1))
+
+        # AllGather ~X to (b, l, e) before the QKV projections; the backward
+        # pass performs the conjugate ReduceScatter of d~X.
+        fwd_comms.append(
+            CommOp("sa.ag_x", "all_gather", dt * b * l * e, GROUP_TP1)
+        )
+        bwd_comms.append(
+            CommOp("sa.rs_dx", "reduce_scatter", dt * b * l * e, GROUP_TP1)
+        )
+
+        # QKV projections: (b*l, e) x (e, e/nt) each, weights column-parallel.
+        for proj in ("q", "k", "v"):
+            op = matmul_op(
+                f"sa.{proj}_proj", b * l, e, e / nt, dtype_bytes=dt, shared_operand_b=True
+            )
+            fwd_ops.append(op)
+            bwd_ops.extend(
+                matmul_backward_ops(
+                    f"sa.{proj}_proj", b * l, e, e / nt, dtype_bytes=dt, shared_operand_b=True
+                )
+            )
+
+        # Fused Logit-Attend with the local heads h/nt over the full sequence.
+        attn_shape = AttentionShape(batch=b, heads=h / nt, q_rows=l, kv_rows=l, head_dim=eh)
+        fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+        bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+
+        # Output projection: (b*l, e/nt) x (e/nt, e) producing partial sums,
+        # combined by a ReduceScatter into Y : (b, l/nt, e).
+        out_proj = matmul_op("sa.out_proj", b * l, e / nt, e, dtype_bytes=dt, shared_operand_b=True)
+        fwd_ops.append(out_proj)
+        bwd_ops.extend(
+            matmul_backward_ops("sa.out_proj", b * l, e / nt, e, dtype_bytes=dt, shared_operand_b=True)
+        )
+        fwd_comms.append(
+            CommOp("sa.rs_y", "reduce_scatter", dt * b * l * e, GROUP_TP1)
+        )
+        bwd_comms.append(
+            CommOp("sa.ag_dy", "all_gather", dt * b * l * e, GROUP_TP1)
+        )
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / nt, name="sa.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- MLP block ----------------
+        ln2 = layernorm_op(b * l * e / nt, name="mlp.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln2)
+        bwd_ops.append(vector_backward_op(ln2))
+
+        fwd_comms.append(CommOp("mlp.ag_y", "all_gather", dt * b * l * e, GROUP_TP1))
+        bwd_comms.append(CommOp("mlp.rs_dy", "reduce_scatter", dt * b * l * e, GROUP_TP1))
+
+        up_proj = matmul_op("mlp.up_proj", b * l, e, f / nt, dtype_bytes=dt, shared_operand_b=True)
+        fwd_ops.append(up_proj)
+        bwd_ops.extend(
+            matmul_backward_ops("mlp.up_proj", b * l, e, f / nt, dtype_bytes=dt, shared_operand_b=True)
+        )
+
+        act = gelu_op(b * l * f / nt, name="mlp.gelu", dtype_bytes=dt)
+        fwd_ops.append(act)
+        bwd_ops.append(vector_backward_op(act))
+
+        down_proj = matmul_op(
+            "mlp.down_proj", b * l, f / nt, e, dtype_bytes=dt, shared_operand_b=True
+        )
+        fwd_ops.append(down_proj)
+        bwd_ops.extend(
+            matmul_backward_ops("mlp.down_proj", b * l, f / nt, e, dtype_bytes=dt, shared_operand_b=True)
+        )
+        fwd_comms.append(CommOp("mlp.rs_out", "reduce_scatter", dt * b * l * e, GROUP_TP1))
+        bwd_comms.append(CommOp("mlp.ag_dout", "all_gather", dt * b * l * e, GROUP_TP1))
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / nt, name="mlp.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- Memory & parameters ----------------
+        # Stored activations per microbatch (elements, per GPU):
+        #   local shards X, Q, K, V, S, Y      -> 6 * b*l*e / nt
+        #   replicated ~X, ~Y                  -> 2 * b*l*e
+        #   MLP intermediate Z and GeLU(Z)     -> 2 * b*l*f / nt
+        activation_elements = b * l * e * (2.0 + 6.0 / nt) + 2.0 * b * l * f / nt
+        if not flash_attention:
+            # The (b, h/nt, l, l) attention matrix must be retained as well.
+            activation_elements += b * (h / nt) * l * l
+
+        matrix_params = 4 * e * e + 2 * e * f
+        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        params_per_gpu = matrix_params / nt + replicated_params
+
+        return LayerWorkload(
+            forward_ops=fwd_ops,
+            forward_comms=fwd_comms,
+            backward_ops=bwd_ops,
+            backward_comms=bwd_comms,
+            activation_elements=activation_elements,
+            block_input_elements=b * l * e / nt,
+            params_per_gpu=params_per_gpu,
+            dp_synced_params=params_per_gpu,
+            grad_sync_group=GROUP_DP,
+        )
+
+
+#: Module-level singleton registered for lookup by name.
+TP1D = register_strategy(TensorParallel1D())

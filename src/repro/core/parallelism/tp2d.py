@@ -1,0 +1,229 @@
+"""2D tensor parallelism (tensor + sequence/context parallel), Table II.
+
+A 2D grid of ``n1 x n2`` GPUs partitions the weights and heads over ``n1``
+(as in 1D TP) and additionally partitions the sequence length over ``n2``
+(context parallelism).  Consequences relative to 1D TP:
+
+* the gathered activations ``~X``/``~Y`` shrink to ``(b, l/n2, e)`` — the
+  collectives over the ``n1`` group now carry ``b*l*e / n2`` bytes per GPU,
+  i.e. the communication volume *scales down* with the size of the
+  orthogonal group;
+* two extra AllGathers per block (over the ``n2`` group, volume
+  ``b*l*e/n1``) reconstruct the full-sequence K and V needed by the
+  Logit-Attend operation;
+* the weight matrices are *shared* (replicated) across the ``n2`` group, so
+  their gradients must additionally reduce over ``n2`` — the paper schedules
+  that reduction together with the data-parallel gradient ReduceScatter, so
+  the gradient-sync group becomes ``nd x n2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.model import TransformerConfig
+from repro.core.operations import (
+    AttentionShape,
+    CommOp,
+    ComputeOp,
+    dropout_op,
+    flash_attention_backward,
+    flash_attention_forward,
+    gelu_op,
+    layernorm_op,
+    matmul_backward_ops,
+    matmul_op,
+    vector_backward_op,
+)
+from repro.core.parallelism.base import (
+    GROUP_DP_TP2,
+    GROUP_TP1,
+    GROUP_TP2,
+    LayerWorkload,
+    ParallelConfig,
+    TensorParallelStrategy,
+    register_strategy,
+)
+
+
+class TensorParallel2D(TensorParallelStrategy):
+    """2D tensor parallelism: weights over ``n1``, sequence over ``n2``."""
+
+    name = "tp2d"
+
+    # ------------------------------------------------------------------
+    def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
+        for check in (
+            self._check_divisible(model.num_heads, n1, "num_heads vs n1"),
+            self._check_divisible(model.embed_dim, n1, "embed_dim vs n1"),
+            self._check_divisible(model.hidden_dim, n1, "hidden_dim vs n1"),
+            self._check_divisible(model.seq_len, n2, "seq_len vs n2"),
+            self._check_divisible(model.seq_len, n1 * n2, "seq_len vs n1*n2"),
+            self._check_divisible(model.depth, config.pipeline_parallel, "depth vs np"),
+        ):
+            if check is not None:
+                return check
+        return None
+
+    # ------------------------------------------------------------------
+    def layer_workload(
+        self,
+        model: TransformerConfig,
+        config: ParallelConfig,
+        *,
+        flash_attention: bool = True,
+        include_dropout: bool = False,
+    ) -> LayerWorkload:
+        err = self.validate_config(model, config)
+        if err is not None:
+            raise ValueError(err)
+
+        b = float(config.microbatch_size)
+        l, e, f, h = (
+            float(model.seq_len),
+            float(model.embed_dim),
+            float(model.hidden_dim),
+            float(model.num_heads),
+        )
+        eh = float(model.head_dim)
+        n1 = float(config.tensor_parallel_1)
+        n2 = float(config.tensor_parallel_2)
+        dt = model.dtype_bytes
+
+        fwd_ops: List[ComputeOp] = []
+        fwd_comms: List[CommOp] = []
+        bwd_ops: List[ComputeOp] = []
+        bwd_comms: List[CommOp] = []
+
+        # ---------------- Self-attention block ----------------
+        ln1 = layernorm_op(b * l * e / (n1 * n2), name="sa.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln1)
+        bwd_ops.append(vector_backward_op(ln1))
+
+        # AllGather over n1 to form ~X : (b, l/n2, e).
+        fwd_comms.append(CommOp("sa.ag_x", "all_gather", dt * b * l * e / n2, GROUP_TP1))
+        bwd_comms.append(CommOp("sa.rs_dx", "reduce_scatter", dt * b * l * e / n2, GROUP_TP1))
+
+        # QKV projections: (b*l/n2, e) x (e, e/n1).
+        for proj in ("q", "k", "v"):
+            fwd_ops.append(
+                matmul_op(
+                    f"sa.{proj}_proj", b * l / n2, e, e / n1, dtype_bytes=dt, shared_operand_b=True
+                )
+            )
+            bwd_ops.extend(
+                matmul_backward_ops(
+                    f"sa.{proj}_proj", b * l / n2, e, e / n1, dtype_bytes=dt, shared_operand_b=True
+                )
+            )
+
+        # Gather the full-sequence K and V over the n2 group (the queries stay
+        # sequence-parallel).  The gathered tensors are retained for the
+        # backward pass (Table II lists K : (b, h/n1, l, e_h)) — this is the
+        # "shared activations" memory pressure of plain 2D TP the paper
+        # contrasts with SUMMA in Fig. A2.  The backward pass reduce-scatters
+        # dK and dV.
+        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+
+        # Fused Logit-Attend: local heads h/n1, local queries l/n2, full K/V.
+        attn_shape = AttentionShape(
+            batch=b, heads=h / n1, q_rows=l / n2, kv_rows=l, head_dim=eh
+        )
+        fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+        bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
+
+        # Output projection + ReduceScatter over n1.
+        fwd_ops.append(
+            matmul_op("sa.out_proj", b * l / n2, e / n1, e, dtype_bytes=dt, shared_operand_b=True)
+        )
+        bwd_ops.extend(
+            matmul_backward_ops(
+                "sa.out_proj", b * l / n2, e / n1, e, dtype_bytes=dt, shared_operand_b=True
+            )
+        )
+        fwd_comms.append(CommOp("sa.rs_y", "reduce_scatter", dt * b * l * e / n2, GROUP_TP1))
+        bwd_comms.append(CommOp("sa.ag_dy", "all_gather", dt * b * l * e / n2, GROUP_TP1))
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / (n1 * n2), name="sa.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- MLP block ----------------
+        ln2 = layernorm_op(b * l * e / (n1 * n2), name="mlp.layernorm", dtype_bytes=dt)
+        fwd_ops.append(ln2)
+        bwd_ops.append(vector_backward_op(ln2))
+
+        fwd_comms.append(CommOp("mlp.ag_y", "all_gather", dt * b * l * e / n2, GROUP_TP1))
+        bwd_comms.append(CommOp("mlp.rs_dy", "reduce_scatter", dt * b * l * e / n2, GROUP_TP1))
+
+        fwd_ops.append(
+            matmul_op("mlp.up_proj", b * l / n2, e, f / n1, dtype_bytes=dt, shared_operand_b=True)
+        )
+        bwd_ops.extend(
+            matmul_backward_ops(
+                "mlp.up_proj", b * l / n2, e, f / n1, dtype_bytes=dt, shared_operand_b=True
+            )
+        )
+
+        act = gelu_op(b * l * f / (n1 * n2), name="mlp.gelu", dtype_bytes=dt)
+        fwd_ops.append(act)
+        bwd_ops.append(vector_backward_op(act))
+
+        fwd_ops.append(
+            matmul_op("mlp.down_proj", b * l / n2, f / n1, e, dtype_bytes=dt, shared_operand_b=True)
+        )
+        bwd_ops.extend(
+            matmul_backward_ops(
+                "mlp.down_proj", b * l / n2, f / n1, e, dtype_bytes=dt, shared_operand_b=True
+            )
+        )
+        fwd_comms.append(CommOp("mlp.rs_out", "reduce_scatter", dt * b * l * e / n2, GROUP_TP1))
+        bwd_comms.append(CommOp("mlp.ag_dout", "all_gather", dt * b * l * e / n2, GROUP_TP1))
+
+        if include_dropout:
+            drop = dropout_op(b * l * e / (n1 * n2), name="mlp.dropout", dtype_bytes=dt)
+            fwd_ops.append(drop)
+            bwd_ops.append(vector_backward_op(drop))
+
+        # ---------------- Memory & parameters ----------------
+        # Stored activations per microbatch (elements, per GPU):
+        #   sequence-sharded ~X, ~Y              -> 2 * b*l*e / n2
+        #   gathered full-sequence K, V          -> 2 * b*l*e / n1
+        #   fully partitioned X, Q, S, Y         -> 4 * b*l*e / (n1*n2)
+        #   MLP intermediate Z and GeLU(Z)       -> 2 * b*l*f / (n1*n2)
+        activation_elements = (
+            2.0 * b * l * e / n2
+            + 2.0 * b * l * e / n1
+            + 4.0 * b * l * e / (n1 * n2)
+            + 2.0 * b * l * f / (n1 * n2)
+        )
+        if not flash_attention:
+            activation_elements += b * (h / n1) * (l / n2) * l
+
+        # Weights are sharded over n1 only (replicated across n2), so each GPU
+        # holds matrix_params / n1 parameters whose gradients reduce over
+        # nd x n2 (scheduled together with the DP collectives).
+        matrix_params = 4 * e * e + 2 * e * f
+        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        params_per_gpu = matrix_params / n1 + replicated_params
+
+        return LayerWorkload(
+            forward_ops=fwd_ops,
+            forward_comms=fwd_comms,
+            backward_ops=bwd_ops,
+            backward_comms=bwd_comms,
+            activation_elements=activation_elements,
+            block_input_elements=b * l * e / (n1 * n2),
+            params_per_gpu=params_per_gpu,
+            dp_synced_params=params_per_gpu,
+            grad_sync_group=GROUP_DP_TP2,
+        )
+
+
+#: Module-level singleton registered for lookup by name.
+TP2D = register_strategy(TensorParallel2D())

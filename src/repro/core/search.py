@@ -1,0 +1,306 @@
+"""Optimal-configuration search (stage S3 of the performance model).
+
+Given ``n`` GPUs, a global batch size and a system description, the solver
+enumerates every admissible configuration — the parallelization tuple
+``(b_m, n1, n2, np, nd)``, the NVSwitch-domain assignment
+``(nNVS1, nNVS2, nNVSp, nNVSd)`` and, for SUMMA, the panel count ``nb`` —
+evaluates the analytical iteration time of each, discards configurations
+that do not fit in HBM and returns the fastest feasible one (plus search
+diagnostics and, optionally, the top-k runners-up).
+
+A cheap memory pre-filter runs before the full time evaluation: the memory
+footprint does not depend on the NVS assignment, so infeasible
+parallelizations are rejected before the assignment loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config_space import (
+    DEFAULT_SEARCH_SPACE,
+    SearchSpace,
+    gpu_assignments,
+    parallel_configs,
+)
+from repro.core.execution import (
+    DEFAULT_OPTIONS,
+    IterationEstimate,
+    ModelingOptions,
+    estimate_config_memory,
+    evaluate_config,
+)
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.system import SystemSpec
+
+#: Strategies searched when the caller asks for "all".
+ALL_STRATEGIES = ("tp1d", "tp2d", "summa")
+
+
+@dataclass(frozen=True)
+class SearchStatistics:
+    """Diagnostics of one search run."""
+
+    parallel_configs: int = 0
+    candidates_evaluated: int = 0
+    infeasible_memory: int = 0
+    infeasible_other: int = 0
+
+    def merged(self, other: "SearchStatistics") -> "SearchStatistics":
+        """Combine statistics of two (sub-)searches."""
+        return SearchStatistics(
+            parallel_configs=self.parallel_configs + other.parallel_configs,
+            candidates_evaluated=self.candidates_evaluated + other.candidates_evaluated,
+            infeasible_memory=self.infeasible_memory + other.infeasible_memory,
+            infeasible_other=self.infeasible_other + other.infeasible_other,
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :func:`find_optimal_config`."""
+
+    model_name: str
+    system_name: str
+    n_gpus: int
+    global_batch_size: int
+    strategy: str
+    best: Optional[IterationEstimate]
+    top_k: List[IterationEstimate] = field(default_factory=list)
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one feasible configuration exists."""
+        return self.best is not None
+
+    @property
+    def best_time(self) -> float:
+        """Iteration time of the best configuration (``inf`` if none found)."""
+        return self.best.total_time if self.best is not None else math.inf
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by reports and JSON archives."""
+        out: Dict[str, object] = {
+            "model": self.model_name,
+            "system": self.system_name,
+            "n_gpus": self.n_gpus,
+            "global_batch": self.global_batch_size,
+            "strategy": self.strategy,
+            "found": self.found,
+            "configs_searched": self.statistics.parallel_configs,
+            "candidates_evaluated": self.statistics.candidates_evaluated,
+        }
+        if self.best is not None:
+            out.update(self.best.summary())
+        return out
+
+
+def evaluate_candidates(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    assignments: Sequence[GpuAssignment],
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> List[IterationEstimate]:
+    """Evaluate one parallelization under every NVS assignment."""
+    estimates = []
+    for assignment in assignments:
+        estimates.append(
+            evaluate_config(
+                model,
+                system,
+                config,
+                assignment,
+                global_batch_size=global_batch_size,
+                options=options,
+            )
+        )
+    return estimates
+
+
+def _search_single_strategy(
+    model: TransformerConfig,
+    system: SystemSpec,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    space: SearchSpace,
+    options: ModelingOptions,
+    top_k: int,
+) -> SearchResult:
+    best: Optional[IterationEstimate] = None
+    leaderboard: List[IterationEstimate] = []
+    n_parallel = 0
+    n_eval = 0
+    n_mem = 0
+    n_other = 0
+
+    for config in parallel_configs(model, n_gpus, global_batch_size, strategy, space):
+        n_parallel += 1
+        # Memory does not depend on the assignment: reject early.
+        try:
+            memory = estimate_config_memory(
+                model, config, global_batch_size=global_batch_size, options=options
+            )
+        except ValueError:
+            n_other += 1
+            continue
+        if not memory.fits(system.gpu.hbm_capacity):
+            n_mem += 1
+            continue
+
+        assignments = gpu_assignments(config, system.nvs_domain_size, space)
+        for assignment in assignments:
+            n_eval += 1
+            estimate = evaluate_config(
+                model,
+                system,
+                config,
+                assignment,
+                global_batch_size=global_batch_size,
+                options=options,
+            )
+            if not estimate.feasible:
+                n_mem += 1
+                continue
+            if best is None or estimate.total_time < best.total_time:
+                best = estimate
+            if top_k > 0:
+                leaderboard.append(estimate)
+
+    if top_k > 0:
+        leaderboard.sort(key=lambda est: est.total_time)
+        leaderboard = leaderboard[:top_k]
+
+    return SearchResult(
+        model_name=model.name,
+        system_name=system.name,
+        n_gpus=n_gpus,
+        global_batch_size=global_batch_size,
+        strategy=strategy,
+        best=best,
+        top_k=leaderboard,
+        statistics=SearchStatistics(
+            parallel_configs=n_parallel,
+            candidates_evaluated=n_eval,
+            infeasible_memory=n_mem,
+            infeasible_other=n_other,
+        ),
+    )
+
+
+def find_optimal_config(
+    model: TransformerConfig,
+    system: SystemSpec,
+    n_gpus: int,
+    global_batch_size: int,
+    *,
+    strategy: str | Sequence[str] = "tp1d",
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    top_k: int = 0,
+    fallback_activation_checkpointing: bool = True,
+) -> SearchResult:
+    """Brute-force search for the fastest feasible configuration.
+
+    ``strategy`` may be a single strategy name, a sequence of names, or
+    ``"all"`` to search 1D TP, 2D TP and SUMMA together (the overall best is
+    returned and the per-strategy statistics are merged).
+
+    When no configuration fits in HBM and ``fallback_activation_checkpointing``
+    is set (the default), the search is repeated once with full activation
+    checkpointing enabled — recomputing each block during the backward pass —
+    which is how capacity-limited systems (e.g. A100 + the long-sequence ViT)
+    are handled in practice.
+    """
+    if isinstance(strategy, str):
+        strategies: Tuple[str, ...] = ALL_STRATEGIES if strategy == "all" else (strategy,)
+    else:
+        strategies = tuple(strategy)
+    if not strategies:
+        raise ValueError("at least one strategy is required")
+
+    results = [
+        _search_single_strategy(
+            model, system, n_gpus, global_batch_size, strat, space, options, top_k
+        )
+        for strat in strategies
+    ]
+
+    if (
+        fallback_activation_checkpointing
+        and not options.activation_checkpointing
+        and all(res.best is None for res in results)
+    ):
+        from dataclasses import replace as _replace
+
+        checkpointed = _replace(options, activation_checkpointing=True)
+        results = [
+            _search_single_strategy(
+                model, system, n_gpus, global_batch_size, strat, space, checkpointed, top_k
+            )
+            for strat in strategies
+        ]
+
+    if len(results) == 1:
+        return results[0]
+
+    merged_stats = SearchStatistics()
+    best_overall: Optional[IterationEstimate] = None
+    merged_topk: List[IterationEstimate] = []
+    for res in results:
+        merged_stats = merged_stats.merged(res.statistics)
+        merged_topk.extend(res.top_k)
+        if res.best is not None and (
+            best_overall is None or res.best.total_time < best_overall.total_time
+        ):
+            best_overall = res.best
+    merged_topk.sort(key=lambda est: est.total_time)
+    if top_k > 0:
+        merged_topk = merged_topk[:top_k]
+
+    return SearchResult(
+        model_name=model.name,
+        system_name=system.name,
+        n_gpus=n_gpus,
+        global_batch_size=global_batch_size,
+        strategy="+".join(strategies),
+        best=best_overall,
+        top_k=merged_topk,
+        statistics=merged_stats,
+    )
+
+
+def best_assignment_for(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    *,
+    global_batch_size: int,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> IterationEstimate:
+    """Evaluate ``config`` under its best NVS assignment.
+
+    This is the helper the "rationale" experiments (Figs. 1-3) use: the
+    parallelization is fixed by hand and only the GPU placement is optimised,
+    mirroring the paper's methodology.
+    """
+    assignments = gpu_assignments(config, system.nvs_domain_size, space)
+    estimates = evaluate_candidates(
+        model,
+        system,
+        config,
+        assignments,
+        global_batch_size=global_batch_size,
+        options=options,
+    )
+    feasible = [est for est in estimates if est.feasible]
+    pool = feasible if feasible else estimates
+    return min(pool, key=lambda est: est.total_time)

@@ -1,0 +1,92 @@
+"""Throughput and utilization metrics derived from an iteration estimate.
+
+Training teams usually reason in samples/second, tokens/second and MFU
+(model FLOPs utilization — the fraction of the cluster's peak tensor-core
+throughput spent on the model's *useful* FLOPs).  These are straightforward
+post-processings of an :class:`repro.core.execution.IterationEstimate` and a
+:class:`repro.core.system.SystemSpec`, collected here so that reports,
+examples and downstream users do not re-derive them inconsistently.
+
+The conventions follow standard practice (and the Megatron-LM papers):
+
+* useful FLOPs per iteration = 3x the model's forward FLOPs over the global
+  batch (1x forward + 2x backward), *excluding* activation recomputation —
+  recompute FLOPs are real work for the hardware but not useful model FLOPs,
+  which is why heavy recomputation lowers MFU;
+* the peak rate is the FP16 tensor-core rate of every GPU in the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.execution import IterationEstimate
+from repro.core.model import TransformerConfig
+from repro.core.system import SystemSpec
+
+#: Useful-FLOP multiplier for one training step (forward + backward).
+TRAIN_STEP_FLOP_MULTIPLIER = 3.0
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput/utilization view of one configuration on one system."""
+
+    samples_per_second: float
+    tokens_per_second: float
+    model_flops_per_second: float
+    peak_flops_per_second: float
+
+    @property
+    def model_flops_utilization(self) -> float:
+        """MFU: achieved useful model FLOP/s over the cluster's peak FLOP/s."""
+        if self.peak_flops_per_second <= 0:
+            return 0.0
+        return self.model_flops_per_second / self.peak_flops_per_second
+
+    @property
+    def per_gpu_teraflops(self) -> float:
+        """Achieved useful TFLOP/s per GPU (the number vendors like to quote)."""
+        if self.peak_flops_per_second <= 0:
+            return 0.0
+        n_gpus = self.peak_flops_per_second and self._n_gpus
+        return self.model_flops_per_second / n_gpus / 1e12
+
+    # Stored separately so per-GPU numbers survive dataclass freezing.
+    _n_gpus: int = 1
+
+
+def throughput_report(
+    model: TransformerConfig,
+    system: SystemSpec,
+    estimate: IterationEstimate,
+) -> ThroughputReport:
+    """Compute samples/s, tokens/s and MFU for ``estimate``.
+
+    ``estimate`` must have been produced for ``model`` (the global batch size
+    and GPU count are read from it).
+    """
+    if estimate.total_time <= 0:
+        raise ValueError("estimate has non-positive iteration time")
+    n_gpus = estimate.config.total_gpus
+    batch = estimate.global_batch_size
+
+    samples_per_second = batch / estimate.total_time
+    tokens_per_second = samples_per_second * model.seq_len
+
+    useful_flops = TRAIN_STEP_FLOP_MULTIPLIER * model.forward_flops(batch=batch)
+    model_flops_per_second = useful_flops / estimate.total_time
+    peak = n_gpus * system.gpu.tensor_flops
+
+    return ThroughputReport(
+        samples_per_second=samples_per_second,
+        tokens_per_second=tokens_per_second,
+        model_flops_per_second=model_flops_per_second,
+        peak_flops_per_second=peak,
+        _n_gpus=n_gpus,
+    )
+
+
+def tokens_per_gpu_per_day(report: ThroughputReport) -> float:
+    """Tokens processed per GPU per day — a common procurement metric."""
+    return report.tokens_per_second / report._n_gpus * 86400.0

@@ -1,0 +1,124 @@
+"""End-to-end training-time estimates (iterations -> days).
+
+The paper reports training times in *days* for two training regimes:
+
+* **GPT3-1T** pre-trained on 1 trillion tokens (as planned for LLM-for-
+  science efforts); with a global batch of 4096 samples of 2048 tokens each,
+  one iteration consumes ``4096 * 2048`` tokens.
+* **VIT** trained on 40 years of hourly ERA5 data for 80 epochs; one epoch
+  is ``40 * 365.25 * 24`` samples.
+
+This module converts an iteration-time estimate into the number of training
+iterations and total days for these regimes (and custom ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import TransformerConfig
+
+#: Hours of ERA5 training data assumed by the paper (40 years of hourly data).
+ERA5_YEARS = 40
+ERA5_SAMPLES_PER_EPOCH = int(ERA5_YEARS * 365.25 * 24)
+#: Number of epochs of ERA5 training assumed by the paper.
+ERA5_EPOCHS = 80
+
+#: Tokens of GPT3-1T pre-training assumed by the paper.
+GPT_PRETRAINING_TOKENS = 1.0e12
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class TrainingRegime:
+    """A training run: how many optimizer iterations must be executed."""
+
+    name: str
+    total_iterations: int
+
+    def days(self, iteration_time_s: float) -> float:
+        """Wall-clock days for the run at the given per-iteration time."""
+        if iteration_time_s < 0:
+            raise ValueError("iteration_time_s must be non-negative")
+        return self.total_iterations * iteration_time_s / SECONDS_PER_DAY
+
+    def hours(self, iteration_time_s: float) -> float:
+        """Wall-clock hours for the run."""
+        return self.days(iteration_time_s) * 24.0
+
+
+def iterations_for_tokens(
+    model: TransformerConfig, global_batch_size: int, total_tokens: float
+) -> int:
+    """Number of iterations needed to consume ``total_tokens``."""
+    if global_batch_size < 1:
+        raise ValueError("global_batch_size must be >= 1")
+    tokens_per_iteration = global_batch_size * model.seq_len
+    return max(1, math.ceil(total_tokens / tokens_per_iteration))
+
+
+def iterations_for_epochs(
+    samples_per_epoch: int, epochs: float, global_batch_size: int
+) -> int:
+    """Number of iterations for ``epochs`` passes over ``samples_per_epoch``."""
+    if samples_per_epoch < 1 or global_batch_size < 1:
+        raise ValueError("samples_per_epoch and global_batch_size must be >= 1")
+    total_samples = samples_per_epoch * epochs
+    return max(1, math.ceil(total_samples / global_batch_size))
+
+
+def gpt_pretraining_regime(
+    model: TransformerConfig,
+    global_batch_size: int,
+    *,
+    total_tokens: float = GPT_PRETRAINING_TOKENS,
+) -> TrainingRegime:
+    """Pre-training regime for LLMs: a fixed token budget (default 1T)."""
+    return TrainingRegime(
+        name=f"{model.name}-pretrain-{total_tokens:.0e}tok",
+        total_iterations=iterations_for_tokens(model, global_batch_size, total_tokens),
+    )
+
+
+def vit_era5_regime(
+    model: TransformerConfig,
+    global_batch_size: int,
+    *,
+    samples_per_epoch: int = ERA5_SAMPLES_PER_EPOCH,
+    epochs: float = ERA5_EPOCHS,
+) -> TrainingRegime:
+    """ERA5 training regime for the long-sequence ViT (80 epochs, 40 years)."""
+    return TrainingRegime(
+        name=f"{model.name}-era5-{epochs}ep",
+        total_iterations=iterations_for_epochs(samples_per_epoch, epochs, global_batch_size),
+    )
+
+
+def default_regime(model: TransformerConfig, global_batch_size: int) -> TrainingRegime:
+    """Paper's training regime for the given model class.
+
+    GPT-style models (sequence length <= 8K) use the 1T-token pre-training
+    budget; long-sequence ViT-style models use the 80-epoch ERA5 regime.
+    """
+    if model.name.lower().startswith("gpt") or model.seq_len <= 8192:
+        return gpt_pretraining_regime(model, global_batch_size)
+    return vit_era5_regime(model, global_batch_size)
+
+
+def training_days(
+    iteration_time_s: float,
+    model: TransformerConfig,
+    global_batch_size: int,
+    *,
+    regime: Optional[TrainingRegime] = None,
+) -> float:
+    """Days of training at ``iteration_time_s`` under ``regime``.
+
+    When no regime is given, :func:`default_regime` picks the paper's regime
+    for the model class.
+    """
+    regime = regime or default_regime(model, global_batch_size)
+    return regime.days(iteration_time_s)

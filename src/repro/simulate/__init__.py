@@ -1,0 +1,34 @@
+"""Discrete simulation substrates used to cross-check the analytic model.
+
+The paper validates its analytic collective-time formulae against NCCL
+measurements on Perlmutter (Fig. A1) and its iteration-time estimates
+against Megatron-LM runs.  Neither real GPUs nor a real NCCL installation is
+available to this reproduction, so this subpackage provides message-level
+simulators of the same mechanisms:
+
+* :mod:`repro.simulate.cluster` — an explicit cluster topology (nodes,
+  NVSwitch domains, NICs, GPU placement);
+* :mod:`repro.simulate.ring` — a step-by-step simulation of ring
+  AllGather / ReduceScatter / AllReduce / Broadcast over that topology;
+* :mod:`repro.simulate.pipeline_sim` — an event-driven replay of the 1F1B
+  pipeline schedule;
+* :mod:`repro.simulate.nccl_bench` — a synthetic "nccl-tests" harness that
+  adds realistic measurement noise and protocol overheads on top of the ring
+  simulator, playing the role of the empirical data in Fig. A1.
+"""
+
+from repro.simulate.cluster import ClusterTopology, GpuPlacementInfo
+from repro.simulate.ring import RingSimulationResult, simulate_collective
+from repro.simulate.pipeline_sim import PipelineSimulationResult, simulate_1f1b
+from repro.simulate.nccl_bench import NcclBenchResult, run_nccl_style_benchmark
+
+__all__ = [
+    "ClusterTopology",
+    "GpuPlacementInfo",
+    "NcclBenchResult",
+    "PipelineSimulationResult",
+    "RingSimulationResult",
+    "run_nccl_style_benchmark",
+    "simulate_1f1b",
+    "simulate_collective",
+]

@@ -1,0 +1,129 @@
+"""Explicit cluster topology used by the message-level simulators.
+
+A cluster is a collection of nodes; each node hosts ``nvs_domain_size`` GPUs
+connected all-to-all through the fast domain (NVSwitch or NVLink) and
+``nics_per_node`` NICs attached to the slow domain (InfiniBand/Slingshot).
+GPUs are identified by a global rank; the topology answers two questions the
+simulators need:
+
+* do two ranks share a fast domain (node)?
+* how many NICs serve the ranks of a given node that participate in a
+  collective (this bounds the multi-ring inter-node bandwidth)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.system import NetworkSpec, SystemSpec
+
+
+@dataclass(frozen=True)
+class GpuPlacementInfo:
+    """Placement of one GPU rank within the cluster."""
+
+    rank: int
+    node: int
+    local_index: int
+
+    def same_node(self, other: "GpuPlacementInfo") -> bool:
+        """True when both GPUs share an NVSwitch domain."""
+        return self.node == other.node
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A cluster of ``num_gpus`` GPUs grouped into NVSwitch domains."""
+
+    num_gpus: int
+    nvs_domain_size: int
+    nics_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.nvs_domain_size < 1:
+            raise ValueError("nvs_domain_size must be >= 1")
+        if self.nics_per_node < 1:
+            raise ValueError("nics_per_node must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_system(cls, system: SystemSpec, num_gpus: int) -> "ClusterTopology":
+        """Build the topology implied by a :class:`SystemSpec`."""
+        return cls(
+            num_gpus=num_gpus,
+            nvs_domain_size=system.network.nvs_domain_size,
+            nics_per_node=system.network.nics_per_node,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of (possibly partially filled) nodes in the cluster."""
+        return -(-self.num_gpus // self.nvs_domain_size)
+
+    def placement(self, rank: int) -> GpuPlacementInfo:
+        """Node and local index of a global rank."""
+        if not (0 <= rank < self.num_gpus):
+            raise ValueError(f"rank {rank} out of range [0, {self.num_gpus})")
+        return GpuPlacementInfo(
+            rank=rank,
+            node=rank // self.nvs_domain_size,
+            local_index=rank % self.nvs_domain_size,
+        )
+
+    def same_fast_domain(self, rank_a: int, rank_b: int) -> bool:
+        """True when the two ranks can communicate over the fast network."""
+        return self.placement(rank_a).node == self.placement(rank_b).node
+
+    def nodes_of(self, ranks: Sequence[int]) -> Dict[int, List[int]]:
+        """Group the given ranks by node."""
+        groups: Dict[int, List[int]] = {}
+        for rank in ranks:
+            groups.setdefault(self.placement(rank).node, []).append(rank)
+        return groups
+
+    def ring_order(self, ranks: Sequence[int]) -> List[int]:
+        """Order ranks so that the ring crosses node boundaries as rarely as possible.
+
+        NCCL builds rings that traverse all GPUs of a node before hopping to
+        the next node; ordering by (node, local index) reproduces that.
+        """
+        return sorted(ranks, key=lambda r: (self.placement(r).node, self.placement(r).local_index))
+
+    def link_parameters(
+        self, rank_a: int, rank_b: int, network: NetworkSpec
+    ) -> Tuple[float, float]:
+        """(latency, bandwidth) of the link used between two ranks."""
+        if self.same_fast_domain(rank_a, rank_b):
+            return network.nvs_latency, network.effective_nvs_bandwidth
+        return network.ib_latency, network.effective_ib_bandwidth
+
+    def group_ranks(
+        self, group_size: int, gpus_per_nvs_domain: int, *, start_rank: int = 0
+    ) -> List[int]:
+        """Ranks of a parallel group with the given NVS-domain packing.
+
+        The group occupies ``gpus_per_nvs_domain`` consecutive GPUs in each
+        node, spread across ``group_size / gpus_per_nvs_domain`` nodes — the
+        same placement the analytic model assumes for a
+        :class:`repro.core.collectives.GroupPlacement`.
+        """
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        g = min(gpus_per_nvs_domain, group_size, self.nvs_domain_size)
+        if group_size % g != 0:
+            raise ValueError("gpus_per_nvs_domain must divide group_size")
+        start = self.placement(start_rank)
+        if start.local_index + g > self.nvs_domain_size:
+            raise ValueError("group does not fit in the starting NVS domain")
+        nodes_needed = group_size // g
+        if start.node + nodes_needed > self.num_nodes:
+            raise ValueError("cluster too small for the requested group placement")
+        ranks: List[int] = []
+        for node_offset in range(nodes_needed):
+            base = (start.node + node_offset) * self.nvs_domain_size + start.local_index
+            ranks.extend(base + j for j in range(g))
+        return ranks

@@ -1,0 +1,180 @@
+"""Event-driven replay of the 1F1B (one-forward-one-backward) pipeline schedule.
+
+The analytic model charges ``(np - 1) * (tf + tb)`` of bubble time per
+iteration.  This simulator executes the actual 1F1B schedule — warm-up
+forwards, steady-state 1F1B interleaving, cool-down backwards — stage by
+stage and microbatch by microbatch, and reports the makespan, the per-stage
+idle time and the peak number of in-flight microbatches.  It is used by the
+tests to verify the analytic bubble formula and the ``min(m, np)``
+activation-retention bound, and by the ablation benchmarks to quantify what
+an interleaved schedule could recover (a paper "limitations" item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """One executed work item in the simulated schedule."""
+
+    stage: int
+    microbatch: int
+    kind: str  # "forward" or "backward"
+    start: float
+    end: float
+
+
+@dataclass
+class PipelineSimulationResult:
+    """Outcome of simulating one iteration of the 1F1B schedule."""
+
+    num_stages: int
+    num_microbatches: int
+    forward_time: float
+    backward_time: float
+    p2p_time: float
+    makespan: float
+    events: List[PipelineEvent] = field(default_factory=list)
+    #: Idle time per stage (makespan minus busy time).
+    idle_per_stage: Dict[int, float] = field(default_factory=dict)
+    #: Peak number of microbatches whose forward has run but whose backward
+    #: has not yet completed, per stage (activation-retention bound).
+    peak_in_flight: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bubble_time(self) -> float:
+        """Idle time of the first stage (the paper's bubble definition)."""
+        return self.idle_per_stage.get(0, 0.0)
+
+    @property
+    def max_in_flight(self) -> int:
+        """Maximum in-flight microbatches over all stages."""
+        return max(self.peak_in_flight.values(), default=0)
+
+
+def simulate_1f1b(
+    num_stages: int,
+    num_microbatches: int,
+    forward_time: float,
+    backward_time: float,
+    *,
+    p2p_time: float = 0.0,
+) -> PipelineSimulationResult:
+    """Simulate one iteration of the non-interleaved 1F1B schedule.
+
+    Every stage processes microbatches in the canonical 1F1B order: stage
+    ``s`` first runs ``min(num_stages - s, num_microbatches)`` warm-up
+    forwards, then alternates backward/forward until all microbatches are
+    done, then drains the remaining backwards.  Dependencies are enforced
+    through the completion times of the upstream (forward) and downstream
+    (backward) stages, with an optional point-to-point transfer time between
+    stages.
+    """
+    if num_stages < 1 or num_microbatches < 1:
+        raise ValueError("num_stages and num_microbatches must be >= 1")
+    if forward_time < 0 or backward_time < 0 or p2p_time < 0:
+        raise ValueError("times must be non-negative")
+
+    # Completion times of each (stage, microbatch) forward / backward.
+    fwd_done: Dict[Tuple[int, int], float] = {}
+    bwd_done: Dict[Tuple[int, int], float] = {}
+    events: List[PipelineEvent] = []
+
+    def build_order(stage: int) -> List[Tuple[str, int]]:
+        warmup = min(num_stages - stage - 1, num_microbatches)
+        order: List[Tuple[str, int]] = [("forward", mb) for mb in range(warmup)]
+        next_fwd = warmup
+        next_bwd = 0
+        # Steady state: alternate one-forward-one-backward.
+        while next_fwd < num_microbatches or next_bwd < num_microbatches:
+            if next_fwd < num_microbatches:
+                order.append(("forward", next_fwd))
+                next_fwd += 1
+            if next_bwd < num_microbatches:
+                order.append(("backward", next_bwd))
+                next_bwd += 1
+        return order
+
+    orders = {stage: build_order(stage) for stage in range(num_stages)}
+    cursors = {stage: 0 for stage in range(num_stages)}
+    stage_free_at = {stage: 0.0 for stage in range(num_stages)}
+
+    remaining = sum(len(order) for order in orders.values())
+    progressed = True
+    while remaining > 0:
+        if not progressed:
+            raise RuntimeError("1F1B schedule deadlocked (internal error)")
+        progressed = False
+        for stage in range(num_stages):
+            while cursors[stage] < len(orders[stage]):
+                kind, mb = orders[stage][cursors[stage]]
+                if kind == "forward":
+                    if stage > 0 and (stage - 1, mb) not in fwd_done:
+                        break
+                    ready = 0.0 if stage == 0 else fwd_done[(stage - 1, mb)] + p2p_time
+                    start = max(stage_free_at[stage], ready)
+                    end = start + forward_time
+                    fwd_done[(stage, mb)] = end
+                else:
+                    if (stage, mb) not in fwd_done:
+                        break
+                    if stage < num_stages - 1 and (stage + 1, mb) not in bwd_done:
+                        break
+                    ready = (
+                        fwd_done[(stage, mb)]
+                        if stage == num_stages - 1
+                        else max(fwd_done[(stage, mb)], bwd_done[(stage + 1, mb)] + p2p_time)
+                    )
+                    start = max(stage_free_at[stage], ready)
+                    end = start + backward_time
+                    bwd_done[(stage, mb)] = end
+                events.append(PipelineEvent(stage, mb, kind, start, end))
+                stage_free_at[stage] = end
+                cursors[stage] += 1
+                remaining -= 1
+                progressed = True
+
+    makespan = max(stage_free_at.values())
+
+    idle_per_stage: Dict[int, float] = {}
+    peak_in_flight: Dict[int, int] = {}
+    for stage in range(num_stages):
+        busy = sum(ev.end - ev.start for ev in events if ev.stage == stage)
+        idle_per_stage[stage] = makespan - busy
+        # In-flight accounting: +1 at each forward end, -1 at each backward end.
+        marks: List[Tuple[float, int]] = []
+        for ev in events:
+            if ev.stage != stage:
+                continue
+            marks.append((ev.end, 1 if ev.kind == "forward" else -1))
+        marks.sort()
+        level = peak = 0
+        for _, delta in marks:
+            level += delta
+            peak = max(peak, level)
+        peak_in_flight[stage] = peak
+
+    return PipelineSimulationResult(
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        forward_time=forward_time,
+        backward_time=backward_time,
+        p2p_time=p2p_time,
+        makespan=makespan,
+        events=events,
+        idle_per_stage=idle_per_stage,
+        peak_in_flight=peak_in_flight,
+    )
+
+
+def analytic_1f1b_makespan(
+    num_stages: int,
+    num_microbatches: int,
+    forward_time: float,
+    backward_time: float,
+) -> float:
+    """Closed-form 1F1B makespan: ``(m + np - 1) * (tf + tb)``."""
+    return (num_microbatches + num_stages - 1) * (forward_time + backward_time)

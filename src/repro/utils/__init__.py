@@ -1,0 +1,45 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are intentionally dependency-light (pure Python + NumPy) so
+that the analytical performance model remains fast enough for brute-force
+configuration searches over hundreds of thousands of candidate
+configurations.
+"""
+
+from repro.utils.factorization import (
+    divisors,
+    factorizations,
+    is_power_of_two,
+    pow2_divisors,
+    split_into_factors,
+)
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    MB,
+    TB,
+    from_bytes,
+    from_seconds,
+    to_bytes,
+    to_flops,
+    to_seconds,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "MB",
+    "TB",
+    "divisors",
+    "factorizations",
+    "from_bytes",
+    "from_seconds",
+    "is_power_of_two",
+    "pow2_divisors",
+    "split_into_factors",
+    "to_bytes",
+    "to_flops",
+    "to_seconds",
+]

@@ -1,0 +1,104 @@
+"""Integer factorization helpers used by the configuration-space search.
+
+The configuration search (stage S3 of the performance model) enumerates all
+decompositions of the GPU count ``n`` into ``n1 * n2 * np * nd`` and all
+decompositions of the NVSwitch-domain size into per-group assignments.  The
+helpers here enumerate these decompositions efficiently and deterministically
+(so the search is reproducible).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence, Tuple
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@lru_cache(maxsize=4096)
+def divisors(value: int) -> Tuple[int, ...]:
+    """Return all positive divisors of ``value`` in ascending order.
+
+    >>> divisors(12)
+    (1, 2, 3, 4, 6, 12)
+    """
+    if value <= 0:
+        raise ValueError(f"divisors() requires a positive integer, got {value}")
+    small = []
+    large = []
+    i = 1
+    while i * i <= value:
+        if value % i == 0:
+            small.append(i)
+            if i != value // i:
+                large.append(value // i)
+        i += 1
+    return tuple(small + large[::-1])
+
+
+def pow2_divisors(value: int) -> Tuple[int, ...]:
+    """Return the power-of-two divisors of ``value`` in ascending order.
+
+    Parallel group sizes in practice (and in the paper's experiments) are
+    powers of two; restricting the sweep to power-of-two factors keeps the
+    search tractable without losing any of the configurations the paper
+    explores.
+    """
+    return tuple(d for d in divisors(value) if is_power_of_two(d))
+
+
+@lru_cache(maxsize=1024)
+def factorizations(value: int, parts: int) -> Tuple[Tuple[int, ...], ...]:
+    """Enumerate ordered factorizations of ``value`` into ``parts`` factors.
+
+    Every returned tuple ``f`` satisfies ``prod(f) == value`` with each factor
+    a positive divisor of ``value``.  Order matters: ``(2, 4)`` and ``(4, 2)``
+    are distinct (they assign GPUs to different parallel groups).
+
+    >>> factorizations(4, 2)
+    ((1, 4), (2, 2), (4, 1))
+    """
+    if parts <= 0:
+        raise ValueError("parts must be >= 1")
+    if value <= 0:
+        raise ValueError("value must be >= 1")
+    if parts == 1:
+        return ((value,),)
+    results = []
+    for first in divisors(value):
+        for rest in factorizations(value // first, parts - 1):
+            results.append((first, *rest))
+    return tuple(results)
+
+
+def split_into_factors(
+    value: int,
+    limits: Sequence[int],
+    *,
+    require_divides: Sequence[int] | None = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield factorizations of ``value`` constrained per position.
+
+    ``limits[i]`` caps factor ``i`` from above.  If ``require_divides`` is
+    given, factor ``i`` must additionally divide ``require_divides[i]``.
+    This is the generic filter used to build NVSwitch-domain assignments
+    ``(nNVS1, nNVS2, nNVSp, nNVSd)`` where each assignment must divide its
+    parallel-group size.
+    """
+    parts = len(limits)
+    if require_divides is not None and len(require_divides) != parts:
+        raise ValueError("require_divides must match limits length")
+    for factors in factorizations(value, parts):
+        ok = True
+        for i, f in enumerate(factors):
+            if f > limits[i]:
+                ok = False
+                break
+            if require_divides is not None and require_divides[i] % f != 0:
+                ok = False
+                break
+        if ok:
+            yield factors

@@ -1,0 +1,46 @@
+"""JSON serialization of experiment results.
+
+Results produced by the search and the analysis sweeps are plain dataclasses
+containing floats, ints, strings and nested dataclasses.  This module
+converts them into JSON-friendly dictionaries (and back for the subset of
+types we need) so that benchmark runs can archive their raw series alongside
+the textual report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / tuples / numpy scalars to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item) and not isinstance(obj, (str, bytes)):
+        try:
+            return obj.item()
+        except Exception:  # pragma: no cover - non-scalar array-likes fall through
+            pass
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON file produced by :func:`dump_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper communicates its results through figures; our benchmark harness
+prints the same series as text tables (one row per configuration or GPU
+count).  This module provides a tiny, dependency-free table formatter used
+by :mod:`repro.analysis.reporting` and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    min_width: int = 6,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format(cell, floatfmt))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_percentage_breakdown(breakdown: dict, total: float) -> str:
+    """Format a time breakdown dict as ``key: xx.x%`` parts, sorted by share."""
+    if total <= 0:
+        return "(empty)"
+    parts = []
+    for key, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        pct = 100.0 * value / total
+        if pct >= 0.05:
+            parts.append(f"{key}: {pct:.1f}%")
+    return ", ".join(parts)

@@ -1,0 +1,111 @@
+"""Unit conversion helpers.
+
+Internally the performance model works in SI base units:
+
+* sizes in **bytes**
+* bandwidths in **bytes / second**
+* compute rates in **FLOP / second**
+* times in **seconds**
+
+The hardware tables in the paper (Table A3) quote GB/s, TFLOP/s and GB, so
+these helpers centralise the conversions and avoid magic constants being
+scattered across modules.
+"""
+
+from __future__ import annotations
+
+#: Decimal kilobyte (used by the paper for network/HBM bandwidth figures).
+KB = 1e3
+#: Decimal megabyte.
+MB = 1e6
+#: Decimal gigabyte.
+GB = 1e9
+#: Decimal terabyte.
+TB = 1e12
+#: Binary gibibyte (used when reporting HBM usage "in GB" like the paper's
+#: figures, which are close enough to decimal GB that either convention
+#: reproduces the plotted numbers; we expose both).
+GIB = 2**30
+
+_BYTE_SUFFIXES = {
+    "B": 1.0,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "KIB": 2**10,
+    "MIB": 2**20,
+    "GIB": 2**30,
+    "TIB": 2**40,
+}
+
+_TIME_SUFFIXES = {
+    "s": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+    "min": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+_FLOP_SUFFIXES = {
+    "FLOPS": 1.0,
+    "KFLOPS": 1e3,
+    "MFLOPS": 1e6,
+    "GFLOPS": 1e9,
+    "TFLOPS": 1e12,
+    "PFLOPS": 1e15,
+}
+
+
+def to_bytes(value: float, unit: str = "GB") -> float:
+    """Convert ``value`` expressed in ``unit`` into bytes.
+
+    >>> to_bytes(80, "GB")
+    80000000000.0
+    """
+    try:
+        scale = _BYTE_SUFFIXES[unit.upper()]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown byte unit {unit!r}") from exc
+    return float(value) * scale
+
+
+def from_bytes(value_bytes: float, unit: str = "GB") -> float:
+    """Convert bytes into ``unit`` (inverse of :func:`to_bytes`)."""
+    try:
+        scale = _BYTE_SUFFIXES[unit.upper()]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown byte unit {unit!r}") from exc
+    return float(value_bytes) / scale
+
+
+def to_seconds(value: float, unit: str = "s") -> float:
+    """Convert ``value`` expressed in ``unit`` into seconds."""
+    try:
+        scale = _TIME_SUFFIXES[unit.lower()]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown time unit {unit!r}") from exc
+    return float(value) * scale
+
+
+def from_seconds(value_seconds: float, unit: str = "s") -> float:
+    """Convert seconds into ``unit`` (inverse of :func:`to_seconds`)."""
+    try:
+        scale = _TIME_SUFFIXES[unit.lower()]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown time unit {unit!r}") from exc
+    return float(value_seconds) / scale
+
+
+def to_flops(value: float, unit: str = "TFLOPS") -> float:
+    """Convert a compute rate expressed in ``unit`` into FLOP/s."""
+    try:
+        scale = _FLOP_SUFFIXES[unit.upper()]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown FLOP unit {unit!r}") from exc
+    return float(value) * scale

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import GPT3_1T, GPT3_175B, VIT_LONG_SEQ, TransformerConfig
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.system import make_perlmutter, make_system
+
+
+@pytest.fixture(scope="session")
+def b200_nvs8():
+    """B200 system with an 8-GPU NVSwitch domain (the paper's default)."""
+    return make_system("B200", 8)
+
+
+@pytest.fixture(scope="session")
+def b200_nvs64():
+    """B200 system with a 64-GPU NVSwitch domain."""
+    return make_system("B200", 64)
+
+
+@pytest.fixture(scope="session")
+def a100_nvs4():
+    """A100 system with a 4-GPU NVSwitch domain (Perlmutter-like)."""
+    return make_system("A100", 4)
+
+
+@pytest.fixture(scope="session")
+def perlmutter():
+    """Perlmutter-like validation system (A100, 4 GPUs + 4 NICs per node)."""
+    return make_perlmutter(4)
+
+
+@pytest.fixture(scope="session")
+def gpt3_1t() -> TransformerConfig:
+    """The paper's GPT3-1T model."""
+    return GPT3_1T
+
+
+@pytest.fixture(scope="session")
+def vit() -> TransformerConfig:
+    """The paper's long-sequence ViT model."""
+    return VIT_LONG_SEQ
+
+
+@pytest.fixture(scope="session")
+def gpt3_175b() -> TransformerConfig:
+    """The paper's validation GPT3-175B model."""
+    return GPT3_175B
+
+
+@pytest.fixture()
+def small_model() -> TransformerConfig:
+    """A small transformer used by fast unit tests."""
+    return TransformerConfig(
+        name="tiny", seq_len=512, embed_dim=1024, num_heads=16, depth=8
+    )
+
+
+@pytest.fixture()
+def paper_fig1_config() -> ParallelConfig:
+    """The paper's Fig. 1 Config D: (m, nt, nd, np) = (128, 8, 32, 64)."""
+    return ParallelConfig(
+        strategy="tp1d",
+        tensor_parallel_1=8,
+        tensor_parallel_2=1,
+        pipeline_parallel=64,
+        data_parallel=32,
+        microbatch_size=1,
+    )
+
+
+@pytest.fixture()
+def full_nvs8_assignment() -> GpuAssignment:
+    """Assignment placing the full 8-GPU NVS domain on the TP group."""
+    return GpuAssignment(nvs_tp1=8)

@@ -1,0 +1,88 @@
+"""Full activation checkpointing (recompute) option."""
+
+import pytest
+
+from repro.core.execution import ModelingOptions, evaluate_config
+from repro.core.memory import estimate_memory
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig, get_strategy
+from repro.core.search import find_optimal_config
+from repro.core.system import make_system
+
+
+def tp1d_config(nt=8, np_=64, nd=32, bm=1):
+    return ParallelConfig(
+        strategy="tp1d", tensor_parallel_1=nt, tensor_parallel_2=1,
+        pipeline_parallel=np_, data_parallel=nd, microbatch_size=bm,
+    )
+
+
+class TestMemoryEffect:
+    def test_checkpointing_reduces_activation_memory(self):
+        config = tp1d_config()
+        workload = get_strategy("tp1d").layer_workload(GPT3_1T, config)
+        full = estimate_memory(GPT3_1T, config, workload, 128, activation_checkpointing=False)
+        ckpt = estimate_memory(GPT3_1T, config, workload, 128, activation_checkpointing=True)
+        assert ckpt.activation_bytes < full.activation_bytes
+        assert ckpt.weight_bytes == full.weight_bytes
+
+    def test_block_input_elements_populated_for_all_strategies(self):
+        for name, (n1, n2) in (("tp1d", (8, 1)), ("tp2d", (4, 4)), ("summa", (4, 4))):
+            config = ParallelConfig(
+                strategy=name, tensor_parallel_1=n1, tensor_parallel_2=n2,
+                pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+            )
+            workload = get_strategy(name).layer_workload(GPT3_1T, config)
+            assert workload.block_input_elements > 0
+            assert workload.block_input_elements < workload.activation_elements
+
+
+class TestTimeEffect:
+    def test_recompute_slows_the_iteration(self):
+        system = make_system("B200", 8)
+        config = tp1d_config()
+        plain = evaluate_config(
+            GPT3_1T, system, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+            options=ModelingOptions(activation_checkpointing=False),
+        )
+        ckpt = evaluate_config(
+            GPT3_1T, system, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+            options=ModelingOptions(activation_checkpointing=True),
+        )
+        assert ckpt.total_time > plain.total_time
+        # The recompute costs at most one extra forward pass per microbatch.
+        assert ckpt.breakdown.compute < 1.6 * plain.breakdown.compute
+        assert ckpt.memory.total_bytes < plain.memory.total_bytes
+
+
+class TestSearchFallback:
+    def test_vit_on_a100_feasible_only_via_checkpointing(self):
+        """Paper Fig. 5b implies the ViT trains on 80 GB A100s; without
+        recompute our (conservative) retention model cannot fit it."""
+        system = make_system("A100", 8)
+        without = find_optimal_config(
+            VIT_LONG_SEQ, system, n_gpus=1024, global_batch_size=4096,
+            strategy="tp2d", fallback_activation_checkpointing=False,
+        )
+        with_fallback = find_optimal_config(
+            VIT_LONG_SEQ, system, n_gpus=1024, global_batch_size=4096,
+            strategy="tp2d", fallback_activation_checkpointing=True,
+        )
+        assert not without.found
+        assert with_fallback.found
+        assert with_fallback.best.memory_gb <= 80.0
+
+    def test_fallback_does_not_resurrect_truly_impossible_cases(self):
+        system = make_system("A100", 4)
+        result = find_optimal_config(
+            GPT3_1T, system, n_gpus=4, global_batch_size=4096, strategy="tp1d"
+        )
+        assert not result.found
+
+    def test_fallback_not_used_when_plain_config_fits(self):
+        system = make_system("B200", 8)
+        result = find_optimal_config(
+            GPT3_1T, system, n_gpus=1024, global_batch_size=4096, strategy="tp1d"
+        )
+        assert result.found
+        assert not result.best.config.strategy == "checkpointed"  # strategy unchanged

@@ -1,0 +1,108 @@
+"""Rationale studies (Figs. 1-3, A2): the paper's Q1 observations."""
+
+import pytest
+
+from repro.analysis.configurations import (
+    fig1_tp_dp_study,
+    fig2_pp_dp_study,
+    fig3_summa_study,
+    figA2_tp2d_study,
+)
+from repro.core.model import VIT_LONG_SEQ
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return fig1_tp_dp_study()
+
+
+@pytest.fixture(scope="module")
+def fig2_nvs8():
+    return fig2_pp_dp_study(nvs_domain_size=8)
+
+
+@pytest.fixture(scope="module")
+def fig2_nvs64():
+    return fig2_pp_dp_study(nvs_domain_size=64)
+
+
+class TestFig1:
+    """Fig. 1: convex time vs TP with a local minimum around nt = 8."""
+
+    def test_six_labelled_configs(self, fig1):
+        assert [p.label for p in fig1.points] == list("ABCDEF")
+        assert fig1.n_gpus == 16384
+
+    def test_optimum_is_config_d(self, fig1):
+        best = fig1.fastest()
+        assert best.label == "D"
+        assert best.config.as_tuple() == (1, 8, 1, 64, 32)
+
+    def test_times_are_convex_around_the_minimum(self, fig1):
+        times = fig1.times()
+        best_idx = times.index(min(times))
+        assert all(times[i] >= times[i + 1] for i in range(best_idx))
+        assert all(times[i] <= times[i + 1] for i in range(best_idx, len(times) - 1))
+
+    def test_memory_drops_with_tensor_parallel(self, fig1):
+        memory = fig1.memory_gb()
+        assert memory[0] > memory[-1]
+
+    def test_bubble_dominates_at_low_tp_and_comm_at_high_tp(self, fig1):
+        first = fig1.points[0].estimate.breakdown.fractions()
+        last = fig1.points[-1].estimate.breakdown.fractions()
+        assert first["pp_bubble"] > 0.5
+        assert last["tp_comm"] > first["tp_comm"]
+
+
+class TestFig2:
+    """Fig. 2: the NVS-domain size shifts the PP/DP optimum."""
+
+    def test_small_nvs_optimum_at_large_pp(self, fig2_nvs8):
+        best = fig2_nvs8.fastest()
+        assert best.config.pipeline_parallel >= 32
+
+    def test_large_nvs_optimum_at_small_pp(self, fig2_nvs64):
+        best = fig2_nvs64.fastest()
+        assert best.config.pipeline_parallel <= 8
+
+    def test_large_nvs_is_at_least_as_fast(self, fig2_nvs8, fig2_nvs64):
+        assert fig2_nvs64.fastest().total_time <= fig2_nvs8.fastest().total_time
+
+    def test_np1_is_infeasible_on_b200(self, fig2_nvs64):
+        """The paper notes np = 1 would be fastest but does not fit in HBM."""
+        np1 = [p for p in fig2_nvs64.points if p.config.pipeline_parallel == 1]
+        assert np1 and not np1[0].estimate.feasible
+
+
+class TestFig3:
+    """Fig. 3: SUMMA n1/n2 splits under small and large NVS domains."""
+
+    def test_small_nvs_prefers_1d_like_split_with_high_pp(self):
+        study = fig3_summa_study(nvs_domain_size=8)
+        best = study.fastest()
+        assert best.config.tensor_parallel_2 == 1
+        assert best.config.pipeline_parallel > 1
+
+    def test_large_nvs_prefers_high_dp_with_2d_split(self):
+        study = fig3_summa_study(nvs_domain_size=64)
+        best = study.fastest()
+        assert best.config.pipeline_parallel == 1
+        assert best.config.tensor_parallel_2 > 1
+
+
+class TestFigA2:
+    def test_gpt_2d_tp_study_produces_both_regimes(self):
+        study = figA2_tp2d_study(nvs_domain_size=64)
+        pps = {p.config.pipeline_parallel for p in study.points}
+        assert 1 in pps and 128 in pps
+
+    def test_vit_study_uses_vit_regimes(self):
+        study = figA2_tp2d_study(
+            model=VIT_LONG_SEQ,
+            nvs_domain_size=8,
+            high_dp_regime=(16, 1),
+            low_dp_regime=(16, 16),
+        )
+        assert study.points
+        assert all(p.config.tensor_parallel == 16 for p in study.points)

@@ -1,0 +1,155 @@
+"""Scaling sweeps, system grids, hardware heatmaps and speedups (Figs. 4, 5, A3-A6)."""
+
+import pytest
+
+from repro.analysis.speedups import speedup_sweep, speedups_by_system
+from repro.analysis.sweeps import (
+    hardware_heatmap,
+    scaling_sweep,
+    system_grid_sweep,
+)
+from repro.core.config_space import SearchSpace
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.system import make_system
+from repro.core.training import gpt_pretraining_regime
+
+#: Small GPU grids keep the unit tests fast; the full paper grids are used by
+#: the benchmark harness.
+SMALL_GRID = (256, 1024, 4096)
+
+
+@pytest.fixture(scope="module")
+def gpt_sweep():
+    return scaling_sweep(
+        GPT3_1T, make_system("B200", 8), strategy="tp1d", n_gpus_list=SMALL_GRID
+    )
+
+
+class TestScalingSweep:
+    def test_points_cover_requested_grid(self, gpt_sweep):
+        assert gpt_sweep.gpu_counts() == list(SMALL_GRID)
+        assert all(p.found for p in gpt_sweep.points)
+
+    def test_iteration_time_decreases_with_more_gpus(self, gpt_sweep):
+        times = gpt_sweep.iteration_times()
+        assert times[0] > times[1] > times[2]
+
+    def test_parallel_efficiency_within_unity(self, gpt_sweep):
+        eff = gpt_sweep.parallel_efficiency()
+        assert eff[0] == pytest.approx(1.0)
+        assert all(0 < e <= 1.3 for e in eff)
+
+    def test_training_days_use_regime(self, gpt_sweep):
+        regime = gpt_pretraining_regime(GPT3_1T, 4096)
+        days = gpt_sweep.training_days(regime)
+        assert days[0] > days[-1] > 0
+
+    def test_compute_fraction_shrinks_at_scale(self, gpt_sweep):
+        fractions = [
+            p.result.best.breakdown.fractions()["compute"] for p in gpt_sweep.points
+        ]
+        assert fractions[0] >= fractions[-1]
+
+
+class TestSystemGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return system_grid_sweep(
+            GPT3_1T,
+            strategy="tp1d",
+            gpu_generations=("A100", "B200"),
+            nvs_domain_sizes=(8,),
+            n_gpus_list=(1024, 4096),
+        )
+
+    def test_one_series_per_system(self, grid):
+        assert {s.system_name for s in grid} == {"A100-NVS8", "B200-NVS8"}
+
+    def test_newer_generation_is_faster(self, grid):
+        by_name = {s.system_name: s for s in grid}
+        a100 = by_name["A100-NVS8"].training_days
+        b200 = by_name["B200-NVS8"].training_days
+        assert all(b < a for a, b in zip(a100, b200))
+
+    def test_b200_pretraining_is_order_days_at_scale(self, grid):
+        by_name = {s.system_name: s for s in grid}
+        # At 4096 B200 GPUs pre-training 1T tokens takes O(10) days; at 16K it
+        # drops to O(3-5) days (checked in the benchmark harness).
+        assert 3 < by_name["B200-NVS8"].training_days[-1] < 40
+
+
+class TestHardwareHeatmap:
+    def test_capacity_vs_flops_mode(self):
+        heatmap = hardware_heatmap(
+            GPT3_1T,
+            strategy="tp1d",
+            n_gpus=4096,
+            capacity_gb=(80, 192),
+            bandwidth_tbps=(1.5, 8.0),
+            tensor_tflops=(312, 2500),
+            mode="capacity_vs_flops",
+        )
+        arr = heatmap.as_array()
+        assert arr.shape == (2, 2)
+        # Higher FLOP rate (row 1) must be at least as fast as row 0.
+        assert (arr[1] <= arr[0] + 1e-9).all()
+
+    def test_flop_rate_is_primary_factor_for_gpt(self):
+        """Paper Fig. A5a: FLOP rate matters much more than capacity for GPT3-1T."""
+        heatmap = hardware_heatmap(
+            GPT3_1T,
+            strategy="tp1d",
+            n_gpus=4096,
+            capacity_gb=(80, 352),
+            bandwidth_tbps=(8.0, 8.0),
+            tensor_tflops=(312, 2500),
+            mode="capacity_vs_flops",
+        )
+        arr = heatmap.as_array()
+        flop_gain = arr[0, 0] / arr[1, 0]
+        capacity_gain = arr[0, 0] / arr[0, 1]
+        assert flop_gain > 2.0
+        assert capacity_gain < 1.6
+
+    def test_capacity_vs_bandwidth_mode(self):
+        heatmap = hardware_heatmap(
+            GPT3_1T,
+            strategy="tp1d",
+            n_gpus=4096,
+            capacity_gb=(96, 384),
+            bandwidth_tbps=(2.0, 8.0),
+            mode="capacity_vs_bandwidth",
+        )
+        assert heatmap.as_array().shape == (2, 2)
+        x, y, days = heatmap.min_point()
+        assert days > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            hardware_heatmap(GPT3_1T, mode="capacity_vs_phase_of_moon")
+
+
+class TestSpeedups:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return speedup_sweep(
+            GPT3_1T,
+            variant_strategy="summa",
+            gpu_generations=("A100",),
+            nvs_domain_sizes=(4,),
+            n_gpus_list=(512, 1024),
+        )
+
+    def test_point_structure(self, points):
+        assert len(points) == 2
+        assert all(p.baseline_strategy == "tp1d" for p in points)
+        assert all(p.variant_strategy == "summa" for p in points)
+
+    def test_summa_helps_in_constrained_regime(self, points):
+        """Paper Fig. A4a: SUMMA helps on capacity-constrained A100 / small NVS."""
+        assert any(p.speedup > 1.0 for p in points)
+
+    def test_grouping_by_system(self, points):
+        grouped = speedups_by_system(points)
+        assert set(grouped) == {"A100-NVS4"}
+        assert [p.n_gpus for p in grouped["A100-NVS4"]] == [512, 1024]

@@ -1,0 +1,137 @@
+"""Empirical-validation comparison (§IV) and the text-report renderers."""
+
+import pytest
+
+from repro.analysis.configurations import fig1_tp_dp_study
+from repro.analysis.reporting import (
+    render_configuration_study,
+    render_heatmap,
+    render_scaling_sweep,
+    render_speedups,
+    render_system_grid,
+    render_validation,
+)
+from repro.analysis.speedups import SpeedupPoint
+from repro.analysis.sweeps import (
+    HardwareHeatmap,
+    SystemScalingSeries,
+    scaling_sweep,
+)
+from repro.analysis.validation import (
+    PAPER_VALIDATION_CASES,
+    prediction_orders_match,
+    run_validation,
+)
+from repro.core.model import GPT3_1T
+from repro.core.system import make_system
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return run_validation()
+
+
+class TestValidationCases:
+    def test_all_published_cases_are_encoded(self):
+        names = {c.name for c in PAPER_VALIDATION_CASES}
+        assert "gpt3-175b-optimal" in names
+        assert "vit-32k-near-optimal" in names
+        assert len(PAPER_VALIDATION_CASES) >= 8
+
+    def test_optimal_cases_flagged(self):
+        optimal = [c for c in PAPER_VALIDATION_CASES if c.is_optimal]
+        assert {c.model_key for c in optimal} == {"gpt3-175b", "vit-32k"}
+
+    def test_reported_errors_within_paper_ranges(self):
+        for case in PAPER_VALIDATION_CASES:
+            if case.model_key == "gpt3-175b":
+                assert 0.04 <= case.reported_error <= 0.15
+            else:
+                assert 0.02 <= case.reported_error <= 0.26
+
+
+class TestRunValidation:
+    def test_predictions_are_positive_and_feasible_configs_mostly_fit(self, comparisons):
+        assert all(c.predicted_time > 0 for c in comparisons)
+        feasible = [c for c in comparisons if c.feasible]
+        assert len(feasible) >= len(comparisons) - 1
+
+    def test_implied_measurement_reconstruction(self, comparisons):
+        for comp in comparisons:
+            expected = comp.predicted_time * (1 + comp.case.reported_error)
+            assert comp.implied_measured_time == pytest.approx(expected)
+            # Reconstructed error is e / (1 + e) by construction.
+            assert comp.reconstructed_error == pytest.approx(
+                comp.case.reported_error / (1 + comp.case.reported_error), rel=0.01
+            )
+
+    def test_gpt_optimal_prediction_is_over_ten_seconds(self, comparisons):
+        """A 175B model on 512 A100s with batch 1024 takes tens of seconds."""
+        opt = next(c for c in comparisons if c.case.name == "gpt3-175b-optimal")
+        assert 5.0 < opt.predicted_time < 60.0
+
+    def test_prediction_orders_match_paper_trend(self, comparisons):
+        assert prediction_orders_match(comparisons)
+
+    def test_optimal_config_is_fastest_prediction_per_model(self, comparisons):
+        for model_key in ("gpt3-175b", "vit-32k"):
+            subset = [c for c in comparisons if c.case.model_key == model_key]
+            optimal = [c for c in subset if c.case.is_optimal]
+            others = [c for c in subset if not c.case.is_optimal]
+            assert optimal and others
+            assert min(c.predicted_time for c in optimal) <= min(
+                c.predicted_time for c in others
+            ) * 1.05
+
+
+class TestRendering:
+    def test_render_configuration_study(self):
+        text = render_configuration_study(fig1_tp_dp_study(tp_values=(4, 8)))
+        assert "GPT3-1T" in text and "Config" in text
+        assert "A" in text and "B" in text
+
+    def test_render_scaling_sweep(self):
+        sweep = scaling_sweep(
+            GPT3_1T, make_system("B200", 8), strategy="tp1d", n_gpus_list=(512,)
+        )
+        text = render_scaling_sweep(sweep)
+        assert "512" in text and "iter(s)" in text
+
+    def test_render_system_grid(self):
+        series = [
+            SystemScalingSeries(
+                system_name="B200-NVS8", gpu_generation="B200", nvs_domain_size=8,
+                n_gpus=[1024], training_days=[12.5], iteration_times=[9.0],
+            )
+        ]
+        text = render_system_grid(series, "GPT3-1T")
+        assert "B200-NVS8" in text and "12.50" in text
+
+    def test_render_system_grid_empty(self):
+        assert render_system_grid([], "x") == "(no series)"
+
+    def test_render_heatmap(self):
+        heatmap = HardwareHeatmap(
+            model_name="GPT3-1T", strategy="tp1d", n_gpus=8192,
+            x_label="hbm_capacity_gb", y_label="tensor_tflops",
+            x_values=[80.0, 192.0], y_values=[312.0, 2500.0],
+            training_days=[[30.0, 28.0], [5.0, float("inf")]],
+        )
+        text = render_heatmap(heatmap)
+        assert "30.00" in text and "inf" in text
+
+    def test_render_speedups(self):
+        points = [
+            SpeedupPoint("A100-NVS4", 512, "tp1d", "summa", 10.0, 9.0),
+            SpeedupPoint("A100-NVS4", 1024, "tp1d", "summa", 5.0, 4.8),
+        ]
+        text = render_speedups(points)
+        assert "A100-NVS4" in text and "1.111" in text
+
+    def test_render_speedups_empty(self):
+        assert render_speedups([]) == "(no speedup points)"
+
+    def test_render_validation(self, comparisons):
+        text = render_validation(comparisons)
+        assert "gpt3-175b-optimal" in text
+        assert "predicted(s)" in text

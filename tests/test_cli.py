@@ -1,0 +1,78 @@
+"""Command-line interface (``repro-perf``)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for cmd in ("search", "scaling", "systems", "speedup", "validate", "collectives"):
+            args = parser.parse_args([cmd] if cmd in ("validate", "collectives") else [cmd])
+            assert hasattr(args, "func")
+
+
+class TestSearchCommand:
+    def test_basic_search(self, capsys):
+        rc = main(["search", "--model", "gpt3-1t", "--gpus", "256", "--gpu", "B200"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Best configuration" in out
+        assert "iteration" in out
+
+    def test_infeasible_search_returns_nonzero(self, capsys):
+        rc = main(["search", "--model", "gpt3-1t", "--gpus", "4", "--gpu", "A100"])
+        assert rc == 1
+        assert "No feasible configuration" in capsys.readouterr().out
+
+    def test_top_k_table(self, capsys):
+        rc = main(["search", "--model", "gpt3-1t", "--gpus", "256", "--top-k", "3"])
+        assert rc == 0
+        assert "config" in capsys.readouterr().out
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "result.json"
+        rc = main(["search", "--model", "gpt3-1t", "--gpus", "256", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["n_gpus"] == 256
+
+
+class TestOtherCommands:
+    def test_scaling(self, capsys):
+        rc = main(["scaling", "--model", "gpt3-1t", "--gpus", "256,512"])
+        assert rc == 0
+        assert "strong scaling" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        rc = main(["validate"])
+        assert rc == 0
+        assert "empirical validation" in capsys.readouterr().out
+
+    def test_collectives(self, capsys):
+        rc = main(["collectives", "--gpus", "8", "--nvlink", "4"])
+        assert rc == 0
+        assert "all_gather" in capsys.readouterr().out
+
+    def test_systems_small(self, capsys):
+        rc = main([
+            "systems", "--model", "gpt3-1t", "--gpus", "512",
+            "--generations", "B200", "--nvs-sizes", "8",
+        ])
+        assert rc == 0
+        assert "training days" in capsys.readouterr().out
+
+    def test_speedup_small(self, capsys):
+        rc = main([
+            "speedup", "--model", "gpt3-1t", "--gpus", "512", "--variant", "tp2d",
+            "--generations", "B200", "--nvs-sizes", "8",
+        ])
+        assert rc == 0
+        assert "relative speed-up" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Dual-network collective-time model (paper §III-A, S2 communication time)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collectives import (
+    ALL_GATHER,
+    ALL_REDUCE,
+    BROADCAST,
+    POINT_TO_POINT,
+    REDUCE_SCATTER,
+    GroupPlacement,
+    all_gather_time,
+    all_reduce_time,
+    collective_time,
+    effective_algorithm_bandwidth,
+    effective_nic_count,
+    latency_time,
+    point_to_point_time,
+    ring_bandwidth_time,
+)
+from repro.core.system import make_network
+
+NET = make_network("A100", 8)
+GB = 1e9
+
+
+class TestGroupPlacement:
+    def test_clamps_to_group_size(self):
+        p = GroupPlacement(size=4, gpus_per_nvs_domain=16)
+        assert p.gpus_per_nvs_domain == 4
+        assert not p.spans_multiple_domains
+
+    def test_num_domains(self):
+        assert GroupPlacement(size=32, gpus_per_nvs_domain=4).num_domains == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GroupPlacement(size=0)
+        with pytest.raises(ValueError):
+            GroupPlacement(size=4, gpus_per_nvs_domain=0)
+
+
+class TestLatencyTerm:
+    def test_paper_formula(self):
+        # t_latency = alpha_s (n/g - 1) + alpha_f (n - n/g)
+        p = GroupPlacement(size=32, gpus_per_nvs_domain=4)
+        expected = NET.ib_latency * (8 - 1) + NET.nvs_latency * (32 - 8)
+        assert latency_time(p, NET) == pytest.approx(expected)
+
+    def test_single_domain_has_no_slow_hops(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=8)
+        assert latency_time(p, NET) == pytest.approx(NET.nvs_latency * 7)
+
+    def test_fully_distributed_has_only_slow_hops(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=1)
+        assert latency_time(p, NET) == pytest.approx(NET.ib_latency * 7)
+
+    def test_single_gpu_is_free(self):
+        assert latency_time(GroupPlacement(size=1), NET) == 0.0
+
+
+class TestBandwidthTerm:
+    def test_single_domain_uses_fast_bandwidth(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=8)
+        expected = (7 / 8) * (GB / NET.effective_nvs_bandwidth)
+        assert ring_bandwidth_time(GB, p, NET) == pytest.approx(expected)
+
+    def test_cross_domain_limited_by_slower_path(self):
+        p = GroupPlacement(size=32, gpus_per_nvs_domain=1)
+        # With one GPU per node only one NIC's worth of IB is available.
+        expected = (31 / 32) * (GB / NET.effective_ib_bandwidth)
+        assert ring_bandwidth_time(GB, p, NET) == pytest.approx(expected)
+
+    def test_more_gpus_per_node_increase_effective_ib(self):
+        sparse = GroupPlacement(size=32, gpus_per_nvs_domain=1)
+        dense = GroupPlacement(size=32, gpus_per_nvs_domain=8)
+        assert ring_bandwidth_time(GB, dense, NET) < ring_bandwidth_time(GB, sparse, NET)
+
+    def test_effective_nic_count(self):
+        assert effective_nic_count(GroupPlacement(32, 8), NET) == pytest.approx(8)
+        assert effective_nic_count(GroupPlacement(32, 2), NET) == pytest.approx(2)
+        assert effective_nic_count(GroupPlacement(32, 1), NET) >= 1.0
+
+
+class TestCollectiveTime:
+    def test_zero_volume_or_single_gpu(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=8)
+        assert collective_time(ALL_GATHER, 0.0, p, NET) == 0.0
+        assert collective_time(ALL_GATHER, GB, GroupPlacement(1), NET) == 0.0
+
+    def test_allreduce_is_twice_allgather_bandwidth(self):
+        p = GroupPlacement(size=16, gpus_per_nvs_domain=8)
+        ag = all_gather_time(GB, p, NET) - latency_time(p, NET)
+        ar = all_reduce_time(GB, p, NET) - latency_time(p, NET)
+        assert ar == pytest.approx(2 * ag)
+
+    def test_reduce_scatter_equals_allgather(self):
+        p = GroupPlacement(size=16, gpus_per_nvs_domain=8)
+        assert collective_time(REDUCE_SCATTER, GB, p, NET) == pytest.approx(
+            collective_time(ALL_GATHER, GB, p, NET)
+        )
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            collective_time("all_to_all_v2", GB, GroupPlacement(8, 8), NET)
+
+    def test_point_to_point_prefers_fast_domain(self):
+        fast = point_to_point_time(GB, GroupPlacement(2, 2), NET)
+        slow = point_to_point_time(GB, GroupPlacement(2, 1), NET)
+        assert fast < slow
+
+    def test_broadcast_moves_full_buffer(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=8)
+        t = collective_time(BROADCAST, GB, p, NET)
+        assert t > 0
+        assert t == pytest.approx(latency_time(p, NET) + ring_bandwidth_time(GB, p, NET))
+
+    def test_algorithm_bandwidth(self):
+        p = GroupPlacement(size=8, gpus_per_nvs_domain=8)
+        bw = effective_algorithm_bandwidth(ALL_GATHER, 10 * GB, p, NET)
+        assert 0 < bw <= NET.effective_nvs_bandwidth * 8 / 7
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e11),
+        st.sampled_from([2, 4, 8, 16, 64, 256]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_is_monotone_in_volume(self, volume, group, per_domain):
+        if per_domain > group:
+            per_domain = group
+        p = GroupPlacement(size=group, gpus_per_nvs_domain=per_domain)
+        t1 = collective_time(ALL_GATHER, volume, p, NET)
+        t2 = collective_time(ALL_GATHER, 2 * volume, p, NET)
+        assert t2 >= t1 >= 0
+
+    @given(st.sampled_from([8, 16, 32, 64, 128]))
+    @settings(max_examples=20, deadline=None)
+    def test_denser_placement_is_never_slower(self, group):
+        sparse = GroupPlacement(size=group, gpus_per_nvs_domain=1)
+        dense = GroupPlacement(size=group, gpus_per_nvs_domain=min(8, group))
+        v = 1e9
+        assert collective_time(ALL_GATHER, v, dense, NET) <= collective_time(
+            ALL_GATHER, v, sparse, NET
+        )

@@ -1,0 +1,114 @@
+"""Factorization helpers used by the configuration-space enumeration."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.factorization import (
+    divisors,
+    factorizations,
+    is_power_of_two,
+    pow2_divisors,
+    split_into_factors,
+)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_one(self):
+        assert divisors(1) == (1,)
+
+    def test_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_perfect_square(self):
+        assert divisors(16) == (1, 2, 4, 8, 16)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_every_divisor_divides(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_and_complete(self, n):
+        ds = divisors(n)
+        assert list(ds) == sorted(ds)
+        brute = tuple(d for d in range(1, n + 1) if n % d == 0)
+        assert ds == brute
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for k in range(15):
+            assert is_power_of_two(2**k)
+
+    def test_non_powers(self):
+        for v in (0, 3, 6, 12, 100, -4):
+            assert not is_power_of_two(v)
+
+    def test_pow2_divisors(self):
+        assert pow2_divisors(48) == (1, 2, 4, 8, 16)
+        assert pow2_divisors(1024) == tuple(2**k for k in range(11))
+
+
+class TestFactorizations:
+    def test_two_parts(self):
+        assert factorizations(4, 2) == ((1, 4), (2, 2), (4, 1))
+
+    def test_products_match(self):
+        for parts in (1, 2, 3, 4):
+            for f in factorizations(24, parts):
+                assert math.prod(f) == 24
+                assert len(f) == parts
+
+    def test_count_power_of_two(self):
+        # Number of ordered factorizations of 2^k into 4 factors is C(k+3, 3).
+        k = 6
+        expected = math.comb(k + 3, 3)
+        assert len(factorizations(2**k, 4)) == expected
+
+    def test_single_part(self):
+        assert factorizations(7, 1) == ((7,),)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factorizations(8, 0)
+        with pytest.raises(ValueError):
+            factorizations(0, 2)
+
+    @given(st.integers(min_value=1, max_value=256), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_no_duplicates(self, n, parts):
+        fs = factorizations(n, parts)
+        assert len(fs) == len(set(fs))
+
+
+class TestSplitIntoFactors:
+    def test_limits_enforced(self):
+        results = list(split_into_factors(8, limits=(2, 8, 8, 8)))
+        assert all(f[0] <= 2 for f in results)
+        assert all(math.prod(f) == 8 for f in results)
+
+    def test_divisibility_enforced(self):
+        results = list(
+            split_into_factors(8, limits=(8, 8, 8, 8), require_divides=(4, 2, 8, 1))
+        )
+        for f in results:
+            assert 4 % f[0] == 0
+            assert 2 % f[1] == 0
+            assert 8 % f[2] == 0
+            assert f[3] == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            list(split_into_factors(8, limits=(2, 2), require_divides=(2,)))

@@ -1,0 +1,166 @@
+"""Integration tests: the paper's headline qualitative claims end-to-end.
+
+Each test reproduces one claim from §IV / §V of the paper using the full
+public API (model presets -> system catalog -> optimal-configuration search
+-> training-day estimates).  These are the "shape" checks the reproduction
+is graded on: who wins, by roughly what factor, where the crossovers fall.
+"""
+
+import pytest
+
+from repro import (
+    GPT3_1T,
+    VIT_LONG_SEQ,
+    ModelingOptions,
+    find_optimal_config,
+    make_system,
+    training_days,
+)
+from repro.core.config_space import SearchSpace
+
+
+@pytest.fixture(scope="module")
+def b200_nvs8():
+    return make_system("B200", 8)
+
+
+class TestGptClaims:
+    def test_1d_tp_is_sufficient_for_gpt(self, b200_nvs8):
+        """§IV(Q2): 1D TP yields good performance for GPT3-1T (compute-dominated)."""
+        result = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=4096, global_batch_size=4096, strategy="tp1d"
+        )
+        frac = result.best.breakdown.fractions()
+        assert frac["compute"] > 0.5
+
+    def test_pp_bubbles_grow_at_scale(self, b200_nvs8):
+        """§IV(Q2i): pipeline bubbles start to dominate at large GPU counts."""
+        small = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=512, global_batch_size=4096, strategy="tp1d"
+        )
+        large = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=16384, global_batch_size=4096, strategy="tp1d"
+        )
+        assert (
+            large.best.breakdown.fractions()["pp_bubble"]
+            > small.best.breakdown.fractions()["pp_bubble"]
+        )
+
+    def test_hbm_utilisation_drops_at_scale_for_gpt(self, b200_nvs8):
+        """§IV(Q2iii): HBM capacity utilisation is high only at small scale."""
+        small = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=256, global_batch_size=4096, strategy="tp1d"
+        )
+        large = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=16384, global_batch_size=4096, strategy="tp1d"
+        )
+        assert large.best.memory_gb < small.best.memory_gb
+
+    def test_gpu_generations_give_large_speedups(self):
+        """§IV(Q3i): A100 -> B200 shrinks GPT3-1T training from O(30) to O(3-5) days."""
+        days = {}
+        for gen in ("A100", "B200"):
+            system = make_system(gen, 8)
+            result = find_optimal_config(
+                GPT3_1T, system, n_gpus=16384, global_batch_size=4096, strategy="tp1d"
+            )
+            days[gen] = training_days(result.best_time, GPT3_1T, 4096)
+        assert days["A100"] / days["B200"] > 4.0
+        assert 2.0 < days["B200"] < 8.0
+        assert 15.0 < days["A100"] < 60.0
+
+    def test_nvs_domain_matters_mostly_at_scale_for_gpt(self):
+        """§IV(Q3ii): NVS-domain benefits for GPT3-1T grow with scale."""
+        def gain(n):
+            t_small = find_optimal_config(
+                GPT3_1T, make_system("B200", 4), n_gpus=n, global_batch_size=4096,
+                strategy="tp1d",
+            ).best_time
+            t_large = find_optimal_config(
+                GPT3_1T, make_system("B200", 64), n_gpus=n, global_batch_size=4096,
+                strategy="tp1d",
+            ).best_time
+            return t_small / t_large
+
+        assert gain(16384) >= gain(2048) * 0.98  # larger scale benefits at least as much
+        assert gain(16384) > 1.02
+
+
+class TestVitClaims:
+    def test_vit_demands_2d_parallelism(self, b200_nvs8):
+        """§IV(Q2iv): the 64K-sequence ViT needs 2D TP; 1D TP is not viable."""
+        tp1d = find_optimal_config(
+            VIT_LONG_SEQ, b200_nvs8, n_gpus=2048, global_batch_size=4096, strategy="tp1d"
+        )
+        tp2d = find_optimal_config(
+            VIT_LONG_SEQ, b200_nvs8, n_gpus=2048, global_batch_size=4096, strategy="tp2d"
+        )
+        assert tp2d.found
+        assert (not tp1d.found) or (tp1d.best_time > 1.5 * tp2d.best_time)
+
+    def test_vit_tp_comm_is_the_bottleneck(self, b200_nvs8):
+        """§IV(Q2iv): TP communication is the dominant non-compute cost for the ViT."""
+        result = find_optimal_config(
+            VIT_LONG_SEQ, b200_nvs8, n_gpus=4096, global_batch_size=4096, strategy="tp2d"
+        )
+        frac = result.best.breakdown.fractions()
+        non_compute = {k: v for k, v in frac.items() if k not in ("compute", "memory")}
+        assert max(non_compute, key=non_compute.get) == "tp_comm"
+
+    def test_vit_depends_on_nvs_at_moderate_scale_more_than_gpt(self):
+        """§IV(Q3iv): the ViT sees NVS benefits throughout, GPT mostly at scale."""
+        n = 1024
+        def gain(model, strategy):
+            t4 = find_optimal_config(
+                model, make_system("B200", 4), n_gpus=n, global_batch_size=4096,
+                strategy=strategy,
+            ).best_time
+            t64 = find_optimal_config(
+                model, make_system("B200", 64), n_gpus=n, global_batch_size=4096,
+                strategy=strategy,
+            ).best_time
+            return t4 / t64
+
+        assert gain(VIT_LONG_SEQ, "tp2d") > gain(GPT3_1T, "tp1d")
+
+    def test_vit_benefits_from_gpu_generation(self):
+        a100 = find_optimal_config(
+            VIT_LONG_SEQ, make_system("A100", 8), n_gpus=4096, global_batch_size=4096,
+            strategy="tp2d",
+        )
+        b200 = find_optimal_config(
+            VIT_LONG_SEQ, make_system("B200", 8), n_gpus=4096, global_batch_size=4096,
+            strategy="tp2d",
+        )
+        assert a100.best_time > 2.0 * b200.best_time
+
+
+class TestAblations:
+    def test_gpu_assignment_search_never_hurts(self, b200_nvs8):
+        """The paper's NVS-placement search is the contribution over Calculon."""
+        with_search = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=2048, global_batch_size=4096, strategy="tp1d",
+            space=SearchSpace(search_gpu_assignment=True),
+        )
+        without_search = find_optimal_config(
+            GPT3_1T, b200_nvs8, n_gpus=2048, global_batch_size=4096, strategy="tp1d",
+            space=SearchSpace(search_gpu_assignment=False),
+        )
+        assert with_search.best_time <= without_search.best_time * 1.0001
+
+    def test_flash_attention_is_required_for_vit_feasibility_margin(self, b200_nvs8):
+        """Without the fused L/A recompute the ViT's memory pressure explodes."""
+        flash = find_optimal_config(
+            VIT_LONG_SEQ, b200_nvs8, n_gpus=512, global_batch_size=4096, strategy="tp2d",
+            options=ModelingOptions(flash_attention=True),
+        )
+        no_flash = find_optimal_config(
+            VIT_LONG_SEQ, b200_nvs8, n_gpus=512, global_batch_size=4096, strategy="tp2d",
+            options=ModelingOptions(flash_attention=False),
+        )
+        assert flash.found
+        # Dropping the fused kernel forces the l x l logits to be retained;
+        # the search only survives by falling back to full recomputation, and
+        # the resulting best configuration cannot be faster.
+        if no_flash.found:
+            assert no_flash.best_time >= flash.best_time * 0.999

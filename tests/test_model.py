@@ -1,0 +1,119 @@
+"""Transformer architecture descriptions (paper §III-B)."""
+
+import pytest
+
+from repro.core.model import (
+    GPT3_1T,
+    GPT3_175B,
+    MODEL_CATALOG,
+    TransformerConfig,
+    VIT_32K,
+    VIT_LONG_SEQ,
+    get_model,
+)
+
+
+class TestPaperPresets:
+    def test_gpt3_1t_hyperparameters(self):
+        assert (GPT3_1T.seq_len, GPT3_1T.embed_dim, GPT3_1T.num_heads, GPT3_1T.depth) == (
+            2048,
+            25600,
+            160,
+            128,
+        )
+        assert GPT3_1T.hidden_dim == 4 * GPT3_1T.embed_dim
+
+    def test_vit_hyperparameters(self):
+        assert (VIT_LONG_SEQ.seq_len, VIT_LONG_SEQ.embed_dim) == (64800, 12288)
+        assert (VIT_LONG_SEQ.num_heads, VIT_LONG_SEQ.depth) == (64, 48)
+
+    def test_gpt3_1t_has_a_trillion_parameters(self):
+        assert GPT3_1T.total_params == pytest.approx(1e12, rel=0.05)
+
+    def test_gpt3_175b_parameter_count(self):
+        assert GPT3_175B.total_params == pytest.approx(175e9, rel=0.05)
+
+    def test_vit_sequence_comes_from_era5_grid(self):
+        # 720 x 1440 grid with patch size 4 -> (720/4) * (1440/4) = 64800.
+        assert VIT_LONG_SEQ.seq_len == (720 // 4) * (1440 // 4)
+
+    def test_mlp_to_attention_flop_ratios(self):
+        # Paper: roughly 2x for GPT3-1T and roughly 0.5x for the ViT.
+        assert GPT3_1T.mlp_to_attention_flop_ratio() == pytest.approx(2.0, rel=0.1)
+        assert VIT_LONG_SEQ.mlp_to_attention_flop_ratio() == pytest.approx(0.5, rel=0.15)
+
+    def test_head_dim(self):
+        assert GPT3_1T.head_dim == 160
+        assert VIT_LONG_SEQ.head_dim == 192
+
+    def test_catalog_lookup(self):
+        assert get_model("GPT3-1T") is GPT3_1T
+        assert get_model("vit") is VIT_LONG_SEQ
+        assert get_model("vit-32k") is VIT_32K
+        assert set(MODEL_CATALOG) >= {"gpt3-1t", "vit", "gpt3-175b", "vit-32k"}
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("llama-ultra")
+
+
+class TestTransformerConfig:
+    def test_default_hidden_dim(self):
+        cfg = TransformerConfig(name="t", seq_len=128, embed_dim=256, num_heads=8, depth=2)
+        assert cfg.hidden_dim == 1024
+
+    def test_explicit_hidden_dim(self):
+        cfg = TransformerConfig(
+            name="t", seq_len=128, embed_dim=256, num_heads=8, depth=2, hidden_dim=512
+        )
+        assert cfg.hidden_dim == 512
+
+    def test_params_per_layer_formula(self):
+        cfg = TransformerConfig(name="t", seq_len=128, embed_dim=256, num_heads=8, depth=2)
+        e, f = 256, 1024
+        expected = (4 * e * e + 4 * e) + (2 * e * f + f + e) + 4 * e
+        assert cfg.params_per_layer == expected
+        assert cfg.total_params == 2 * expected
+
+    def test_embedding_params(self):
+        cfg = TransformerConfig(
+            name="t", seq_len=128, embed_dim=256, num_heads=8, depth=2, vocab_size=1000
+        )
+        assert cfg.embedding_params == 256000
+        assert cfg.total_params == 2 * cfg.params_per_layer + 256000
+
+    def test_flops_scale_linearly_with_batch(self):
+        cfg = TransformerConfig(name="t", seq_len=128, embed_dim=256, num_heads=8, depth=2)
+        assert cfg.forward_flops(batch=4) == pytest.approx(4 * cfg.forward_flops(batch=1))
+
+    def test_heads_must_divide_embed_dim(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(name="bad", seq_len=128, embed_dim=250, num_heads=8, depth=2)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(name="bad", seq_len=0, embed_dim=256, num_heads=8, depth=2)
+        with pytest.raises(ValueError):
+            TransformerConfig(name="bad", seq_len=128, embed_dim=256, num_heads=8, depth=0)
+
+    def test_dtype_bytes_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(
+                name="bad", seq_len=128, embed_dim=256, num_heads=8, depth=2, dtype_bytes=3
+            )
+
+    def test_scaled_copy(self):
+        cfg = GPT3_1T.scaled(depth=64)
+        assert cfg.depth == 64
+        assert cfg.embed_dim == GPT3_1T.embed_dim
+        assert GPT3_1T.depth == 128  # original unchanged
+
+    def test_describe_contains_key_fields(self):
+        d = GPT3_1T.describe()
+        assert d["name"] == "GPT3-1T"
+        assert d["params_total"] == GPT3_1T.total_params
+        assert "mlp_to_attention_flops" in d
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GPT3_1T.depth = 5  # type: ignore[misc]

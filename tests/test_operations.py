@@ -1,0 +1,163 @@
+"""Operation-level FLOP and byte counting (stage S1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import (
+    AttentionShape,
+    CommOp,
+    ComputeOp,
+    arithmetic_intensity,
+    comm_volume_by_group,
+    dropout_op,
+    flash_attention_backward,
+    flash_attention_forward,
+    gelu_op,
+    layernorm_op,
+    matmul_backward_ops,
+    matmul_bytes,
+    matmul_flops,
+    matmul_op,
+    softmax_op,
+    total_bytes,
+    total_flops,
+    vector_backward_op,
+    vector_op,
+)
+
+
+class TestMatmulCounting:
+    def test_flops_formula(self):
+        # lambda_f = 2 m k n
+        assert matmul_flops(4, 5, 6) == 2 * 4 * 5 * 6
+
+    def test_flops_with_batch(self):
+        assert matmul_flops(4, 5, 6, batch=3) == 3 * 2 * 4 * 5 * 6
+
+    def test_bytes_formula_fp16(self):
+        # lambda_m = 2 (mk + kn + mn) for FP16
+        assert matmul_bytes(4, 5, 6) == 2 * (20 + 30 + 24)
+
+    def test_shared_weight_bytes(self):
+        shared = matmul_bytes(4, 5, 6, batch=8, shared_operand_b=True)
+        unshared = matmul_bytes(4, 5, 6, batch=8, shared_operand_b=False)
+        assert shared < unshared
+        assert shared == 2 * (8 * 20 + 30 + 8 * 24)
+
+    def test_matmul_op_uses_tensor_pipe(self):
+        op = matmul_op("mm", 64, 64, 64)
+        assert op.pipe == "tensor"
+        assert op.flops == matmul_flops(64, 64, 64)
+
+    def test_backward_is_two_matmuls_with_double_flops(self):
+        fwd = matmul_op("mm", 32, 64, 128)
+        bwd = matmul_backward_ops("mm", 32, 64, 128)
+        assert len(bwd) == 2
+        assert total_flops(bwd) == pytest.approx(2 * fwd.flops)
+
+    @given(
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_always_positive(self, m, k, n):
+        assert matmul_flops(m, k, n) > 0
+        assert matmul_bytes(m, k, n) > 0
+
+
+class TestVectorOps:
+    def test_layernorm_is_vector_pipe(self):
+        op = layernorm_op(1000)
+        assert op.pipe == "vector"
+        assert op.bytes_hbm == 2 * 1000 * 2
+
+    def test_softmax_and_gelu(self):
+        assert softmax_op(100).flops == 5 * 100
+        assert gelu_op(100).flops == 8 * 100
+
+    def test_dropout_includes_mask_traffic(self):
+        assert dropout_op(100).bytes_hbm > gelu_op(100).bytes_hbm
+
+    def test_backward_scales_cost(self):
+        fwd = layernorm_op(1000)
+        bwd = vector_backward_op(fwd)
+        assert bwd.flops == pytest.approx(2 * fwd.flops)
+        assert bwd.name.endswith(".bwd")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            vector_op("transcendental", 10)
+
+
+class TestComputeOpValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeOp(name="bad", flops=-1, bytes_hbm=0)
+
+    def test_unknown_pipe_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeOp(name="bad", flops=1, bytes_hbm=1, pipe="quantum")
+
+    def test_scaled(self):
+        op = ComputeOp(name="x", flops=10, bytes_hbm=20)
+        scaled = op.scaled(0.5)
+        assert scaled.flops == 5 and scaled.bytes_hbm == 10
+
+    def test_comm_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            CommOp(name="bad", collective="all_gather", volume_bytes=-1, group="tp1")
+
+
+class TestFlashAttention:
+    def _shape(self, fused_heads=16):
+        return AttentionShape(batch=2, heads=fused_heads, q_rows=512, kv_rows=512, head_dim=64)
+
+    def test_fused_is_single_op(self):
+        ops = flash_attention_forward(self._shape(), fused=True)
+        assert len(ops) == 1
+
+    def test_unfused_exposes_logits_traffic(self):
+        fused = flash_attention_forward(self._shape(), fused=True)
+        unfused = flash_attention_forward(self._shape(), fused=False)
+        assert total_bytes(unfused) > total_bytes(fused)
+
+    def test_fused_raises_arithmetic_intensity(self):
+        fused = flash_attention_forward(self._shape(), fused=True)
+        unfused = flash_attention_forward(self._shape(), fused=False)
+        assert arithmetic_intensity(fused) > arithmetic_intensity(unfused)
+
+    def test_fused_backward_recompute_costs_more_flops(self):
+        fwd = flash_attention_forward(self._shape(), fused=True)
+        bwd = flash_attention_backward(self._shape(), fused=True)
+        assert total_flops(bwd) == pytest.approx(2.5 * total_flops(fwd))
+
+    def test_flops_quadratic_in_sequence(self):
+        short = flash_attention_forward(
+            AttentionShape(batch=1, heads=8, q_rows=256, kv_rows=256, head_dim=64)
+        )
+        long = flash_attention_forward(
+            AttentionShape(batch=1, heads=8, q_rows=512, kv_rows=512, head_dim=64)
+        )
+        ratio = total_flops(long) / total_flops(short)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+
+class TestAggregation:
+    def test_totals(self):
+        ops = [ComputeOp("a", 10, 20), ComputeOp("b", 30, 40)]
+        assert total_flops(ops) == 40
+        assert total_bytes(ops) == 60
+
+    def test_arithmetic_intensity_zero_bytes(self):
+        assert arithmetic_intensity([ComputeOp("a", 10, 0)]) == float("inf")
+
+    def test_comm_volume_by_group(self):
+        comms = [
+            CommOp("x", "all_gather", 100.0, "tp1"),
+            CommOp("y", "reduce_scatter", 50.0, "tp1"),
+            CommOp("z", "all_gather", 25.0, "tp2"),
+        ]
+        grouped = comm_volume_by_group(comms)
+        assert grouped == {"tp1": 150.0, "tp2": 25.0}

@@ -1,0 +1,154 @@
+"""Property-based tests of the performance model's core invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.collectives import GroupPlacement, collective_time
+from repro.core.execution import evaluate_config
+from repro.core.model import GPT3_1T, TransformerConfig
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig, get_strategy
+from repro.core.system import make_network, make_system
+
+B200 = make_system("B200", 8)
+NET = make_network("B200", 8)
+
+#: Power-of-two degrees that divide GPT3-1T's heads (160), depth (128) and
+#: sequence length (2048).
+TP_DEGREES = st.sampled_from([1, 2, 4, 8, 16, 32])
+PP_DEGREES = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128])
+DP_DEGREES = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+MICROBATCHES = st.sampled_from([1, 2, 4])
+
+
+def _tp1d_config(nt, np_, nd, bm):
+    return ParallelConfig(
+        strategy="tp1d", tensor_parallel_1=nt, tensor_parallel_2=1,
+        pipeline_parallel=np_, data_parallel=nd, microbatch_size=bm,
+    )
+
+
+class TestIterationEstimateInvariants:
+    @given(nt=TP_DEGREES, np_=PP_DEGREES, nd=DP_DEGREES, bm=MICROBATCHES)
+    @settings(max_examples=40, deadline=None)
+    def test_breakdown_sums_to_total_and_is_nonnegative(self, nt, np_, nd, bm):
+        global_batch = 4096
+        assume(global_batch % nd == 0)
+        assume((global_batch // nd) % bm == 0)
+        config = _tp1d_config(nt, np_, nd, bm)
+        est = evaluate_config(
+            GPT3_1T, B200, config, GpuAssignment(), global_batch_size=global_batch
+        )
+        parts = est.breakdown.as_dict()
+        assert all(v >= 0 for v in parts.values())
+        assert est.total_time == pytest.approx(sum(parts.values()))
+        assert est.total_time > 0
+        assert est.memory.total_bytes > 0
+
+    @given(nt=TP_DEGREES, np_=st.sampled_from([1, 2, 4, 8]), bm=MICROBATCHES)
+    @settings(max_examples=25, deadline=None)
+    def test_memory_grows_with_microbatch_size(self, nt, np_, bm):
+        nd = 8
+        config_small = _tp1d_config(nt, np_, nd, bm)
+        config_large = _tp1d_config(nt, np_, nd, 2 * bm)
+        est_small = evaluate_config(
+            GPT3_1T, B200, config_small, GpuAssignment(), global_batch_size=4096
+        )
+        est_large = evaluate_config(
+            GPT3_1T, B200, config_large, GpuAssignment(), global_batch_size=4096
+        )
+        assert est_large.memory.activation_bytes >= est_small.memory.activation_bytes
+
+    @given(nt=TP_DEGREES, np_=PP_DEGREES)
+    @settings(max_examples=25, deadline=None)
+    def test_weights_memory_shrinks_with_more_partitioning(self, nt, np_):
+        base = _tp1d_config(1, 1, 1, 1)
+        split = _tp1d_config(nt, np_, 1, 1)
+        est_base = evaluate_config(GPT3_1T, B200, base, GpuAssignment(), global_batch_size=4096)
+        est_split = evaluate_config(GPT3_1T, B200, split, GpuAssignment(), global_batch_size=4096)
+        assert est_split.memory.weight_bytes <= est_base.memory.weight_bytes * 1.01
+
+
+class TestCollectiveInvariants:
+    @given(
+        volume=st.floats(min_value=1e3, max_value=1e11),
+        group=st.sampled_from([2, 4, 8, 16, 32, 128]),
+        per_domain=st.sampled_from([1, 2, 4, 8]),
+        collective=st.sampled_from(["all_gather", "reduce_scatter", "all_reduce", "broadcast"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_time_positive_and_finite(self, volume, group, per_domain, collective):
+        placement = GroupPlacement(size=group, gpus_per_nvs_domain=min(per_domain, group))
+        t = collective_time(collective, volume, placement, NET)
+        assert t > 0
+        assert math.isfinite(t)
+
+    @given(
+        volume=st.floats(min_value=1e6, max_value=1e10),
+        group=st.sampled_from([4, 8, 16, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_at_least_allgather(self, volume, group):
+        placement = GroupPlacement(size=group, gpus_per_nvs_domain=4)
+        ag = collective_time("all_gather", volume, placement, NET)
+        ar = collective_time("all_reduce", volume, placement, NET)
+        assert ar >= ag
+
+
+class TestWorkloadInvariants:
+    @given(
+        nt=TP_DEGREES,
+        bm=MICROBATCHES,
+        strategy_name=st.sampled_from(["tp1d", "tp2d", "summa"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_scale_linearly_with_microbatch(self, nt, bm, strategy_name):
+        n1, n2 = (nt, 1) if strategy_name == "tp1d" else (max(1, nt // 2), 2)
+        strategy = get_strategy(strategy_name)
+
+        def build(b):
+            cfg = ParallelConfig(
+                strategy=strategy_name, tensor_parallel_1=n1, tensor_parallel_2=n2,
+                pipeline_parallel=1, data_parallel=1, microbatch_size=b,
+            )
+            assume(strategy.validate_config(GPT3_1T, cfg) is None)
+            return strategy.layer_workload(GPT3_1T, cfg)
+
+        w1 = build(bm)
+        w2 = build(2 * bm)
+        assert w2.total_forward_flops() == pytest.approx(2 * w1.total_forward_flops(), rel=1e-6)
+        assert w2.activation_elements == pytest.approx(2 * w1.activation_elements, rel=1e-6)
+        # Parameters do not depend on the microbatch size.
+        assert w2.params_per_gpu == pytest.approx(w1.params_per_gpu)
+
+    @given(nt=st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_total_flops_preserved_across_partitioning(self, nt):
+        """Partitioning distributes, but does not change, the model's FLOPs."""
+        strategy = get_strategy("tp1d")
+        base = strategy.layer_workload(GPT3_1T, _tp1d_config(1, 1, 1, 1))
+        split = strategy.layer_workload(GPT3_1T, _tp1d_config(nt, 1, 1, 1))
+        # Per-GPU forward FLOPs of the matmuls scale as 1/nt; small vector ops
+        # are partially replicated, so allow a tolerance.
+        assert split.total_forward_flops() * nt == pytest.approx(
+            base.total_forward_flops(), rel=0.05
+        )
+
+
+class TestConfigSpaceInvariants:
+    @given(
+        n_exp=st.integers(min_value=3, max_value=10),
+        nd_divides=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_enumerated_configs_are_always_valid(self, n_exp, nd_divides):
+        from repro.core.config_space import parallel_configs
+
+        n = 2**n_exp
+        for config in parallel_configs(GPT3_1T, n, 4096, "tp1d"):
+            assert config.total_gpus == n
+            strategy = get_strategy("tp1d")
+            assert strategy.validate_config(GPT3_1T, config) is None
+            assert config.num_microbatches(4096) >= 1

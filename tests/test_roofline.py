@@ -1,0 +1,101 @@
+"""Roofline execution-time model (stage S2, computation time)."""
+
+import pytest
+
+from repro.core.operations import ComputeOp, matmul_op
+from repro.core.roofline import ZERO_TIME, RooflineTime, matmul_efficiency, op_time, ops_time, peak_rate
+from repro.core.system import make_gpu
+
+
+@pytest.fixture
+def a100():
+    return make_gpu("A100")
+
+
+@pytest.fixture
+def b200():
+    return make_gpu("B200")
+
+
+class TestPeakRate:
+    def test_tensor_vs_vector(self, a100):
+        assert peak_rate(a100, "tensor") == pytest.approx(312e12)
+        assert peak_rate(a100, "vector") == pytest.approx(78e12)
+
+    def test_unknown_pipe(self, a100):
+        with pytest.raises(ValueError):
+            peak_rate(a100, "dsp")
+
+
+class TestOpTime:
+    def test_large_matmul_is_compute_bound(self, a100):
+        op = matmul_op("big", 8192, 8192, 8192)
+        t = op_time(op, a100)
+        assert t.is_compute_bound
+        assert t.total == pytest.approx(t.flop_time)
+        assert t.exposed_memory_time == 0.0
+
+    def test_small_skinny_matmul_is_memory_bound(self, a100):
+        op = matmul_op("skinny", 64, 64, 8192, shared_operand_b=True)
+        t = op_time(op, a100, include_latency=False)
+        assert not t.is_compute_bound
+        assert t.exposed_memory_time > 0
+
+    def test_flop_latency_included_by_default(self, a100):
+        op = matmul_op("tiny", 16, 16, 16)
+        with_latency = op_time(op, a100).flop_time
+        without = op_time(op, a100, include_latency=False).flop_time
+        assert with_latency == pytest.approx(without + a100.flops_latency)
+
+    def test_zero_op(self, a100):
+        t = op_time(ComputeOp("noop", 0, 0), a100)
+        assert t.total == 0.0
+
+    def test_faster_gpu_is_faster(self, a100, b200):
+        op = matmul_op("big", 8192, 8192, 8192)
+        assert op_time(op, b200).total < op_time(op, a100).total
+
+    def test_vector_op_uses_vector_rate(self, a100):
+        op = ComputeOp("v", flops=1e12, bytes_hbm=0, pipe="vector")
+        t = op_time(op, a100, include_latency=False)
+        assert t.flop_time == pytest.approx(1e12 / 78e12)
+
+
+class TestRooflineTimeAlgebra:
+    def test_addition(self):
+        t = RooflineTime(1.0, 2.0) + RooflineTime(3.0, 4.0)
+        assert t.flop_time == 4.0 and t.memory_time == 6.0
+
+    def test_zero_constant(self):
+        assert ZERO_TIME.total == 0.0
+
+    def test_total_is_max(self):
+        assert RooflineTime(2.0, 1.0).total == 2.0
+        assert RooflineTime(1.0, 3.0).total == 3.0
+        assert RooflineTime(1.0, 3.0).exposed_memory_time == 2.0
+
+
+class TestOpsTime:
+    def test_aggregate_equals_sum_of_per_op_maxima(self, a100):
+        ops = [
+            matmul_op("big", 4096, 4096, 4096),
+            matmul_op("skinny", 32, 32, 4096, shared_operand_b=True),
+        ]
+        agg = ops_time(ops, a100)
+        expected_total = sum(op_time(op, a100).total for op in ops)
+        assert agg.total == pytest.approx(expected_total)
+        assert agg.flop_time == pytest.approx(sum(op_time(op, a100).flop_time for op in ops))
+
+    def test_empty_list(self, a100):
+        assert ops_time([], a100).total == 0.0
+
+
+class TestMatmulEfficiency:
+    def test_large_square_matmul_is_efficient(self, a100):
+        assert matmul_efficiency(8192, 8192, 8192, a100) > 0.8
+
+    def test_tiny_matmul_is_inefficient(self, a100):
+        assert matmul_efficiency(64, 64, 64, a100) < 0.1
+
+    def test_efficiency_bounded_by_one(self, b200):
+        assert matmul_efficiency(16384, 16384, 16384, b200) <= 1.0

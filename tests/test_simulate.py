@@ -1,0 +1,192 @@
+"""Message-level simulators (cluster topology, ring collectives, 1F1B, nccl-bench)."""
+
+import pytest
+
+from repro.core.collectives import GroupPlacement, collective_time
+from repro.core.system import make_perlmutter, make_system
+from repro.simulate.cluster import ClusterTopology
+from repro.simulate.nccl_bench import median_relative_error, run_nccl_style_benchmark
+from repro.simulate.pipeline_sim import analytic_1f1b_makespan, simulate_1f1b
+from repro.simulate.ring import simulate_collective, sweep_volumes
+
+
+@pytest.fixture(scope="module")
+def perlmutter():
+    return make_perlmutter(4)
+
+
+@pytest.fixture(scope="module")
+def topology(perlmutter):
+    return ClusterTopology.from_system(perlmutter, 32)
+
+
+class TestClusterTopology:
+    def test_placement(self, topology):
+        info = topology.placement(9)
+        assert info.node == 2 and info.local_index == 1
+
+    def test_same_fast_domain(self, topology):
+        assert topology.same_fast_domain(0, 3)
+        assert not topology.same_fast_domain(3, 4)
+
+    def test_num_nodes(self, topology):
+        assert topology.num_nodes == 8
+
+    def test_ring_order_groups_by_node(self, topology):
+        ranks = [5, 0, 4, 1]
+        assert topology.ring_order(ranks) == [0, 1, 4, 5]
+
+    def test_group_ranks_respects_packing(self, topology):
+        ranks = topology.group_ranks(8, 2)
+        assert len(ranks) == 8
+        nodes = {topology.placement(r).node for r in ranks}
+        assert len(nodes) == 4  # 2 GPUs per node across 4 nodes
+
+    def test_group_ranks_validation(self, topology):
+        with pytest.raises(ValueError):
+            topology.group_ranks(6, 4)  # 4 does not divide 6
+        with pytest.raises(ValueError):
+            topology.group_ranks(1024, 4)  # cluster too small
+
+    def test_out_of_range_rank(self, topology):
+        with pytest.raises(ValueError):
+            topology.placement(99)
+
+    def test_link_parameters(self, topology, perlmutter):
+        lat_fast, bw_fast = topology.link_parameters(0, 1, perlmutter.network)
+        lat_slow, bw_slow = topology.link_parameters(0, 4, perlmutter.network)
+        assert bw_fast > bw_slow
+        assert lat_fast < lat_slow
+
+
+class TestRingSimulation:
+    def test_simulation_matches_analytic_model(self, topology, perlmutter):
+        """Fig. A1: the closed-form model tracks the step-by-step simulation."""
+        result = simulate_collective(
+            "all_gather", 1e9, topology, perlmutter.network,
+            group_size=32, gpus_per_nvs_domain=4,
+        )
+        assert result.relative_error < 0.15
+
+    def test_error_small_across_volume_sweep(self, topology, perlmutter):
+        results = sweep_volumes(
+            "all_gather", [1e7, 1e8, 1e9, 1e10], topology, perlmutter.network,
+            group_size=32, gpus_per_nvs_domain=4,
+        )
+        for r in results:
+            assert r.relative_error < 0.25
+
+    def test_more_gpus_per_node_is_faster(self, perlmutter):
+        """Fig. A1: NVL=4 beats NVL=2 because more NICs serve the collective."""
+        nvl4_sys = make_perlmutter(4)
+        nvl2_sys = make_perlmutter(2)
+        t4 = simulate_collective(
+            "all_gather", 1e9, ClusterTopology.from_system(nvl4_sys, 32), nvl4_sys.network,
+            group_size=32, gpus_per_nvs_domain=4,
+        ).simulated_time
+        t2 = simulate_collective(
+            "all_gather", 1e9, ClusterTopology.from_system(nvl2_sys, 32), nvl2_sys.network,
+            group_size=32, gpus_per_nvs_domain=2,
+        ).simulated_time
+        assert t4 < t2
+
+    def test_allreduce_costs_about_twice_allgather(self, topology, perlmutter):
+        ag = simulate_collective(
+            "all_gather", 1e9, topology, perlmutter.network, group_size=32,
+            gpus_per_nvs_domain=4,
+        ).simulated_time
+        ar = simulate_collective(
+            "all_reduce", 1e9, topology, perlmutter.network, group_size=32,
+            gpus_per_nvs_domain=4,
+        ).simulated_time
+        assert ar == pytest.approx(2 * ag, rel=0.1)
+
+    def test_single_gpu_is_free(self, topology, perlmutter):
+        result = simulate_collective(
+            "all_gather", 1e9, topology, perlmutter.network, group_size=1
+        )
+        assert result.simulated_time == 0.0
+
+    def test_p2p(self, topology, perlmutter):
+        result = simulate_collective(
+            "p2p", 1e8, topology, perlmutter.network, group_size=2, gpus_per_nvs_domain=2
+        )
+        assert result.simulated_time > 0
+        assert result.steps == 1
+
+    def test_single_domain_collective_never_touches_ib(self, perlmutter):
+        b200 = make_system("B200", 8)
+        topo = ClusterTopology.from_system(b200, 8)
+        result = simulate_collective(
+            "all_gather", 1e9, topo, b200.network, group_size=8, gpus_per_nvs_domain=8
+        )
+        # Time must equal the pure-NVSwitch analytic value.
+        analytic = collective_time(
+            "all_gather", 1e9, GroupPlacement(8, 8), b200.network
+        )
+        assert result.simulated_time == pytest.approx(analytic, rel=0.05)
+
+
+class TestPipelineSimulation:
+    def test_matches_analytic_makespan(self):
+        sim = simulate_1f1b(num_stages=4, num_microbatches=16, forward_time=1.0, backward_time=2.0)
+        assert sim.makespan == pytest.approx(analytic_1f1b_makespan(4, 16, 1.0, 2.0))
+
+    def test_bubble_equals_paper_formula(self):
+        sim = simulate_1f1b(8, 64, 0.5, 1.0)
+        assert sim.bubble_time == pytest.approx((8 - 1) * (0.5 + 1.0), rel=0.01)
+
+    def test_in_flight_bounded_by_min_m_np(self):
+        sim = simulate_1f1b(num_stages=8, num_microbatches=64, forward_time=1.0, backward_time=1.0)
+        assert sim.max_in_flight == 8
+        sim_small = simulate_1f1b(num_stages=8, num_microbatches=4, forward_time=1.0, backward_time=1.0)
+        assert sim_small.max_in_flight == 4
+
+    def test_single_stage_has_no_bubble(self):
+        sim = simulate_1f1b(1, 8, 1.0, 2.0)
+        assert sim.bubble_time == pytest.approx(0.0)
+        assert sim.makespan == pytest.approx(8 * 3.0)
+
+    def test_all_microbatches_processed(self):
+        sim = simulate_1f1b(4, 8, 1.0, 1.0)
+        forwards = [e for e in sim.events if e.kind == "forward"]
+        backwards = [e for e in sim.events if e.kind == "backward"]
+        assert len(forwards) == 4 * 8
+        assert len(backwards) == 4 * 8
+
+    def test_p2p_time_increases_makespan(self):
+        without = simulate_1f1b(4, 16, 1.0, 2.0, p2p_time=0.0)
+        with_p2p = simulate_1f1b(4, 16, 1.0, 2.0, p2p_time=0.1)
+        assert with_p2p.makespan > without.makespan
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_1f1b(0, 4, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_1f1b(4, 4, -1.0, 1.0)
+
+
+class TestNcclBench:
+    def test_reproducible_with_seed(self, perlmutter):
+        a = run_nccl_style_benchmark(perlmutter, num_gpus=8, seed=42, volumes_bytes=[1e8, 1e9])
+        b = run_nccl_style_benchmark(perlmutter, num_gpus=8, seed=42, volumes_bytes=[1e8, 1e9])
+        assert [r.measured_time for r in a] == [r.measured_time for r in b]
+
+    def test_prediction_tracks_measurement_at_large_volumes(self, perlmutter):
+        results = run_nccl_style_benchmark(
+            perlmutter, num_gpus=32, gpus_per_nvs_domain=4,
+            volumes_bytes=[1e9, 4e9, 1e10], noise=0.02, seed=1,
+        )
+        assert median_relative_error(results) < 0.25
+
+    def test_latency_floor_applies_to_small_messages(self, perlmutter):
+        results = run_nccl_style_benchmark(
+            perlmutter, num_gpus=8, volumes_bytes=[1e3], noise=0.0
+        )
+        assert results[0].measured_time >= 5e-5
+
+    def test_bandwidth_metric(self, perlmutter):
+        results = run_nccl_style_benchmark(
+            perlmutter, num_gpus=8, volumes_bytes=[1e9], noise=0.0
+        )
+        assert results[0].measured_bandwidth > 0

@@ -1,0 +1,131 @@
+"""2D tensor parallelism with SUMMA matrix multiplies (Table A2, Algorithm 1)."""
+
+import pytest
+
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.parallelism.base import (
+    GROUP_DP,
+    GROUP_TP1,
+    GROUP_TP2,
+    ParallelConfig,
+    get_strategy,
+)
+
+
+def make_config(n1=4, n2=4, np_=1, nd=1, bm=1, nb=2):
+    return ParallelConfig(
+        strategy="summa",
+        tensor_parallel_1=n1,
+        tensor_parallel_2=n2,
+        pipeline_parallel=np_,
+        data_parallel=nd,
+        microbatch_size=bm,
+        summa_panels=nb,
+    )
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return get_strategy("summa")
+
+
+@pytest.fixture(scope="module")
+def workload(strategy):
+    return strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+
+
+class TestTableA2Volumes:
+    def test_six_summa_matmuls_per_forward_pass(self, workload):
+        # Q, K, V, output projection, MLP up and MLP down.
+        assert len(workload.forward_summa) == 6
+
+    def test_attention_projection_volume_v1(self, workload):
+        # V1 = b*l*e/n2 (activations) + e^2/n1 (weights), in FP16 bytes.
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        q_proj = next(s for s in workload.forward_summa if s.name == "sa.q_proj")
+        assert q_proj.activation_bcast_bytes == pytest.approx(2 * b * l * e / 4)
+        assert q_proj.weight_bcast_bytes == pytest.approx(2 * e * e / 4)
+
+    def test_mlp_volume_v2(self, workload):
+        b, l, e, f = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim, GPT3_1T.hidden_dim
+        up = next(s for s in workload.forward_summa if s.name == "mlp.up_proj")
+        assert up.activation_bcast_bytes == pytest.approx(2 * b * l * e / 4)
+        assert up.weight_bcast_bytes == pytest.approx(2 * e * f / 4)
+
+    def test_volume_scales_with_both_grid_dimensions(self, strategy):
+        w22 = strategy.layer_workload(GPT3_1T, make_config(n1=2, n2=2))
+        w44 = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+        v22 = sum(
+            s.activation_bcast_bytes + s.weight_bcast_bytes for s in w22.forward_summa
+        )
+        v44 = sum(
+            s.activation_bcast_bytes + s.weight_bcast_bytes for s in w44.forward_summa
+        )
+        assert v44 == pytest.approx(v22 / 2)
+
+    def test_broadcast_groups(self, workload):
+        for s in workload.forward_summa:
+            assert s.activation_group == GROUP_TP1
+            assert s.weight_group == GROUP_TP2
+
+    def test_backward_has_two_transposed_multiplies_per_forward(self, workload):
+        assert len(workload.backward_summa) == 2 * len(workload.forward_summa)
+        assert all(s.transposed for s in workload.backward_summa)
+
+    def test_kv_gather_still_present(self, workload):
+        n2_ag = [
+            c for c in workload.forward_comms
+            if c.group == GROUP_TP2 and c.collective == "all_gather"
+        ]
+        assert len(n2_ag) == 2
+
+    def test_layernorm_reduction_is_statistics_only(self, workload):
+        ar = [c for c in workload.forward_comms if c.collective == "all_reduce"]
+        assert len(ar) == 2
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        for comm in ar:
+            assert comm.volume_bytes < 0.01 * (2 * b * l * e)
+
+
+class TestMemoryEfficiency:
+    def test_no_shared_weights(self, strategy):
+        w = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+        e, f = GPT3_1T.embed_dim, GPT3_1T.hidden_dim
+        matrix = 4 * e * e + 2 * e * f
+        assert w.params_per_gpu == pytest.approx(matrix / 16, rel=0.05)
+
+    def test_less_memory_than_plain_2d_tp(self, strategy):
+        tp2d = get_strategy("tp2d")
+        cfg2d = ParallelConfig(
+            strategy="tp2d", tensor_parallel_1=4, tensor_parallel_2=4,
+            pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+        )
+        w_summa = strategy.layer_workload(VIT_LONG_SEQ, make_config(n1=4, n2=4))
+        w_2d = tp2d.layer_workload(VIT_LONG_SEQ, cfg2d)
+        assert w_summa.activation_elements < w_2d.activation_elements
+        assert w_summa.params_per_gpu < w_2d.params_per_gpu
+
+    def test_grad_sync_group_is_plain_dp(self, workload):
+        # SUMMA's transposed multiplies already reduce the weight gradients
+        # over the grid, so only the DP reduction remains.
+        assert workload.grad_sync_group == GROUP_DP
+
+    def test_output_bytes_recorded_for_panel_penalty(self, workload):
+        for s in workload.forward_summa:
+            assert s.output_bytes > 0
+
+
+class TestValidation:
+    def test_embed_dim_must_divide_both_dims(self, strategy):
+        config = ParallelConfig(
+            strategy="summa", tensor_parallel_1=3, tensor_parallel_2=4,
+            pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+        )
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_summa_panels_must_divide_embed_dim(self, strategy):
+        config = make_config(nb=7)
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_valid_config(self, strategy):
+        assert strategy.validate_config(GPT3_1T, make_config(n1=8, n2=4, nb=4)) is None

@@ -1,0 +1,131 @@
+"""Hardware catalog (Table A3) and system construction."""
+
+import pytest
+
+from repro.core.system import (
+    GPU_GENERATIONS,
+    NVS_DOMAIN_SIZES,
+    GpuSpec,
+    NetworkSpec,
+    make_gpu,
+    make_network,
+    make_perlmutter,
+    make_system,
+    system_catalog,
+)
+
+
+class TestTableA3:
+    """The hardware parameters must match Table A3 exactly."""
+
+    @pytest.mark.parametrize(
+        "generation,tensor_tflops,vector_tflops,hbm_gbps,hbm_gb",
+        [
+            ("A100", 312, 78, 1555, 80),
+            ("H200", 990, 134, 4800, 141),
+            ("B200", 2500, 339, 8000, 192),
+        ],
+    )
+    def test_gpu_parameters(self, generation, tensor_tflops, vector_tflops, hbm_gbps, hbm_gb):
+        gpu = make_gpu(generation)
+        assert gpu.tensor_flops == pytest.approx(tensor_tflops * 1e12)
+        assert gpu.vector_flops == pytest.approx(vector_tflops * 1e12)
+        assert gpu.hbm_bandwidth == pytest.approx(hbm_gbps * 1e9)
+        assert gpu.hbm_capacity == pytest.approx(hbm_gb * 1e9)
+        assert gpu.flops_latency == pytest.approx(2e-5)
+
+    @pytest.mark.parametrize(
+        "generation,nvs_gbps,ib_gbps",
+        [("A100", 300, 25), ("H200", 450, 50), ("B200", 900, 100)],
+    )
+    def test_network_parameters(self, generation, nvs_gbps, ib_gbps):
+        net = make_network(generation, 8)
+        assert net.nvs_bandwidth == pytest.approx(nvs_gbps * 1e9)
+        assert net.ib_bandwidth == pytest.approx(ib_gbps * 1e9)
+        assert net.nvs_latency == pytest.approx(2.5e-6)
+        assert net.ib_latency == pytest.approx(5e-6)
+
+    def test_bandwidth_efficiency_default(self):
+        net = make_network("B200", 8)
+        assert net.bandwidth_efficiency == pytest.approx(0.70)
+        assert net.effective_nvs_bandwidth == pytest.approx(0.70 * 900e9)
+
+    def test_generations_and_nvs_sizes(self):
+        assert set(GPU_GENERATIONS) == {"A100", "H200", "B200"}
+        assert NVS_DOMAIN_SIZES == (4, 8, 64)
+
+
+class TestSystemConstruction:
+    def test_system_name(self):
+        assert make_system("B200", 8).name == "B200-NVS8"
+        assert make_system("a100", 64).name == "A100-NVS64"
+
+    def test_nics_default_to_domain_size(self):
+        assert make_network("A100", 4).nics_per_node == 4
+        assert make_network("A100", 64).nics_per_node == 64
+
+    def test_catalog_covers_grid(self):
+        catalog = system_catalog()
+        assert len(catalog) == 9
+        assert "A100-NVS4" in catalog and "B200-NVS64" in catalog
+
+    def test_unknown_generation_raises(self):
+        with pytest.raises(KeyError):
+            make_gpu("V100")
+        with pytest.raises(KeyError):
+            make_network("V100")
+
+    def test_gpu_override(self):
+        system = make_system("B200", 8).with_gpu(hbm_capacity=1e12)
+        assert system.gpu.hbm_capacity == 1e12
+        assert system.gpu.tensor_flops == make_gpu("B200").tensor_flops
+
+    def test_network_override(self):
+        system = make_system("B200", 8).with_network(nvs_domain_size=16, nics_per_node=16)
+        assert system.nvs_domain_size == 16
+
+    def test_describe_round_trip_units(self):
+        desc = make_system("A100", 8).describe()
+        assert desc["tensor_tflops"] == pytest.approx(312)
+        assert desc["hbm_capacity_gb"] == pytest.approx(80)
+        assert desc["nvs_domain_size"] == 8
+
+
+class TestValidation:
+    def test_gpu_spec_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", tensor_flops=0, vector_flops=1, flops_latency=0,
+                    hbm_bandwidth=1, hbm_capacity=1)
+        with pytest.raises(ValueError):
+            GpuSpec("x", tensor_flops=1, vector_flops=1, flops_latency=0,
+                    hbm_bandwidth=1, hbm_capacity=0)
+
+    def test_network_spec_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("x", nvs_bandwidth=1, nvs_latency=0, ib_bandwidth=1,
+                        ib_latency=0, nvs_domain_size=0)
+        with pytest.raises(ValueError):
+            NetworkSpec("x", nvs_bandwidth=1, nvs_latency=0, ib_bandwidth=1,
+                        ib_latency=0, nvs_domain_size=4, bandwidth_efficiency=1.5)
+
+    def test_hbm_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", tensor_flops=1, vector_flops=1, flops_latency=0,
+                    hbm_bandwidth=1, hbm_capacity=1, hbm_efficiency=0.0)
+
+
+class TestPerlmutter:
+    def test_four_gpu_nodes(self):
+        system = make_perlmutter(4)
+        assert system.nvs_domain_size == 4
+        assert system.network.nics_per_node == 4
+        assert system.gpu.name == "A100"
+
+    def test_nvlink_bandwidth_scales_with_gpus_per_node(self):
+        nvl2 = make_perlmutter(2)
+        nvl4 = make_perlmutter(4)
+        assert nvl4.network.nvs_bandwidth > nvl2.network.nvs_bandwidth
+
+    def test_invalid_gpus_per_node(self):
+        with pytest.raises(ValueError):
+            make_perlmutter(3)

@@ -1,0 +1,81 @@
+"""Text-table formatting and JSON serialization helpers."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+from repro.utils.tables import format_percentage_breakdown, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [33, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]], floatfmt=".3g")
+        assert "3.14" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["c"], [["averyverylongcellvalue"]])
+        assert "averyverylongcellvalue" in text
+
+
+class TestPercentageBreakdown:
+    def test_sorted_by_share(self):
+        text = format_percentage_breakdown({"a": 1.0, "b": 3.0}, total=4.0)
+        assert text.index("b") < text.index("a")
+        assert "75.0%" in text
+
+    def test_zero_total(self):
+        assert format_percentage_breakdown({"a": 1.0}, total=0.0) == "(empty)"
+
+    def test_small_shares_dropped(self):
+        text = format_percentage_breakdown({"a": 1.0, "tiny": 1e-9}, total=1.0)
+        assert "tiny" not in text
+
+
+@dataclass
+class _Point:
+    x: int
+    y: float
+    label: str
+
+
+class TestSerialization:
+    def test_dataclass_roundtrip(self, tmp_path):
+        path = dump_json(_Point(1, 2.5, "hi"), tmp_path / "point.json")
+        data = load_json(path)
+        assert data == {"x": 1, "y": 2.5, "label": "hi"}
+
+    def test_nested_structures(self, tmp_path):
+        obj = {"points": [_Point(1, 1.0, "a"), _Point(2, 2.0, "b")], "meta": (1, 2)}
+        path = dump_json(obj, tmp_path / "nested.json")
+        data = json.loads(path.read_text())
+        assert data["points"][1]["label"] == "b"
+        assert data["meta"] == [1, 2]
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int64(7)) == 7
+
+    def test_unknown_types_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert to_jsonable(Odd()) == "<odd>"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = dump_json({"a": 1}, tmp_path / "sub" / "dir" / "x.json")
+        assert path.exists()

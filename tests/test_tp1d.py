@@ -1,0 +1,147 @@
+"""1D tensor parallelism (Table I of the paper)."""
+
+import pytest
+
+from repro.core.model import GPT3_1T, TransformerConfig
+from repro.core.operations import total_flops
+from repro.core.parallelism.base import GROUP_DP, GROUP_TP1, ParallelConfig, get_strategy
+
+
+def make_config(nt=8, np_=1, nd=1, bm=1):
+    return ParallelConfig(
+        strategy="tp1d",
+        tensor_parallel_1=nt,
+        tensor_parallel_2=1,
+        pipeline_parallel=np_,
+        data_parallel=nd,
+        microbatch_size=bm,
+    )
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return get_strategy("tp1d")
+
+
+@pytest.fixture(scope="module")
+def workload(strategy):
+    return strategy.layer_workload(GPT3_1T, make_config(nt=8))
+
+
+class TestTableI:
+    """Communication volumes of Table I: AG/RS of b*l*e, independent of nt."""
+
+    def test_four_collectives_per_forward_pass(self, workload):
+        assert len(workload.forward_comms) == 4
+        kinds = [c.collective for c in workload.forward_comms]
+        assert kinds.count("all_gather") == 2
+        assert kinds.count("reduce_scatter") == 2
+
+    def test_forward_volume_is_ble_per_collective(self, workload):
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        expected = 2 * b * l * e  # FP16 bytes
+        for comm in workload.forward_comms:
+            assert comm.volume_bytes == pytest.approx(expected)
+            assert comm.group == GROUP_TP1
+
+    def test_volume_does_not_scale_with_nt(self, strategy):
+        w8 = strategy.layer_workload(GPT3_1T, make_config(nt=8))
+        w32 = strategy.layer_workload(GPT3_1T, make_config(nt=32))
+        v8 = sum(c.volume_bytes for c in w8.forward_comms)
+        v32 = sum(c.volume_bytes for c in w32.forward_comms)
+        assert v8 == pytest.approx(v32)
+
+    def test_volume_scales_with_microbatch(self, strategy):
+        w1 = strategy.layer_workload(GPT3_1T, make_config(bm=1))
+        w4 = strategy.layer_workload(GPT3_1T, make_config(bm=4))
+        assert sum(c.volume_bytes for c in w4.forward_comms) == pytest.approx(
+            4 * sum(c.volume_bytes for c in w1.forward_comms)
+        )
+
+    def test_backward_comms_are_conjugate(self, workload):
+        fwd_kinds = sorted(c.collective for c in workload.forward_comms)
+        bwd_kinds = sorted(c.collective for c in workload.backward_comms)
+        assert fwd_kinds == bwd_kinds
+        assert sum(c.volume_bytes for c in workload.forward_comms) == pytest.approx(
+            sum(c.volume_bytes for c in workload.backward_comms)
+        )
+
+
+class TestComputePartitioning:
+    def test_flops_scale_inversely_with_nt(self, strategy):
+        w8 = strategy.layer_workload(GPT3_1T, make_config(nt=8))
+        w16 = strategy.layer_workload(GPT3_1T, make_config(nt=16))
+        # Matmul and attention FLOPs are partitioned; LayerNorms are cheap.
+        assert total_flops(w16.forward_ops) == pytest.approx(
+            total_flops(w8.forward_ops) / 2, rel=0.02
+        )
+
+    def test_total_flops_roughly_match_model_level_count(self, strategy):
+        w1 = strategy.layer_workload(GPT3_1T, make_config(nt=1))
+        model_level = GPT3_1T.flops_per_layer(batch=1)
+        # Strategy-level count includes the small vector ops too.
+        assert total_flops(w1.forward_ops) == pytest.approx(model_level, rel=0.05)
+
+    def test_backward_flops_exceed_forward(self, workload):
+        assert workload.total_backward_flops() > 1.5 * workload.total_forward_flops()
+
+
+class TestMemoryAndParameters:
+    def test_replicated_activation_term_does_not_shrink_with_nt(self, strategy):
+        w8 = strategy.layer_workload(GPT3_1T, make_config(nt=8))
+        w64 = strategy.layer_workload(GPT3_1T, make_config(nt=32))
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        # Both retain at least the two replicated (b, l, e) tensors.
+        assert w8.activation_elements > 2 * b * l * e
+        assert w64.activation_elements > 2 * b * l * e
+        # And the sharded part shrinks, so w64 < w8.
+        assert w64.activation_elements < w8.activation_elements
+
+    def test_params_partitioned_by_nt(self, strategy):
+        w1 = strategy.layer_workload(GPT3_1T, make_config(nt=1))
+        w8 = strategy.layer_workload(GPT3_1T, make_config(nt=8))
+        e, f = GPT3_1T.embed_dim, GPT3_1T.hidden_dim
+        matrix = 4 * e * e + 2 * e * f
+        assert w1.params_per_gpu == pytest.approx(matrix, rel=0.01)
+        assert w8.params_per_gpu == pytest.approx(matrix / 8, rel=0.05)
+
+    def test_grad_sync_group_is_plain_dp(self, workload):
+        assert workload.grad_sync_group == GROUP_DP
+
+    def test_disabling_flash_attention_stores_logits(self, strategy):
+        with_flash = strategy.layer_workload(GPT3_1T, make_config(nt=8), flash_attention=True)
+        without = strategy.layer_workload(GPT3_1T, make_config(nt=8), flash_attention=False)
+        b, l, h = 1, GPT3_1T.seq_len, GPT3_1T.num_heads
+        assert without.activation_elements - with_flash.activation_elements == pytest.approx(
+            b * (h / 8) * l * l
+        )
+
+
+class TestValidation:
+    def test_requires_n2_equal_one(self, strategy):
+        config = ParallelConfig(
+            strategy="tp1d", tensor_parallel_1=4, tensor_parallel_2=2,
+            pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+        )
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_heads_must_divide(self, strategy):
+        # GPT3-1T has 160 heads; nt = 64 does not divide 160.
+        config = make_config(nt=64)
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_depth_must_divide_pp(self, strategy):
+        config = make_config(nt=8, np_=3)
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_valid_config_passes(self, strategy):
+        assert strategy.validate_config(GPT3_1T, make_config(nt=8, np_=64, nd=32)) is None
+
+    def test_layer_workload_raises_on_invalid(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.layer_workload(GPT3_1T, make_config(nt=64))
+
+    def test_dropout_adds_ops(self, strategy):
+        plain = strategy.layer_workload(GPT3_1T, make_config(nt=8), include_dropout=False)
+        dropped = strategy.layer_workload(GPT3_1T, make_config(nt=8), include_dropout=True)
+        assert len(dropped.forward_ops) == len(plain.forward_ops) + 2

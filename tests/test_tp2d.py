@@ -1,0 +1,125 @@
+"""2D tensor parallelism (Table II of the paper)."""
+
+import pytest
+
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.operations import total_flops
+from repro.core.parallelism.base import (
+    GROUP_DP_TP2,
+    GROUP_TP1,
+    GROUP_TP2,
+    ParallelConfig,
+    get_strategy,
+)
+
+
+def make_config(n1=4, n2=4, np_=1, nd=1, bm=1, model="gpt"):
+    return ParallelConfig(
+        strategy="tp2d",
+        tensor_parallel_1=n1,
+        tensor_parallel_2=n2,
+        pipeline_parallel=np_,
+        data_parallel=nd,
+        microbatch_size=bm,
+    )
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    return get_strategy("tp2d")
+
+
+@pytest.fixture(scope="module")
+def workload(strategy):
+    return strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+
+
+class TestTableII:
+    """Communication volumes of Table II scale with the orthogonal dimension."""
+
+    def test_n1_collectives_carry_ble_over_n2(self, workload):
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        expected = 2 * b * l * e / 4  # bytes, divided by n2 = 4
+        n1_comms = [c for c in workload.forward_comms if c.group == GROUP_TP1]
+        assert len(n1_comms) == 4
+        for comm in n1_comms:
+            assert comm.volume_bytes == pytest.approx(expected)
+
+    def test_kv_gather_carries_ble_over_n1(self, workload):
+        b, l, e = 1, GPT3_1T.seq_len, GPT3_1T.embed_dim
+        expected = 2 * b * l * e / 4  # bytes, divided by n1 = 4
+        n2_comms = [c for c in workload.forward_comms if c.group == GROUP_TP2]
+        assert len(n2_comms) == 2  # K and V
+        for comm in n2_comms:
+            assert comm.volume_bytes == pytest.approx(expected)
+            assert comm.collective == "all_gather"
+
+    def test_volumes_scale_down_with_partner_dimension(self, strategy):
+        w_n2_2 = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=2))
+        w_n2_8 = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=8))
+        v2 = sum(c.volume_bytes for c in w_n2_2.forward_comms if c.group == GROUP_TP1)
+        v8 = sum(c.volume_bytes for c in w_n2_8.forward_comms if c.group == GROUP_TP1)
+        assert v8 == pytest.approx(v2 / 4)
+
+    def test_reduces_to_1d_volumes_when_n2_is_one(self, strategy):
+        tp1d = get_strategy("tp1d")
+        w2d = strategy.layer_workload(GPT3_1T, make_config(n1=8, n2=1))
+        w1d = tp1d.layer_workload(
+            GPT3_1T,
+            ParallelConfig(
+                strategy="tp1d", tensor_parallel_1=8, tensor_parallel_2=1,
+                pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+            ),
+        )
+        v2d = sum(c.volume_bytes for c in w2d.forward_comms if c.group == GROUP_TP1)
+        v1d = sum(c.volume_bytes for c in w1d.forward_comms)
+        assert v2d == pytest.approx(v1d)
+
+
+class TestComputeAndMemory:
+    def test_flops_scale_inversely_with_grid_size(self, strategy):
+        w4 = strategy.layer_workload(GPT3_1T, make_config(n1=2, n2=2))
+        w16 = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+        assert total_flops(w16.forward_ops) == pytest.approx(
+            total_flops(w4.forward_ops) / 4, rel=0.05
+        )
+
+    def test_activation_memory_beats_1d_for_long_sequences(self, strategy):
+        tp1d = get_strategy("tp1d")
+        nt = 16
+        w1d = tp1d.layer_workload(
+            VIT_LONG_SEQ,
+            ParallelConfig(
+                strategy="tp1d", tensor_parallel_1=nt, tensor_parallel_2=1,
+                pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+            ),
+        )
+        w2d = strategy.layer_workload(VIT_LONG_SEQ, make_config(n1=4, n2=4))
+        assert w2d.activation_elements < 0.75 * w1d.activation_elements
+
+    def test_weights_sharded_over_n1_only(self, strategy):
+        w = strategy.layer_workload(GPT3_1T, make_config(n1=4, n2=4))
+        e, f = GPT3_1T.embed_dim, GPT3_1T.hidden_dim
+        matrix = 4 * e * e + 2 * e * f
+        assert w.params_per_gpu == pytest.approx(matrix / 4, rel=0.05)
+
+    def test_grad_sync_group_includes_n2(self, workload):
+        assert workload.grad_sync_group == GROUP_DP_TP2
+
+
+class TestValidation:
+    def test_sequence_must_divide_n2(self, strategy):
+        # GPT3-1T seq_len = 2048; n2 = 3 does not divide it.
+        config = ParallelConfig(
+            strategy="tp2d", tensor_parallel_1=4, tensor_parallel_2=3,
+            pipeline_parallel=1, data_parallel=1, microbatch_size=1,
+        )
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_heads_must_divide_n1(self, strategy):
+        config = make_config(n1=64, n2=1)  # 160 heads not divisible by 64
+        assert strategy.validate_config(GPT3_1T, config) is not None
+
+    def test_valid_vit_config(self, strategy):
+        config = make_config(n1=4, n2=4)
+        assert strategy.validate_config(VIT_LONG_SEQ, config) is None

@@ -1,0 +1,78 @@
+"""End-to-end training-time estimates (iterations and days)."""
+
+import math
+
+import pytest
+
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.training import (
+    ERA5_EPOCHS,
+    ERA5_SAMPLES_PER_EPOCH,
+    GPT_PRETRAINING_TOKENS,
+    TrainingRegime,
+    default_regime,
+    gpt_pretraining_regime,
+    iterations_for_epochs,
+    iterations_for_tokens,
+    training_days,
+    vit_era5_regime,
+)
+
+
+class TestIterationCounts:
+    def test_gpt_pretraining_iterations(self):
+        # 1T tokens / (4096 * 2048 tokens per iteration) ~ 119209 iterations.
+        iters = iterations_for_tokens(GPT3_1T, 4096, GPT_PRETRAINING_TOKENS)
+        assert iters == math.ceil(1e12 / (4096 * 2048))
+
+    def test_vit_era5_iterations(self):
+        iters = iterations_for_epochs(ERA5_SAMPLES_PER_EPOCH, ERA5_EPOCHS, 4096)
+        assert iters == math.ceil(ERA5_SAMPLES_PER_EPOCH * ERA5_EPOCHS / 4096)
+        assert ERA5_SAMPLES_PER_EPOCH == int(40 * 365.25 * 24)
+
+    def test_iterations_scale_inversely_with_batch(self):
+        small = iterations_for_tokens(GPT3_1T, 2048, 1e12)
+        large = iterations_for_tokens(GPT3_1T, 4096, 1e12)
+        assert small == pytest.approx(2 * large, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            iterations_for_tokens(GPT3_1T, 0, 1e12)
+        with pytest.raises(ValueError):
+            iterations_for_epochs(0, 10, 4096)
+
+
+class TestRegimes:
+    def test_gpt_regime_days_for_paper_scale(self):
+        """Paper: O(3-5) days on 16K B200 GPUs at ~2.7 s/iteration."""
+        regime = gpt_pretraining_regime(GPT3_1T, 4096)
+        days = regime.days(2.7)
+        assert 2.0 < days < 6.0
+
+    def test_a100_scale_is_order_30_days(self):
+        """Paper: O(30) days on 16K A100 GPUs (iteration time ~20-25 s)."""
+        regime = gpt_pretraining_regime(GPT3_1T, 4096)
+        assert 20.0 < regime.days(22.0) < 40.0
+
+    def test_vit_regime(self):
+        regime = vit_era5_regime(VIT_LONG_SEQ, 4096)
+        assert regime.total_iterations == iterations_for_epochs(
+            ERA5_SAMPLES_PER_EPOCH, ERA5_EPOCHS, 4096
+        )
+        assert regime.days(10.0) > 0
+
+    def test_default_regime_selects_by_model_class(self):
+        assert "pretrain" in default_regime(GPT3_1T, 4096).name
+        assert "era5" in default_regime(VIT_LONG_SEQ, 4096).name
+
+    def test_hours_is_24x_days(self):
+        regime = TrainingRegime("x", total_iterations=1000)
+        assert regime.hours(1.0) == pytest.approx(24 * regime.days(1.0))
+
+    def test_negative_iteration_time_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingRegime("x", 10).days(-1.0)
+
+    def test_training_days_helper(self):
+        days = training_days(2.7, GPT3_1T, 4096)
+        assert days == pytest.approx(gpt_pretraining_regime(GPT3_1T, 4096).days(2.7))

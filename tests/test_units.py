@@ -1,0 +1,66 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    from_bytes,
+    from_seconds,
+    to_bytes,
+    to_flops,
+    to_seconds,
+)
+
+
+class TestByteConversions:
+    def test_gb_to_bytes(self):
+        assert to_bytes(80, "GB") == 80e9
+
+    def test_tb_to_bytes(self):
+        assert to_bytes(1.5, "TB") == 1.5e12
+
+    def test_binary_units(self):
+        assert to_bytes(1, "GiB") == 2**30
+        assert GIB == 2**30
+
+    def test_round_trip(self):
+        assert from_bytes(to_bytes(123.4, "MB"), "MB") == pytest.approx(123.4)
+
+    def test_case_insensitive(self):
+        assert to_bytes(1, "gb") == GB
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            to_bytes(1, "parsec")
+        with pytest.raises(ValueError):
+            from_bytes(1, "parsec")
+
+
+class TestTimeConversions:
+    def test_milliseconds(self):
+        assert to_seconds(250, "ms") == pytest.approx(0.25)
+
+    def test_days(self):
+        assert to_seconds(2, "days") == 2 * 86400
+
+    def test_round_trip(self):
+        assert from_seconds(to_seconds(3.5, "h"), "h") == pytest.approx(3.5)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            to_seconds(1, "fortnight")
+        with pytest.raises(ValueError):
+            from_seconds(1, "fortnight")
+
+
+class TestFlopConversions:
+    def test_tflops(self):
+        assert to_flops(312, "TFLOPS") == 312e12
+
+    def test_pflops(self):
+        assert to_flops(1, "PFLOPS") == 1e15
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            to_flops(1, "bogoflops")
