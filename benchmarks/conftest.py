@@ -1,8 +1,9 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates the data series of one table or figure of the
-paper and archives the rendered text table under ``benchmarks/results/`` so
-that EXPERIMENTS.md can be cross-checked against a recorded run.
+paper and archives the rendered text table under ``benchmarks/results/`` so that
+the figure-by-figure comparison against the paper can be cross-checked
+against a recorded run.
 
 Environment variables:
 

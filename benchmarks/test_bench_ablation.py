@@ -1,4 +1,4 @@
-"""Ablation benchmarks for the design choices called out in DESIGN.md.
+"""Ablation benchmarks for the modeling choices of this reproduction.
 
 These are not paper figures; they quantify how much each modeling component
 contributes to the reproduced results:

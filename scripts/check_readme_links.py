@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that local markdown links in README.md and docs/ resolve.
+
+Scans every ``[text](target)`` link in the given markdown files (defaults:
+``README.md`` and ``docs/*.md``), ignores external URLs and pure in-page
+anchors, and verifies that each relative target — with any ``#fragment``
+stripped — exists on disk relative to the file containing the link.
+Exits non-zero listing every broken link, so CI fails when documentation
+drifts out of sync with the tree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def iter_local_links(md_file: Path):
+    """Yield (line number, target) for every local link in ``md_file``."""
+    for lineno, line in enumerate(md_file.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield lineno, target
+
+
+def check_file(md_file: Path) -> list[str]:
+    """Return human-readable error strings for broken links in ``md_file``."""
+    errors = []
+    for lineno, target in iter_local_links(md_file):
+        path = (md_file.parent / target.split("#", 1)[0]).resolve()
+        if not path.exists():
+            errors.append(f"{md_file.relative_to(REPO_ROOT)}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] if argv else [
+        REPO_ROOT / "README.md",
+        *sorted((REPO_ROOT / "docs").glob("*.md")),
+    ]
+    errors: list[str] = []
+    checked = 0
+    for md_file in files:
+        if not md_file.exists():
+            errors.append(f"{md_file}: file not found")
+            continue
+        errors.extend(check_file(md_file))
+        checked += 1
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} file(s): {'FAIL' if errors else 'OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,8 @@
 """Legacy setup shim.
 
-The project is fully described by ``pyproject.toml``; this file only exists
-so that ``pip install -e .`` works on offline machines that lack the
+The project is fully described by ``pyproject.toml`` (package metadata, the
+``repro-perf`` console script and the ``src/`` layout); this file only
+exists so that ``pip install -e .`` works on offline machines that lack the
 ``wheel`` package (pip falls back to the legacy editable install path via
 ``--no-use-pep517`` / ``setup.py develop``).
 """

@@ -56,8 +56,9 @@ from repro.core import (
     training_days,
     vit_era5_regime,
 )
+from repro.runtime import SearchCache, SearchTask, SweepExecutor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_OPTIONS",
@@ -73,8 +74,11 @@ __all__ = [
     "NVS_DOMAIN_SIZES",
     "NetworkSpec",
     "ParallelConfig",
+    "SearchCache",
     "SearchResult",
     "SearchSpace",
+    "SearchTask",
+    "SweepExecutor",
     "SystemSpec",
     "TimeBreakdown",
     "TrainingRegime",

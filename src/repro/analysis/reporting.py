@@ -1,9 +1,10 @@
 """Plain-text rendering of the analysis results.
 
 Every experiment family has a ``render_*`` helper that turns its result
-object into the text table printed by the benchmark harness — the same rows
-and series the paper's figures report, so the EXPERIMENTS.md comparison can
-be regenerated from the archived benchmark output.
+object into the text table printed by the CLI and the benchmark harness —
+the same rows and series the paper's figures report, so a figure-by-figure
+comparison against the paper can be regenerated from the archived benchmark
+output under ``benchmarks/results/``.
 """
 
 from __future__ import annotations

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
-from repro.core.search import find_optimal_config
 from repro.core.system import make_system
+from repro.runtime import ProgressCallback, SearchCache, SearchTask, SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -53,31 +53,51 @@ def speedup_sweep(
     global_batch_size: int = 4096,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    jobs: Optional[int] = None,
+    cache: Optional[SearchCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SpeedupPoint]:
-    """Fig. A4: speedup of ``variant_strategy`` w.r.t. ``baseline_strategy``."""
+    """Fig. A4: speedup of ``variant_strategy`` w.r.t. ``baseline_strategy``.
+
+    The baseline and variant searches of every grid point are all
+    independent, so the whole sweep is one executor batch (and the baseline
+    searches are natural cache hits for other sweeps over the same grid).
+    """
+    grid = [
+        (make_system(generation, nvs), n)
+        for generation in gpu_generations
+        for nvs in nvs_domain_sizes
+        for n in n_gpus_list
+    ]
+    tasks = [
+        SearchTask(
+            model=model,
+            system=system,
+            n_gpus=n,
+            global_batch_size=global_batch_size,
+            strategy=strat,
+            space=space,
+            options=options,
+        )
+        for system, n in grid
+        for strat in (baseline_strategy, variant_strategy)
+    ]
+    executor = SweepExecutor(jobs, cache=cache, progress=progress)
+    results = executor.run(tasks)
+
     points: List[SpeedupPoint] = []
-    for generation in gpu_generations:
-        for nvs in nvs_domain_sizes:
-            system = make_system(generation, nvs)
-            for n in n_gpus_list:
-                baseline = find_optimal_config(
-                    model, system, n_gpus=n, global_batch_size=global_batch_size,
-                    strategy=baseline_strategy, space=space, options=options,
-                )
-                variant = find_optimal_config(
-                    model, system, n_gpus=n, global_batch_size=global_batch_size,
-                    strategy=variant_strategy, space=space, options=options,
-                )
-                points.append(
-                    SpeedupPoint(
-                        system_name=system.name,
-                        n_gpus=n,
-                        baseline_strategy=baseline_strategy,
-                        variant_strategy=variant_strategy,
-                        baseline_time=baseline.best_time,
-                        variant_time=variant.best_time,
-                    )
-                )
+    for idx, (system, n) in enumerate(grid):
+        baseline, variant = results[2 * idx], results[2 * idx + 1]
+        points.append(
+            SpeedupPoint(
+                system_name=system.name,
+                n_gpus=n,
+                baseline_strategy=baseline_strategy,
+                variant_strategy=variant_strategy,
+                baseline_time=baseline.best_time,
+                variant_time=variant.best_time,
+            )
+        )
     return points
 
 

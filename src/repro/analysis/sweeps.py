@@ -10,6 +10,12 @@ Three families of experiments are provided:
 * :func:`hardware_heatmap` — training time as a function of synthetic GPU
   parameters (tensor-core rate, HBM capacity, HBM bandwidth), holding the
   network fixed (Figs. A5 and A6).
+
+Each sweep is a batch of independent searches and accepts ``jobs`` (worker
+processes), ``cache`` (a :class:`~repro.runtime.SearchCache`) and
+``progress`` keywords, executed through
+:class:`~repro.runtime.SweepExecutor`; results are identical to serial
+execution regardless of ``jobs``.
 """
 
 from __future__ import annotations
@@ -22,9 +28,10 @@ import numpy as np
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
-from repro.core.search import SearchResult, find_optimal_config
+from repro.core.search import SearchResult
 from repro.core.system import NVS_DOMAIN_SIZES, SystemSpec, make_system
 from repro.core.training import TrainingRegime, default_regime
+from repro.runtime import ProgressCallback, SearchCache, SearchTask, SweepExecutor
 from repro.utils.units import GB, TB, to_bytes, to_flops
 
 #: Default GPU-count grids of the paper's scaling plots.
@@ -98,6 +105,9 @@ def scaling_sweep(
     global_batch_size: int = PAPER_GLOBAL_BATCH,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    jobs: Optional[int] = None,
+    cache: Optional[SearchCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ScalingSweep:
     """Re-run the optimal-configuration search at every GPU count (Fig. 4)."""
     sweep = ScalingSweep(
@@ -106,16 +116,20 @@ def scaling_sweep(
         strategy=strategy,
         global_batch_size=global_batch_size,
     )
-    for n in n_gpus_list:
-        result = find_optimal_config(
-            model,
-            system,
+    tasks = [
+        SearchTask(
+            model=model,
+            system=system,
             n_gpus=n,
             global_batch_size=global_batch_size,
             strategy=strategy,
             space=space,
             options=options,
         )
+        for n in n_gpus_list
+    ]
+    executor = SweepExecutor(jobs, cache=cache, progress=progress)
+    for n, result in zip(n_gpus_list, executor.run(tasks)):
         sweep.points.append(ScalingPoint(n_gpus=n, result=result))
     return sweep
 
@@ -143,34 +157,48 @@ def system_grid_sweep(
     regime: Optional[TrainingRegime] = None,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    jobs: Optional[int] = None,
+    cache: Optional[SearchCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SystemScalingSeries]:
     """Training time in days vs GPU count across the system grid (Fig. 5)."""
     regime = regime or default_regime(model, global_batch_size)
     series: List[SystemScalingSeries] = []
+    tasks: List[SearchTask] = []
     for generation in gpu_generations:
         for nvs in nvs_domain_sizes:
             system = make_system(generation, nvs)
-            entry = SystemScalingSeries(
-                system_name=system.name,
-                gpu_generation=generation,
-                nvs_domain_size=nvs,
+            series.append(
+                SystemScalingSeries(
+                    system_name=system.name,
+                    gpu_generation=generation,
+                    nvs_domain_size=nvs,
+                )
             )
-            for n in n_gpus_list:
-                result = find_optimal_config(
-                    model,
-                    system,
+            tasks.extend(
+                SearchTask(
+                    model=model,
+                    system=system,
                     n_gpus=n,
                     global_batch_size=global_batch_size,
                     strategy=strategy,
                     space=space,
                     options=options,
                 )
-                entry.n_gpus.append(n)
-                entry.iteration_times.append(result.best_time)
-                entry.training_days.append(
-                    regime.days(result.best_time) if result.found else float("inf")
-                )
-            series.append(entry)
+                for n in n_gpus_list
+            )
+
+    executor = SweepExecutor(jobs, cache=cache, progress=progress)
+    results = executor.run(tasks)
+    per_series = len(list(n_gpus_list))
+    for i, entry in enumerate(series):
+        for j, n in enumerate(n_gpus_list):
+            result = results[i * per_series + j]
+            entry.n_gpus.append(n)
+            entry.iteration_times.append(result.best_time)
+            entry.training_days.append(
+                regime.days(result.best_time) if result.found else float("inf")
+            )
     return series
 
 
@@ -214,6 +242,9 @@ def hardware_heatmap(
     regime: Optional[TrainingRegime] = None,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    jobs: Optional[int] = None,
+    cache: Optional[SearchCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> HardwareHeatmap:
     """Training-days heatmap over synthetic GPU parameters (Figs. A5 / A6).
 
@@ -249,9 +280,8 @@ def hardware_heatmap(
     while len(paired_bandwidths) < len(x_values):
         paired_bandwidths.append(paired_bandwidths[-1])
 
-    grid: List[List[float]] = []
+    tasks: List[SearchTask] = []
     for y in y_values:
-        row: List[float] = []
         for idx, x in enumerate(x_values):
             if mode == "capacity_vs_flops":
                 ratio = to_flops(y, "TFLOPS") / base.gpu.tensor_flops
@@ -266,18 +296,27 @@ def hardware_heatmap(
                     hbm_capacity=to_bytes(x, "GB"),
                     hbm_bandwidth=y * TB,
                 )
-            system = SystemSpec(gpu=gpu, network=base.network)
-            result = find_optimal_config(
-                model,
-                system,
-                n_gpus=n_gpus,
-                global_batch_size=global_batch_size,
-                strategy=strategy,
-                space=space,
-                options=options,
+            tasks.append(
+                SearchTask(
+                    model=model,
+                    system=SystemSpec(gpu=gpu, network=base.network),
+                    n_gpus=n_gpus,
+                    global_batch_size=global_batch_size,
+                    strategy=strategy,
+                    space=space,
+                    options=options,
+                )
             )
-            row.append(regime.days(result.best_time) if result.found else float("inf"))
-        grid.append(row)
+
+    executor = SweepExecutor(jobs, cache=cache, progress=progress)
+    results = executor.run(tasks)
+    grid = [
+        [
+            regime.days(result.best_time) if result.found else float("inf")
+            for result in results[i * len(x_values) : (i + 1) * len(x_values)]
+        ]
+        for i in range(len(y_values))
+    ]
 
     return HardwareHeatmap(
         model_name=model.name,

@@ -30,6 +30,7 @@ from repro.core.model import GPT3_175B, VIT_32K, TransformerConfig
 from repro.core.parallelism.base import GpuAssignment, ParallelConfig
 from repro.core.search import best_assignment_for
 from repro.core.system import SystemSpec, make_perlmutter
+from repro.runtime import SweepExecutor
 
 #: GPU count and global batch size of the paper's validation runs.
 VALIDATION_GPUS = 512
@@ -153,33 +154,47 @@ def _config_for(case: ValidationCase) -> ParallelConfig:
     )
 
 
+def _evaluate_case(
+    args: Tuple[ValidationCase, SystemSpec, int, ModelingOptions],
+) -> ValidationComparison:
+    """Evaluate one published validation case (module-level: picklable)."""
+    case, system, global_batch_size, options = args
+    model = _model_for(case)
+    config = _config_for(case)
+    estimate = best_assignment_for(
+        model, system, config, global_batch_size=global_batch_size, options=options
+    )
+    predicted = estimate.total_time
+    implied_measured = predicted * (1.0 + case.reported_error)
+    return ValidationComparison(
+        case=case,
+        predicted_time=predicted,
+        implied_measured_time=implied_measured,
+        feasible=estimate.feasible,
+    )
+
+
 def run_validation(
     *,
     cases: Sequence[ValidationCase] = PAPER_VALIDATION_CASES,
     system: Optional[SystemSpec] = None,
     global_batch_size: int = VALIDATION_GLOBAL_BATCH,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    jobs: Optional[int] = None,
 ) -> List[ValidationComparison]:
-    """Predict iteration times for the published validation configurations."""
+    """Predict iteration times for the published validation configurations.
+
+    The cases are independent fixed-configuration evaluations (no search),
+    so ``jobs > 1`` fans them across worker processes via
+    :class:`~repro.runtime.SweepExecutor`; the result order always follows
+    ``cases``.
+    """
     system = system or make_perlmutter(4)
-    comparisons: List[ValidationComparison] = []
-    for case in cases:
-        model = _model_for(case)
-        config = _config_for(case)
-        estimate = best_assignment_for(
-            model, system, config, global_batch_size=global_batch_size, options=options
-        )
-        predicted = estimate.total_time
-        implied_measured = predicted * (1.0 + case.reported_error)
-        comparisons.append(
-            ValidationComparison(
-                case=case,
-                predicted_time=predicted,
-                implied_measured_time=implied_measured,
-                feasible=estimate.feasible,
-            )
-        )
-    return comparisons
+    executor = SweepExecutor(jobs)
+    return executor.map(
+        _evaluate_case,
+        [(case, system, global_batch_size, options) for case in cases],
+    )
 
 
 def prediction_orders_match(comparisons: Sequence[ValidationComparison]) -> bool:

@@ -14,6 +14,12 @@ Sub-commands map onto the paper's experiments:
 
 Each command prints a plain-text table and can additionally archive the raw
 series as JSON via ``--json PATH``.
+
+The sweep commands (``scaling``, ``systems``, ``speedup``) additionally
+accept ``--jobs N`` to fan the independent searches across N worker
+processes (results are identical to serial execution) and ``--cache PATH``
+to persist solved points in a content-addressed JSON cache that later
+sweeps — including different commands over overlapping grids — reuse.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.analysis.validation import run_validation
 from repro.core.model import get_model
 from repro.core.search import find_optimal_config
 from repro.core.system import make_perlmutter, make_system
+from repro.runtime import SearchCache
 from repro.simulate.cluster import ClusterTopology
 from repro.simulate.ring import sweep_volumes
 from repro.utils.serialization import dump_json
@@ -51,11 +58,40 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="JSON search-cache path; solved points are reused across runs",
+    )
+
+
 def _parse_gpu_list(text: str) -> List[int]:
     return [int(tok) for tok in text.replace(",", " ").split() if tok]
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[SearchCache]:
+    return SearchCache(args.cache) if getattr(args, "cache", None) else None
+
+
+def _report_cache(cache: Optional[SearchCache]) -> None:
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"search cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']} entries stored",
+            file=sys.stderr,
+        )
+
+
 def cmd_search(args: argparse.Namespace) -> int:
+    """Optimal-configuration search at one GPU count (``repro-perf search``)."""
     model = get_model(args.model)
     system = make_system(args.gpu, args.nvs)
     result = find_optimal_config(
@@ -79,7 +115,8 @@ def cmd_search(args: argparse.Namespace) -> int:
     print("  breakdown   : " + ", ".join(f"{k}={100 * v:.1f}%" for k, v in fractions.items()))
     print(
         f"  search      : {result.statistics.parallel_configs} parallelizations, "
-        f"{result.statistics.candidates_evaluated} candidates evaluated"
+        f"{result.statistics.candidates_evaluated} candidates evaluated, "
+        f"{result.statistics.pruned_configs} pruned by bound"
     )
     if args.top_k > 1 and result.top_k:
         rows = [
@@ -98,15 +135,20 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
+    """Strong-scaling sweep, Fig. 4 / A3 (``repro-perf scaling``)."""
     model = get_model(args.model)
     system = make_system(args.gpu, args.nvs)
+    cache = _make_cache(args)
     sweep = scaling_sweep(
         model,
         system,
         strategy=args.strategy,
         n_gpus_list=_parse_gpu_list(args.gpus),
         global_batch_size=args.global_batch,
+        jobs=args.jobs,
+        cache=cache,
     )
+    _report_cache(cache)
     print(render_scaling_sweep(sweep))
     if args.json:
         dump_json([p.result.summary() for p in sweep.points], args.json)
@@ -114,7 +156,9 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def cmd_systems(args: argparse.Namespace) -> int:
+    """Training days across the system grid, Fig. 5 (``repro-perf systems``)."""
     model = get_model(args.model)
+    cache = _make_cache(args)
     series = system_grid_sweep(
         model,
         strategy=args.strategy,
@@ -122,7 +166,10 @@ def cmd_systems(args: argparse.Namespace) -> int:
         nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
         n_gpus_list=_parse_gpu_list(args.gpus),
         global_batch_size=args.global_batch,
+        jobs=args.jobs,
+        cache=cache,
     )
+    _report_cache(cache)
     print(render_system_grid(series, model.name))
     if args.json:
         dump_json(series, args.json)
@@ -130,7 +177,9 @@ def cmd_systems(args: argparse.Namespace) -> int:
 
 
 def cmd_speedup(args: argparse.Namespace) -> int:
+    """2D TP speedups over 1D TP, Fig. A4 (``repro-perf speedup``)."""
     model = get_model(args.model)
+    cache = _make_cache(args)
     points = speedup_sweep(
         model,
         variant_strategy=args.variant,
@@ -139,7 +188,10 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
         n_gpus_list=_parse_gpu_list(args.gpus),
         global_batch_size=args.global_batch,
+        jobs=args.jobs,
+        cache=cache,
     )
+    _report_cache(cache)
     print(render_speedups(points))
     if args.json:
         dump_json(points, args.json)
@@ -147,7 +199,8 @@ def cmd_speedup(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    comparisons = run_validation()
+    """Comparison with the paper's Megatron-LM validation, §IV (``repro-perf validate``)."""
+    comparisons = run_validation(jobs=args.jobs)
     print(render_validation(comparisons))
     if args.json:
         dump_json(comparisons, args.json)
@@ -155,6 +208,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_collectives(args: argparse.Namespace) -> int:
+    """Analytic vs simulated collective times, Fig. A1 (``repro-perf collectives``)."""
     system = make_perlmutter(args.nvlink)
     topology = ClusterTopology.from_system(system, args.gpus)
     volumes = [2.0**exp * 1e6 for exp in range(0, 14)]
@@ -180,6 +234,7 @@ def cmd_collectives(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-perf`` argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
         prog="repro-perf",
         description="Analytical performance model for foundation-model training (SC'24 reproduction)",
@@ -194,11 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scaling", help="strong-scaling sweep (Fig. 4 / A3)")
     _add_common_model_args(p)
+    _add_runtime_args(p)
     p.add_argument("--gpus", default="128,256,512,1024,2048,4096,8192,16384")
     p.set_defaults(func=cmd_scaling)
 
     p = sub.add_parser("systems", help="GPU-generation x NVS grid in training days (Fig. 5)")
     _add_common_model_args(p)
+    _add_runtime_args(p)
     p.add_argument("--gpus", default="1024,4096,16384")
     p.add_argument("--generations", default="A100,H200,B200")
     p.add_argument("--nvs-sizes", default="4,8,64")
@@ -206,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("speedup", help="2D TP speedups over 1D TP (Fig. A4)")
     _add_common_model_args(p)
+    _add_runtime_args(p)
     p.add_argument("--variant", default="summa", help="variant strategy (tp2d or summa)")
     p.add_argument("--gpus", default="1024,4096,16384")
     p.add_argument("--generations", default="A100,B200")
@@ -214,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="compare against the paper's Megatron-LM validation (§IV)")
     p.add_argument("--json", default=None)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the case evaluations (1 = serial)",
+    )
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("collectives", help="analytic vs simulated collective times (Fig. A1)")

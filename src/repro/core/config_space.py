@@ -52,6 +52,12 @@ class SearchSpace:
     #: over Calculon); when False, a single default assignment is used that
     #: fills the domain in (tp1, tp2, pp, dp) priority order.
     search_gpu_assignment: bool = True
+    #: Branch-and-bound pruning: order parallelizations by their cheap
+    #: compute-only lower bound (:func:`repro.core.execution.config_time_lower_bound`)
+    #: and skip the NVS-assignment loop of any parallelization whose bound
+    #: already exceeds the incumbent optimum.  Never changes the selected
+    #: optimum (or the top-k set); only reduces the candidates evaluated.
+    prune_with_lower_bound: bool = True
 
 
 DEFAULT_SEARCH_SPACE = SearchSpace()

@@ -490,6 +490,48 @@ def evaluate_config(
     )
 
 
+def config_time_lower_bound(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> float:
+    """Assignment-independent lower bound on the iteration time of ``config``.
+
+    The compute and exposed-HBM times of each stage, and the pipeline bubble
+    they imply, do not depend on the GPU-to-NVSwitch assignment; every
+    communication term (TP collectives, pipeline P2P, DP synchronisation,
+    SUMMA broadcasts) is non-negative under *any* assignment.  Dropping the
+    communication terms therefore yields a true lower bound on
+    :func:`evaluate_config`'s total time over all assignments, which the
+    search uses for branch-and-bound pruning: a parallelization whose bound
+    already exceeds the incumbent best cannot contain the optimum, so its
+    NVS-assignment loop can be skipped entirely.
+    """
+    stage = _cached_stage_times(
+        config.strategy,
+        model,
+        system.gpu,
+        config.microbatch_size,
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.summa_panels,
+        options.flash_attention,
+        options.include_dropout,
+        options.include_flop_latency,
+    )
+    stage_layers = layers_per_stage(model, config)
+    tf = (stage.fwd_flop + stage.fwd_mem_exposed) * stage_layers
+    tb = (stage.bwd_flop + stage.bwd_mem_exposed) * stage_layers
+    if options.activation_checkpointing:
+        tb += tf
+    m = config.num_microbatches(global_batch_size)
+    bubble = pipeline_bubble_time(config.pipeline_parallel, tf, tb)
+    return m * (tf + tb) + bubble
+
+
 def estimate_config_memory(
     model: TransformerConfig,
     config: ParallelConfig,

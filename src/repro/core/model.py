@@ -198,9 +198,9 @@ GPT3_175B = TransformerConfig(
 
 #: 32K-sequence ViT used for the paper's Megatron-LM validation runs.  The
 #: paper does not publish the exact width/depth of this validation model; we
-#: use a ViT sized to fit comfortably on 512 A100 GPUs with the reported
-#: parallelization (n1, n2, np, nd, bm) = (2, 4, 4, 16, 1).  This choice is
-#: documented in DESIGN.md as a substitution.
+#: substitute a ViT sized to fit comfortably on 512 A100 GPUs with the
+#: reported parallelization (n1, n2, np, nd, bm) = (2, 4, 4, 16, 1) — see
+#: the docstring of :mod:`repro.analysis.validation` for the reconstruction.
 VIT_32K = TransformerConfig(
     name="VIT-32K", seq_len=32400, embed_dim=6144, num_heads=48, depth=24
 )

@@ -11,10 +11,19 @@ diagnostics and, optionally, the top-k runners-up).
 A cheap memory pre-filter runs before the full time evaluation: the memory
 footprint does not depend on the NVS assignment, so infeasible
 parallelizations are rejected before the assignment loop.
+
+On top of the pre-filter, the search runs branch-and-bound pruning (see
+:class:`repro.core.config_space.SearchSpace.prune_with_lower_bound`):
+parallelizations are ordered by an assignment-independent compute-only
+lower bound and, once the incumbent optimum beats a parallelization's
+bound, its entire NVS-assignment loop — and that of every later, worse
+bound — is skipped.  The selected optimum (and top-k set) is provably
+unchanged; :class:`SearchStatistics` records how much work was avoided.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -29,6 +38,7 @@ from repro.core.execution import (
     DEFAULT_OPTIONS,
     IterationEstimate,
     ModelingOptions,
+    config_time_lower_bound,
     estimate_config_memory,
     evaluate_config,
 )
@@ -44,10 +54,25 @@ ALL_STRATEGIES = ("tp1d", "tp2d", "summa")
 class SearchStatistics:
     """Diagnostics of one search run."""
 
+    #: Parallelizations ``(b_m, n1, n2, np, nd[, nb])`` enumerated, including
+    #: those later rejected by the memory pre-filter or pruned by the bound.
     parallel_configs: int = 0
+    #: Full (parallelization, NVS-assignment) candidates whose iteration time
+    #: was evaluated.
     candidates_evaluated: int = 0
+    #: Candidates rejected because they do not fit in HBM — either by the
+    #: assignment-independent memory pre-filter (counted once per
+    #: parallelization) or by the per-candidate feasibility check.
     infeasible_memory: int = 0
+    #: Parallelizations rejected for structural reasons (bad divisibility
+    #: surfacing as ``ValueError`` during the memory estimate).
     infeasible_other: int = 0
+    #: Parallelizations whose compute-only lower bound was computed for
+    #: branch-and-bound ordering (0 when pruning is disabled).
+    bounds_computed: int = 0
+    #: Parallelizations skipped outright because their lower bound met or
+    #: exceeded the incumbent optimum; their NVS-assignment loops never ran.
+    pruned_configs: int = 0
 
     def merged(self, other: "SearchStatistics") -> "SearchStatistics":
         """Combine statistics of two (sub-)searches."""
@@ -56,6 +81,8 @@ class SearchStatistics:
             candidates_evaluated=self.candidates_evaluated + other.candidates_evaluated,
             infeasible_memory=self.infeasible_memory + other.infeasible_memory,
             infeasible_other=self.infeasible_other + other.infeasible_other,
+            bounds_computed=self.bounds_computed + other.bounds_computed,
+            pruned_configs=self.pruned_configs + other.pruned_configs,
         )
 
 
@@ -93,6 +120,7 @@ class SearchResult:
             "found": self.found,
             "configs_searched": self.statistics.parallel_configs,
             "candidates_evaluated": self.statistics.candidates_evaluated,
+            "pruned_configs": self.statistics.pruned_configs,
         }
         if self.best is not None:
             out.update(self.best.summary())
@@ -135,12 +163,20 @@ def _search_single_strategy(
     top_k: int,
 ) -> SearchResult:
     best: Optional[IterationEstimate] = None
-    leaderboard: List[IterationEstimate] = []
     n_parallel = 0
     n_eval = 0
     n_mem = 0
     n_other = 0
+    n_bounds = 0
+    n_pruned = 0
 
+    # Pass 1: memory pre-filter (assignment-independent), then compute the
+    # cheap compute-only lower bound of every surviving parallelization so
+    # the expensive NVS-assignment loops run in best-bound-first order.
+    # Each survivor keeps its enumeration rank: exact-tie candidates are
+    # resolved by (time, rank, assignment index) below, so the winner is
+    # the same whether or not the bound-sorted order was applied.
+    survivors: List[Tuple[float, int, ParallelConfig]] = []
     for config in parallel_configs(model, n_gpus, global_batch_size, strategy, space):
         n_parallel += 1
         # Memory does not depend on the assignment: reject early.
@@ -154,9 +190,41 @@ def _search_single_strategy(
         if not memory.fits(system.gpu.hbm_capacity):
             n_mem += 1
             continue
+        bound = 0.0
+        if space.prune_with_lower_bound:
+            bound = config_time_lower_bound(
+                model, system, config, global_batch_size=global_batch_size, options=options
+            )
+            n_bounds += 1
+        survivors.append((bound, len(survivors), config))
+    if space.prune_with_lower_bound:
+        survivors.sort(key=lambda item: item[0])
+
+    # Pass 2: evaluate assignments, skipping every parallelization whose
+    # lower bound cannot beat the incumbent.  ``threshold`` is the incumbent
+    # best time — or, when a top-k leaderboard is requested, the k-th best
+    # time so far, so that pruning also preserves the exact top-k set.
+    #
+    # The leaderboard is a bounded max-heap of the k best estimates keyed by
+    # (-time, -enumeration rank, -assignment index): heap[0] is the worst
+    # kept entry — which doubles as the pruning threshold — and exact time
+    # ties resolve by enumeration order, independent of evaluation order.
+    topk_heap: List[Tuple[float, int, int, IterationEstimate]] = []
+    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+    for idx, (bound, rank, config) in enumerate(survivors):
+        if space.prune_with_lower_bound:
+            if top_k > 0:
+                threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
+            else:
+                threshold = best.total_time if best is not None else math.inf
+            if bound > threshold:
+                # Survivors are bound-sorted: no later one can beat (or
+                # exactly tie, hence the strict >) the incumbent either.
+                n_pruned += len(survivors) - idx
+                break
 
         assignments = gpu_assignments(config, system.nvs_domain_size, space)
-        for assignment in assignments:
+        for assign_idx, assignment in enumerate(assignments):
             n_eval += 1
             estimate = evaluate_config(
                 model,
@@ -169,14 +237,20 @@ def _search_single_strategy(
             if not estimate.feasible:
                 n_mem += 1
                 continue
-            if best is None or estimate.total_time < best.total_time:
+            key = (estimate.total_time, rank, assign_idx)
+            if best is None or key < best_key:
                 best = estimate
+                best_key = key
             if top_k > 0:
-                leaderboard.append(estimate)
+                entry = (-estimate.total_time, -rank, -assign_idx, estimate)
+                if len(topk_heap) < top_k:
+                    heapq.heappush(topk_heap, entry)
+                elif entry > topk_heap[0]:
+                    heapq.heapreplace(topk_heap, entry)
 
-    if top_k > 0:
-        leaderboard.sort(key=lambda est: est.total_time)
-        leaderboard = leaderboard[:top_k]
+    leaderboard = [
+        est for _, _, _, est in sorted(topk_heap, key=lambda e: (-e[0], -e[1], -e[2]))
+    ]
 
     return SearchResult(
         model_name=model.name,
@@ -191,6 +265,8 @@ def _search_single_strategy(
             candidates_evaluated=n_eval,
             infeasible_memory=n_mem,
             infeasible_other=n_other,
+            bounds_computed=n_bounds,
+            pruned_configs=n_pruned,
         ),
     )
 

@@ -1,0 +1,34 @@
+"""Sweep-execution runtime: parallel fan-out plus content-addressed caching.
+
+The analysis layer (:mod:`repro.analysis`) expresses every figure as a batch
+of independent optimal-configuration searches.  This subpackage is the
+execution layer underneath it:
+
+* :class:`~repro.runtime.executor.SweepExecutor` — fans a batch of
+  :class:`~repro.runtime.executor.SearchTask`\\ s across worker processes
+  with deterministic result ordering, a serial fallback and progress
+  callbacks;
+* :class:`~repro.runtime.cache.SearchCache` — memoizes solved points under
+  a content hash of all search inputs, with optional JSON persistence, so
+  repeated and overlapping sweeps skip already-solved points.
+
+Both are reachable from the CLI via the ``--jobs`` / ``--cache`` flags of
+the ``scaling``, ``systems`` and ``speedup`` sub-commands.
+"""
+
+from repro.runtime.cache import CACHE_FORMAT_VERSION, SearchCache
+from repro.runtime.executor import (
+    ProgressCallback,
+    SearchTask,
+    SweepExecutor,
+    solve_search_task,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ProgressCallback",
+    "SearchCache",
+    "SearchTask",
+    "SweepExecutor",
+    "solve_search_task",
+]

@@ -1,0 +1,152 @@
+"""Content-addressed cache of optimal-configuration search results.
+
+Every sweep in this repo (Figs. 4, 5, A3–A6 and the CLI's ``scaling`` /
+``systems`` / ``speedup`` commands) is a batch of independent
+:func:`repro.core.search.find_optimal_config` calls, and different sweeps
+frequently revisit identical points — e.g. the Fig. 4 scaling curve and the
+Fig. 5 system grid both solve GPT3-1T on B200-NVS8 at the same GPU counts.
+
+:class:`SearchCache` memoizes those solves.  Each :class:`SearchTask` is
+fingerprinted by the SHA-256 of the canonical JSON of **all** of its inputs
+(model hyper-parameters, full system spec, GPU count, global batch,
+strategy, search-space knobs, modeling options, top-k), so any change to any
+input — even a single bandwidth number of a synthetic heatmap GPU — misses
+the cache instead of returning a stale result.  Entries are stored in their
+JSON form and rebuilt into :class:`~repro.core.search.SearchResult` trees on
+read, so a cache can be persisted to disk and shared across processes and
+sessions via :mod:`repro.utils.serialization`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.search import SearchResult
+from repro.utils.serialization import (
+    canonical_fingerprint,
+    dataclass_from_jsonable,
+    dump_json,
+    load_json,
+    to_jsonable,
+)
+
+#: Bump when the fingerprint recipe or the stored result schema changes;
+#: persisted caches with a different version are discarded on load.
+CACHE_FORMAT_VERSION = 1
+
+
+class SearchCache:
+    """In-memory, optionally JSON-persisted store of solved search points.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file backing the cache.  When given and the file
+        exists, its entries are loaded eagerly; :meth:`save` writes the
+        current entries back.  A file written by an incompatible
+        :data:`CACHE_FORMAT_VERSION` is silently treated as empty.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._entries: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(task: "SearchTask") -> str:  # noqa: F821 (doc reference)
+        """Content hash of every search input of ``task``."""
+        return canonical_fingerprint(
+            {
+                "cache_format": CACHE_FORMAT_VERSION,
+                "model": to_jsonable(task.model),
+                "system": to_jsonable(task.system),
+                "n_gpus": task.n_gpus,
+                "global_batch_size": task.global_batch_size,
+                "strategy": task.strategy,
+                "space": to_jsonable(task.space),
+                "options": to_jsonable(task.options),
+                "top_k": task.top_k,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Read/write
+    # ------------------------------------------------------------------
+    def get(self, task) -> Optional[SearchResult]:
+        """Return the cached :class:`SearchResult` for ``task``, or ``None``."""
+        fp = self.fingerprint(task)
+        entry = self._entries.get(fp)
+        if entry is not None:
+            try:
+                result = dataclass_from_jsonable(SearchResult, entry)
+            except (TypeError, KeyError, ValueError):
+                # Hand-edited / schema-drifted entry: drop it and recompute
+                # rather than aborting the whole sweep.
+                del self._entries[fp]
+            else:
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, task, result: SearchResult) -> None:
+        """Store ``result`` under ``task``'s fingerprint."""
+        self._entries[self.fingerprint(task)] = to_jsonable(result)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, task) -> bool:
+        return self.fingerprint(task) in self._entries
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Optional[Path]:
+        """Persist all entries as JSON; returns the path written (if any).
+
+        The write is atomic (temp file + ``os.replace``), so an interrupted
+        save never truncates an existing cache.  Entries another process
+        wrote to the same file are merged in on a best-effort basis: the
+        file is re-read at save time and our entries overlaid (fingerprints
+        are content hashes, so colliding entries are equal).  There is no
+        file locking — a process that saves between our re-read and our
+        replace loses its entries for this snapshot, which only costs a
+        re-solve later, never a stale result.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return None
+        merged = {**self._read_entries(target), **self._entries}
+        tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+        dump_json({"version": CACHE_FORMAT_VERSION, "entries": merged}, tmp)
+        os.replace(tmp, target)
+        self._entries = merged
+        return target
+
+    @staticmethod
+    def _read_entries(path: Path) -> Dict[str, Any]:
+        """Entries stored in ``path``; empty on missing/corrupt/old files."""
+        try:
+            data = load_json(path)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != CACHE_FORMAT_VERSION:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _load(self) -> None:
+        self._entries.update(self._read_entries(self.path))
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for reports and the CLI summary line)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

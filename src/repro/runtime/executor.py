@@ -1,0 +1,233 @@
+"""Parallel fan-out of independent solver invocations.
+
+Every figure-level experiment decomposes into *independent*
+:func:`~repro.core.search.find_optimal_config` calls — one per GPU count
+(Fig. 4), per (generation, NVS-domain, GPU-count) grid cell (Fig. 5), or per
+synthetic-GPU heatmap point (Figs. A5/A6).  The searches share no state, so
+they fan out perfectly across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+:class:`SweepExecutor` provides that fan-out with three guarantees:
+
+* **deterministic ordering** — results come back in submission order
+  regardless of which worker finishes first, so a parallel sweep is
+  bit-identical to a serial one;
+* **serial fallback** — ``jobs=1`` (the default), a failed pool start, or a
+  broken pool mid-flight all degrade to plain in-process execution;
+* **progress callbacks** — an optional ``progress(done, total)`` hook fires
+  as points complete (including cache hits), for long sweeps.
+
+:meth:`SweepExecutor.run` layers the content-addressed
+:class:`~repro.runtime.cache.SearchCache` underneath: hits skip dispatch
+entirely, misses are solved (in parallel) and written back, and a
+path-backed cache is saved once at the end of the batch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
+from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
+from repro.core.model import TransformerConfig
+from repro.core.search import SearchResult, find_optimal_config
+from repro.core.system import SystemSpec
+from repro.runtime.cache import SearchCache
+
+#: ``progress(done, total)`` — invoked after every completed point.
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class SearchTask:
+    """One self-contained :func:`find_optimal_config` invocation.
+
+    The task carries *values*, not references to shared state, so it can be
+    pickled to a worker process and fingerprinted by the cache.
+    """
+
+    model: TransformerConfig
+    system: SystemSpec
+    n_gpus: int
+    global_batch_size: int
+    strategy: Union[str, Tuple[str, ...]] = "tp1d"
+    space: SearchSpace = DEFAULT_SEARCH_SPACE
+    options: ModelingOptions = DEFAULT_OPTIONS
+    top_k: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalise strategy sequences to tuples so tasks stay hashable
+        # (batch dedup uses them as dict keys) and picklable.
+        if not isinstance(self.strategy, str):
+            object.__setattr__(self, "strategy", tuple(self.strategy))
+
+
+def solve_search_task(task: SearchTask) -> SearchResult:
+    """Run the optimal-configuration search described by ``task``.
+
+    Module-level (not a method) so :class:`ProcessPoolExecutor` can pickle it.
+    """
+    return find_optimal_config(
+        task.model,
+        task.system,
+        n_gpus=task.n_gpus,
+        global_batch_size=task.global_batch_size,
+        strategy=task.strategy,
+        space=task.space,
+        options=task.options,
+        top_k=task.top_k,
+    )
+
+
+class SweepExecutor:
+    """Executes batches of independent solver calls, serially or in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``None`` or ``1`` runs serially in-process;
+        ``N > 1`` fans out across a :class:`ProcessPoolExecutor` (falling
+        back to serial execution if a pool cannot be started or breaks).
+    cache:
+        Optional :class:`SearchCache` consulted by :meth:`run` before
+        dispatching and updated with every solved point.
+    progress:
+        Optional ``progress(done, total)`` callback.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        cache: Optional[SearchCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.jobs = max(1, int(jobs)) if jobs else 1
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Generic fan-out
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Sequence, *, _done_offset: int = 0, _total: Optional[int] = None) -> List:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        ``fn`` and the items must be picklable when ``jobs > 1``.  Failures
+        to run *in parallel* — worker processes cannot be started, or the
+        pool breaks mid-batch — degrade to serial execution of the items
+        that have not completed yet; exceptions raised by ``fn`` itself
+        always propagate.
+        """
+        items = list(items)
+        total = _total if _total is not None else len(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return self._map_serial(fn, items, _done_offset, total)
+        return self._map_parallel(fn, items, _done_offset, total)
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    def _map_serial(self, fn: Callable, items: List, done: int, total: int) -> List:
+        results = []
+        for item in items:
+            results.append(fn(item))
+            done += 1
+            self._report(done, total)
+        return results
+
+    def _map_parallel(self, fn: Callable, items: List, done: int, total: int) -> List:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
+        except (OSError, NotImplementedError, ImportError):
+            # This host cannot start worker processes at all (restricted
+            # sandbox, missing semaphores, ...): run everything in-process.
+            return self._map_serial(fn, items, done, total)
+
+        results: List = [None] * len(items)
+        completed = [False] * len(items)
+        try:
+            futures = {}
+            try:
+                for idx, item in enumerate(items):
+                    futures[pool.submit(fn, item)] = idx
+            except OSError:
+                # Worker processes could not be forked (distinct from fn
+                # raising OSError, which surfaces via fut.result() below):
+                # drop the pool and run everything in-process.
+                for fut in futures:
+                    fut.cancel()
+                return self._map_serial(fn, items, done, total)
+            try:
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        idx = futures[fut]
+                        # fn's own exceptions re-raise here and propagate.
+                        results[idx] = fut.result()
+                        completed[idx] = True
+                        done += 1
+                        self._report(done, total)
+            except BrokenProcessPool:
+                # A worker died mid-batch: keep every completed result and
+                # finish only the incomplete items serially, so no work is
+                # repeated and progress stays monotonic.
+                for idx, item in enumerate(items):
+                    if not completed[idx]:
+                        results[idx] = fn(item)
+                        completed[idx] = True
+                        done += 1
+                        self._report(done, total)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    # ------------------------------------------------------------------
+    # Cache-aware search batches
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SearchTask]) -> List[SearchResult]:
+        """Solve every task (cache hits first), preserving input order.
+
+        Duplicate tasks within the batch are solved once and fanned back to
+        every occurrence (the ``speedup`` sweep, for instance, can submit
+        the same baseline search for many grid points).
+        """
+        tasks = list(tasks)
+        total = len(tasks)
+        results: List[Optional[SearchResult]] = [None] * total
+
+        pending: Dict[SearchTask, List[int]] = {}
+        done = 0
+        for idx, task in enumerate(tasks):
+            hit = self.cache.get(task) if self.cache is not None else None
+            if hit is not None:
+                results[idx] = hit
+                done += 1
+                self._report(done, total)
+            else:
+                pending.setdefault(task, []).append(idx)
+
+        unique_tasks = list(pending)
+        solved = self.map(
+            solve_search_task,
+            unique_tasks,
+            _done_offset=done,
+            _total=total,
+        )
+        done += len(unique_tasks)
+        for task, result in zip(unique_tasks, solved):
+            for idx in pending[task]:
+                results[idx] = result
+            # Duplicate occurrences complete "for free" once their unique
+            # task is solved; report them so progress still reaches total.
+            for _ in pending[task][1:]:
+                done += 1
+                self._report(done, total)
+            if self.cache is not None:
+                self.cache.put(task, result)
+        if self.cache is not None:
+            self.cache.save()
+        return results  # type: ignore[return-value]

@@ -84,6 +84,7 @@ def simulate_1f1b(
     events: List[PipelineEvent] = []
 
     def build_order(stage: int) -> List[Tuple[str, int]]:
+        """1F1B execution order of one stage: warm-up, steady state, cool-down."""
         warmup = min(num_stages - stage - 1, num_microbatches)
         order: List[Tuple[str, int]] = [("forward", mb) for mb in range(warmup)]
         next_fwd = warmup

@@ -4,13 +4,23 @@ Results produced by the search and the analysis sweeps are plain dataclasses
 containing floats, ints, strings and nested dataclasses.  This module
 converts them into JSON-friendly dictionaries (and back for the subset of
 types we need) so that benchmark runs can archive their raw series alongside
-the textual report.
+the textual report, and so the :mod:`repro.runtime` search cache can persist
+solved sweep points across processes and sessions:
+
+* :func:`to_jsonable` / :func:`dump_json` / :func:`load_json` — one-way
+  archiving of any result dataclass;
+* :func:`dataclass_from_jsonable` — type-hint-driven reconstruction of a
+  dataclass tree from its :func:`to_jsonable` form (the cache's read path);
+* :func:`canonical_fingerprint` — stable content hash of a jsonable object,
+  used as the cache key.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import typing
 from pathlib import Path
 from typing import Any
 
@@ -44,3 +54,62 @@ def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
 def load_json(path: str | Path) -> Any:
     """Load a JSON file produced by :func:`dump_json`."""
     return json.loads(Path(path).read_text())
+
+
+def _convert(annotation: Any, value: Any) -> Any:
+    """Coerce ``value`` (a JSON type) into the shape ``annotation`` describes."""
+    if value is None:
+        return None
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        candidates = [a for a in typing.get_args(annotation) if a is not type(None)]
+        return _convert(candidates[0], value) if candidates else value
+    if origin in (list, tuple):
+        args = typing.get_args(annotation)
+        if origin is list:
+            item_type = args[0] if args else Any
+            return [_convert(item_type, v) for v in value]
+        if len(args) == 2 and args[1] is Ellipsis:  # Tuple[X, ...]
+            return tuple(_convert(args[0], v) for v in value)
+        if args:  # fixed-arity tuple
+            return tuple(_convert(a, v) for a, v in zip(args, value))
+        return tuple(value)
+    if origin is dict:
+        args = typing.get_args(annotation)
+        value_type = args[1] if len(args) == 2 else Any
+        return {k: _convert(value_type, v) for k, v in value.items()}
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        return dataclass_from_jsonable(annotation, value)
+    return value
+
+
+def dataclass_from_jsonable(cls: type, data: Any) -> Any:
+    """Rebuild a dataclass instance from its :func:`to_jsonable` dictionary.
+
+    Nested dataclasses, ``Optional``/``List``/``Tuple``/``Dict`` fields and
+    plain JSON scalars are handled recursively, driven by the class's type
+    hints.  Fields absent from ``data`` fall back to the dataclass defaults.
+    Non-init fields are ignored (they are recomputed by ``__post_init__``).
+    """
+    if data is None:
+        return None
+    if not (dataclasses.is_dataclass(cls) and isinstance(cls, type)):
+        raise TypeError(f"{cls!r} is not a dataclass type")
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if not f.init or f.name not in data:
+            continue
+        kwargs[f.name] = _convert(hints.get(f.name, Any), data[f.name])
+    return cls(**kwargs)
+
+
+def canonical_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical (sorted-key) JSON form.
+
+    Any change to any field of the object — model hyper-parameters, system
+    rates, search-space knobs, modeling options — yields a different digest,
+    which is exactly the invalidation rule the search cache needs.
+    """
+    payload = json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

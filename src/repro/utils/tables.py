@@ -1,9 +1,10 @@
 """Plain-text table rendering for experiment reports.
 
-The paper communicates its results through figures; our benchmark harness
+The paper communicates its results through figures; this reproduction
 prints the same series as text tables (one row per configuration or GPU
 count).  This module provides a tiny, dependency-free table formatter used
-by :mod:`repro.analysis.reporting` and the benchmark suite.
+by :mod:`repro.analysis.reporting`, the ``repro-perf`` CLI and the
+benchmark suite.
 """
 
 from __future__ import annotations

@@ -1,0 +1,249 @@
+"""Sweep-execution runtime: executor, search cache and search pruning."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.sweeps import scaling_sweep
+from repro.core.config_space import SearchSpace, gpu_assignments, parallel_configs
+from repro.core.execution import (
+    clear_caches,
+    config_time_lower_bound,
+    estimate_config_memory,
+    evaluate_config,
+)
+from repro.core.model import GPT3_1T, VIT_LONG_SEQ
+from repro.core.search import find_optimal_config
+from repro.core.system import make_system
+from repro.runtime import SearchCache, SearchTask, SweepExecutor, solve_search_task
+from repro.utils.serialization import dataclass_from_jsonable, to_jsonable
+
+
+@pytest.fixture(scope="module")
+def b200():
+    return make_system("B200", 8)
+
+
+def _task(system, n_gpus, **overrides):
+    kwargs = dict(
+        model=GPT3_1T,
+        system=system,
+        n_gpus=n_gpus,
+        global_batch_size=4096,
+        strategy="tp1d",
+    )
+    kwargs.update(overrides)
+    return SearchTask(**kwargs)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSweepExecutor:
+    def test_map_preserves_input_order(self):
+        items = [5, 3, 1, 4, 2]
+        assert SweepExecutor(2).map(_square, items) == [25, 9, 1, 16, 4]
+        assert SweepExecutor(1).map(_square, items) == [25, 9, 1, 16, 4]
+
+    def test_parallel_run_identical_to_serial(self, b200):
+        tasks = [_task(b200, n) for n in (128, 256, 512)]
+        serial = SweepExecutor(1).run(tasks)
+        parallel = SweepExecutor(3).run(tasks)
+        # Bit-identical SearchResult trees, statistics included.
+        assert serial == parallel
+
+    def test_scaling_sweep_parallel_equals_serial(self, b200):
+        kwargs = dict(strategy="tp1d", n_gpus_list=(128, 256, 512), global_batch_size=4096)
+        serial = scaling_sweep(GPT3_1T, b200, jobs=1, **kwargs)
+        parallel = scaling_sweep(GPT3_1T, b200, jobs=2, **kwargs)
+        assert [p.result for p in serial.points] == [p.result for p in parallel.points]
+
+    def test_progress_callback_sees_every_point(self, b200):
+        tasks = [_task(b200, n) for n in (128, 256)]
+        seen = []
+        SweepExecutor(1, progress=lambda done, total: seen.append((done, total))).run(tasks)
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_duplicate_tasks_solved_once(self, b200):
+        class CountingExecutor(SweepExecutor):
+            dispatched = 0
+
+            def map(self, fn, items, **kwargs):
+                items = list(items)
+                self.dispatched += len(items)
+                return super().map(fn, items, **kwargs)
+
+        task = _task(b200, 128)
+        seen = []
+        ex = CountingExecutor(1, progress=lambda d, t: seen.append((d, t)))
+        results = ex.run([task, task, task])
+        assert ex.dispatched == 1
+        assert results[0] == results[1] == results[2]
+        # Progress still covers all three occurrences, monotonically.
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_worker_exception_propagates(self, b200):
+        bad = _task(b200, 128, strategy=())
+        with pytest.raises(ValueError):
+            SweepExecutor(1).run([bad])
+        with pytest.raises(ValueError):
+            SweepExecutor(2).run([bad, _task(b200, 128)])
+
+
+class TestSearchCache:
+    def test_miss_then_hit_returns_equal_result(self, b200):
+        cache = SearchCache()
+        task = _task(b200, 256)
+        assert cache.get(task) is None
+        result = solve_search_task(task)
+        cache.put(task, result)
+        cached = cache.get(task)
+        assert cached == result
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_fingerprint_changes_with_any_input(self, b200):
+        base = _task(b200, 256)
+        variants = [
+            _task(b200, 512),
+            _task(b200, 256, global_batch_size=2048),
+            _task(b200, 256, strategy="tp2d"),
+            _task(b200, 256, top_k=3),
+            _task(b200, 256, space=SearchSpace(max_tensor_parallel=4)),
+            _task(make_system("B200", 64), 256),
+            _task(make_system("H200", 8), 256),
+            dataclasses.replace(base, model=VIT_LONG_SEQ),
+        ]
+        fingerprints = {SearchCache.fingerprint(t) for t in [base] + variants}
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_invalidation_on_fingerprint_change(self, b200):
+        cache = SearchCache()
+        task = _task(b200, 256)
+        cache.put(task, solve_search_task(task))
+        # A different system (even just a larger NVS domain) must miss.
+        assert cache.get(_task(make_system("B200", 64), 256)) is None
+
+    def test_persistence_roundtrip(self, b200, tmp_path):
+        path = tmp_path / "cache.json"
+        task = _task(b200, 256)
+        result = solve_search_task(task)
+
+        cache = SearchCache(path)
+        cache.put(task, result)
+        cache.save()
+
+        reloaded = SearchCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(task) == result
+
+    def test_malformed_entry_degrades_to_miss(self, b200):
+        cache = SearchCache()
+        task = _task(b200, 256)
+        cache._entries[SearchCache.fingerprint(task)] = {"garbage": True}
+        assert cache.get(task) is None  # dropped, not raised
+        assert cache.misses == 1
+        # The bad entry is evicted so a fresh solve can overwrite it.
+        assert len(cache) == 0
+
+    def test_incompatible_version_treated_as_empty(self, b200, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"version": -1, "entries": {"deadbeef": {}}}')
+        assert len(SearchCache(path)) == 0
+
+    def test_save_is_atomic_and_merges_concurrent_writers(self, b200, tmp_path):
+        path = tmp_path / "cache.json"
+        task_a, task_b = _task(b200, 128), _task(b200, 256)
+
+        writer_a = SearchCache(path)
+        writer_b = SearchCache(path)  # loaded before A saves
+        writer_a.put(task_a, solve_search_task(task_a))
+        writer_a.save()
+        writer_b.put(task_b, solve_search_task(task_b))
+        writer_b.save()  # must not clobber A's entry
+
+        merged = SearchCache(path)
+        assert len(merged) == 2
+        assert merged.get(task_a) is not None
+        assert merged.get(task_b) is not None
+        # No temp files left behind by the atomic replace.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_executor_uses_cache(self, b200):
+        cache = SearchCache()
+        tasks = [_task(b200, n) for n in (128, 256)]
+        first = SweepExecutor(1, cache=cache).run(tasks)
+        second = SweepExecutor(1, cache=cache).run(tasks)
+        assert first == second
+        assert cache.hits == 2
+        assert cache.misses == 2
+
+    def test_search_result_json_roundtrip(self, b200):
+        from repro.core.search import SearchResult
+
+        result = solve_search_task(_task(b200, 256, top_k=3))
+        rebuilt = dataclass_from_jsonable(SearchResult, to_jsonable(result))
+        assert rebuilt == result
+
+
+class TestPruning:
+    PRUNE_OFF = SearchSpace(prune_with_lower_bound=False)
+
+    @pytest.mark.parametrize(
+        "model,n_gpus,strategy,top_k",
+        [
+            (GPT3_1T, 512, "tp1d", 0),
+            (GPT3_1T, 1024, "tp1d", 5),
+            (GPT3_1T, 256, "tp2d", 0),
+            (VIT_LONG_SEQ, 512, "tp2d", 3),
+            (GPT3_1T, 512, "summa", 0),
+        ],
+    )
+    def test_pruning_never_changes_the_optimum(self, b200, model, n_gpus, strategy, top_k):
+        kwargs = dict(n_gpus=n_gpus, global_batch_size=4096, strategy=strategy, top_k=top_k)
+        pruned = find_optimal_config(model, b200, **kwargs)
+        exhaustive = find_optimal_config(model, b200, space=self.PRUNE_OFF, **kwargs)
+        assert pruned.found == exhaustive.found
+        if pruned.found:
+            assert pruned.best.config == exhaustive.best.config
+            assert pruned.best.assignment == exhaustive.best.assignment
+            assert pruned.best_time == exhaustive.best_time
+        assert [e.config for e in pruned.top_k] == [e.config for e in exhaustive.top_k]
+        assert pruned.statistics.candidates_evaluated <= exhaustive.statistics.candidates_evaluated
+
+    def test_pruning_skips_work_on_default_gpt3_search(self, b200):
+        """Acceptance: >0 pruned parallelizations on the GPT3-1T default search."""
+        result = find_optimal_config(
+            GPT3_1T, b200, n_gpus=1024, global_batch_size=4096, strategy="tp1d"
+        )
+        assert result.statistics.pruned_configs > 0
+        assert result.statistics.bounds_computed > 0
+        assert result.summary()["pruned_configs"] > 0
+        exhaustive = find_optimal_config(
+            GPT3_1T, b200, n_gpus=1024, global_batch_size=4096, strategy="tp1d",
+            space=self.PRUNE_OFF,
+        )
+        assert exhaustive.statistics.pruned_configs == 0
+        assert (
+            result.statistics.candidates_evaluated
+            < exhaustive.statistics.candidates_evaluated
+        )
+
+    def test_lower_bound_is_a_true_lower_bound(self, b200):
+        """The bound must hold for *every* NVS assignment of every config."""
+        clear_caches()
+        checked = 0
+        for config in parallel_configs(GPT3_1T, 256, 4096, "tp1d", SearchSpace()):
+            memory = estimate_config_memory(GPT3_1T, config, global_batch_size=4096)
+            if not memory.fits(b200.gpu.hbm_capacity):
+                continue
+            bound = config_time_lower_bound(
+                GPT3_1T, b200, config, global_batch_size=4096
+            )
+            for assignment in gpu_assignments(config, b200.nvs_domain_size, SearchSpace()):
+                estimate = evaluate_config(
+                    GPT3_1T, b200, config, assignment, global_batch_size=4096
+                )
+                assert bound <= estimate.total_time + 1e-12
+                checked += 1
+        assert checked > 0
