@@ -1,0 +1,21 @@
+"""Root pytest configuration shared by ``tests/`` and ``benchmarks/``."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="refresh tests/goldens/ from the current benchmarks/results/ "
+        "reports instead of diffing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """True when the golden snapshots should be rewritten, not compared."""
+    return bool(request.config.getoption("--update-goldens"))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Mixture-of-experts pre-training study: sharding a 1T-parameter MoE.
+
+The paper's two workloads are dense; this example exercises the scenario
+axes the workload registry adds on top of them:
+
+1. pick the ``moe-1t`` workload (32 experts, top-2 routing, grouped-query
+   attention with 8 KV heads) from the registry;
+2. search the configuration space — tensor/pipeline/data parallelism, NVS
+   placement, *and* the expert-parallel degree — under ZeRO-2 sharding;
+3. compare ZeRO stages 1-3 at the chosen scale: how much HBM each stage
+   frees and what it costs in data-parallel communication;
+4. contrast the MoE optimum against the dense GPT3-1T baseline at equal
+   total parameter count: fewer active FLOPs per token, more memory.
+
+Run with:  python examples/moe_pretraining_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GPT3_1T,
+    ModelingOptions,
+    find_optimal_config,
+    get_workload,
+    make_system,
+)
+
+N_GPUS = 1024
+GLOBAL_BATCH = 2048
+
+
+def main() -> None:
+    spec = get_workload("moe-1t")
+    model = spec.model
+    system = make_system("B200", nvs_domain_size=8)
+
+    print(f"Workload: {spec.name} — {spec.description}")
+    print(f"  total params  : {model.total_params / 1e12:.2f} T "
+          f"({model.num_experts} experts, top-{model.moe_top_k})")
+    print(f"  active params : {model.active_params / 1e9:.0f} B per token")
+    print(f"  attention     : {model.num_heads} query heads, "
+          f"{model.kv_heads} KV heads (GQA)")
+
+    # ------------------------------------------------------------------
+    # Search with expert parallelism in the space, under ZeRO-2.
+    # ------------------------------------------------------------------
+    options = ModelingOptions(zero_stage=2)
+    result = find_optimal_config(
+        model,
+        system,
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        strategy="tp1d",
+        options=options,
+        top_k=3,
+    )
+    best = result.best
+    print(f"\nOptimal configuration on {N_GPUS} x {system.gpu.name} (ZeRO-2):")
+    print(f"  {best.config.describe()}")
+    print(f"  expert-parallel degree = {best.config.expert_parallel} "
+          f"({model.num_experts // best.config.expert_parallel} experts resident per GPU)")
+    print(f"  iteration time         = {best.total_time:.2f} s")
+    print(f"  HBM footprint          = {best.memory_gb:.1f} GB")
+    for key, fraction in sorted(best.breakdown.fractions().items(), key=lambda kv: -kv[1]):
+        if fraction > 0.001:
+            print(f"    {key:10s} {100 * fraction:5.1f} %")
+
+    # ------------------------------------------------------------------
+    # ZeRO stage comparison at the chosen parallelization.
+    # ------------------------------------------------------------------
+    print("\nZeRO stage comparison (same cluster, best configuration re-searched):")
+    print(f"  {'stage':>5s} {'iter(s)':>8s} {'mem(GB)':>8s} {'dp_comm%':>9s}")
+    for stage in (1, 2, 3):
+        res = find_optimal_config(
+            model,
+            system,
+            n_gpus=N_GPUS,
+            global_batch_size=GLOBAL_BATCH,
+            strategy="tp1d",
+            options=ModelingOptions(zero_stage=stage),
+        )
+        if not res.found:
+            print(f"  {stage:>5d}  (no feasible configuration)")
+            continue
+        frac = res.best.breakdown.fractions()["dp_comm"]
+        print(f"  {stage:>5d} {res.best.total_time:8.2f} {res.best.memory_gb:8.1f} "
+              f"{100 * frac:9.2f}")
+
+    # ------------------------------------------------------------------
+    # Dense baseline at equal total parameter count.
+    # ------------------------------------------------------------------
+    dense = find_optimal_config(
+        GPT3_1T,
+        system,
+        n_gpus=N_GPUS,
+        global_batch_size=GLOBAL_BATCH,
+        strategy="tp1d",
+        options=options,
+    )
+    print(f"\nDense baseline ({GPT3_1T.name}, {GPT3_1T.total_params / 1e12:.2f} T params):")
+    print(f"  {dense.best.config.describe()}  "
+          f"{dense.best.total_time:.2f} s, {dense.best.memory_gb:.1f} GB")
+    tokens_moe = model.seq_len * GLOBAL_BATCH / best.total_time
+    tokens_dense = GPT3_1T.seq_len * GLOBAL_BATCH / dense.best.total_time
+    print(f"\nThroughput at equal total params: MoE {tokens_moe / 1e6:.1f} M tokens/s "
+          f"vs dense {tokens_dense / 1e6:.1f} M tokens/s "
+          f"({tokens_moe / tokens_dense:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ from repro.core import (
     GpuSpec,
     IterationEstimate,
     MODEL_CATALOG,
+    MOE_1T,
+    MOE_MIXTRAL,
     MemoryEstimate,
     ModelingOptions,
     NVS_DOMAIN_SIZES,
@@ -39,12 +41,15 @@ from repro.core import (
     TransformerConfig,
     VIT_32K,
     VIT_LONG_SEQ,
+    WorkloadSpec,
+    available_workloads,
     best_assignment_for,
     default_regime,
     estimate_memory,
     evaluate_config,
     find_optimal_config,
     get_model,
+    get_workload,
     gpt_pretraining_regime,
     gpu_assignments,
     make_gpu,
@@ -56,6 +61,7 @@ from repro.core import (
     training_days,
     vit_era5_regime,
 )
+from repro.core import register_workload
 from repro.runtime import SearchCache, SearchTask, SweepExecutor
 
 __version__ = "1.1.0"
@@ -63,6 +69,12 @@ __version__ = "1.1.0"
 __all__ = [
     "DEFAULT_OPTIONS",
     "GPT3_175B",
+    "MOE_1T",
+    "MOE_MIXTRAL",
+    "WorkloadSpec",
+    "available_workloads",
+    "get_workload",
+    "register_workload",
     "GPT3_1T",
     "GPU_GENERATIONS",
     "GpuAssignment",

@@ -10,7 +10,14 @@ Sub-commands map onto the paper's experiments:
 * ``repro-perf validate`` — comparison with the paper's Megatron-LM
   validation numbers (§IV);
 * ``repro-perf collectives`` — analytic vs simulated collective times
-  (Fig. A1).
+  (Fig. A1);
+* ``repro-perf workloads`` — list the registered workload scenarios.
+
+Every command that takes a model accepts ``--workload`` (preferred; resolves
+through the pluggable registry in :mod:`repro.core.workloads`, including MoE
+and GQA scenarios) as well as the legacy ``--model`` alias, plus the
+scenario knobs ``--zero-stage 0..3`` (ZeRO sharding) and
+``--expert-parallel auto|N`` (MoE expert-parallel degree searched or fixed).
 
 Each command prints a plain-text table and can additionally archive the raw
 series as JSON via ``--json PATH``.
@@ -37,9 +44,11 @@ from repro.analysis.reporting import (
 from repro.analysis.speedups import speedup_sweep
 from repro.analysis.sweeps import scaling_sweep, system_grid_sweep
 from repro.analysis.validation import run_validation
-from repro.core.model import get_model
+from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
+from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
 from repro.core.search import find_optimal_config
 from repro.core.system import make_perlmutter, make_system
+from repro.core.workloads import available_workloads, get_workload
 from repro.runtime import SearchCache
 from repro.simulate.cluster import ClusterTopology
 from repro.simulate.ring import sweep_volumes
@@ -48,12 +57,32 @@ from repro.utils.tables import format_table
 
 
 def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="gpt3-1t", help="model preset name")
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="workload scenario from the registry (see `repro-perf workloads`); "
+        "takes precedence over --model",
+    )
+    parser.add_argument("--model", default="gpt3-1t", help="model preset name (legacy alias)")
     parser.add_argument("--gpu", default="B200", help="GPU generation (A100/H200/B200)")
     parser.add_argument("--nvs", type=int, default=8, help="NVSwitch domain size")
     parser.add_argument("--global-batch", type=int, default=4096, help="global batch size")
     parser.add_argument(
         "--strategy", default="tp1d", help="tp1d, tp2d, summa or 'all'"
+    )
+    parser.add_argument(
+        "--zero-stage",
+        type=int,
+        choices=(0, 1, 2, 3),
+        default=None,
+        help="ZeRO sharding stage (default: the paper's distributed optimizer, stage 1)",
+    )
+    parser.add_argument(
+        "--expert-parallel",
+        type=_parse_expert_parallel,
+        default="auto",
+        help="MoE expert-parallel degree: 'auto' searches every admissible "
+        "degree, an integer fixes it (ignored for dense workloads)",
     )
     parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
 
@@ -73,7 +102,71 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _parse_gpu_list(text: str) -> List[int]:
-    return [int(tok) for tok in text.replace(",", " ").split() if tok]
+    """Parse a comma/whitespace-separated GPU-count list.
+
+    Empty entries are skipped, duplicates are removed (first occurrence
+    wins, preserving order) and malformed or non-positive tokens raise an
+    ``argparse``-friendly error instead of a raw traceback.
+    """
+    gpus: List[int] = []
+    seen = set()
+    for tok in text.replace(",", " ").split():
+        try:
+            value = int(tok)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid GPU count {tok!r} in --gpus list {text!r}"
+            ) from None
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"GPU counts must be >= 1, got {value} in --gpus list {text!r}"
+            )
+        if value not in seen:
+            seen.add(value)
+            gpus.append(value)
+    if not gpus:
+        raise argparse.ArgumentTypeError(f"--gpus list {text!r} contains no GPU counts")
+    return gpus
+
+
+def _parse_expert_parallel(text: str) -> Optional[int]:
+    """Parse ``--expert-parallel``: ``None`` for 'auto', a degree otherwise.
+
+    Used as the argparse ``type=`` converter so malformed values produce a
+    usage error (exit code 2), never a traceback.
+    """
+    raw = text.strip().lower()
+    if raw in ("auto", ""):
+        return None
+    try:
+        degree = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be 'auto' or an integer, got {text!r}"
+        ) from None
+    if degree < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {degree}")
+    return degree
+
+
+def _resolve_model(args: argparse.Namespace):
+    """Model of the requested workload (``--workload`` wins over ``--model``)."""
+    return get_workload(args.workload or args.model).model
+
+
+def _scenario_space(args: argparse.Namespace) -> SearchSpace:
+    """Search space honouring ``--expert-parallel`` (auto = enumerate)."""
+    degree = _parse_expert_parallel(str(getattr(args, "expert_parallel", None) or "auto"))
+    if degree is None:
+        return DEFAULT_SEARCH_SPACE
+    return SearchSpace(expert_parallel=(degree,))
+
+
+def _scenario_options(args: argparse.Namespace) -> ModelingOptions:
+    """Modeling options honouring ``--zero-stage``."""
+    if getattr(args, "zero_stage", None) is None:
+        return DEFAULT_OPTIONS
+    return ModelingOptions(zero_stage=args.zero_stage)
 
 
 def _make_cache(args: argparse.Namespace) -> Optional[SearchCache]:
@@ -92,7 +185,7 @@ def _report_cache(cache: Optional[SearchCache]) -> None:
 
 def cmd_search(args: argparse.Namespace) -> int:
     """Optimal-configuration search at one GPU count (``repro-perf search``)."""
-    model = get_model(args.model)
+    model = _resolve_model(args)
     system = make_system(args.gpu, args.nvs)
     result = find_optimal_config(
         model,
@@ -100,6 +193,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         n_gpus=args.gpus,
         global_batch_size=args.global_batch,
         strategy=args.strategy,
+        space=_scenario_space(args),
+        options=_scenario_options(args),
         top_k=args.top_k,
     )
     if not result.found:
@@ -136,15 +231,17 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def cmd_scaling(args: argparse.Namespace) -> int:
     """Strong-scaling sweep, Fig. 4 / A3 (``repro-perf scaling``)."""
-    model = get_model(args.model)
+    model = _resolve_model(args)
     system = make_system(args.gpu, args.nvs)
     cache = _make_cache(args)
     sweep = scaling_sweep(
         model,
         system,
         strategy=args.strategy,
-        n_gpus_list=_parse_gpu_list(args.gpus),
+        n_gpus_list=args.gpus,
         global_batch_size=args.global_batch,
+        space=_scenario_space(args),
+        options=_scenario_options(args),
         jobs=args.jobs,
         cache=cache,
     )
@@ -157,15 +254,17 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
 def cmd_systems(args: argparse.Namespace) -> int:
     """Training days across the system grid, Fig. 5 (``repro-perf systems``)."""
-    model = get_model(args.model)
+    model = _resolve_model(args)
     cache = _make_cache(args)
     series = system_grid_sweep(
         model,
         strategy=args.strategy,
         gpu_generations=args.generations.split(","),
         nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
-        n_gpus_list=_parse_gpu_list(args.gpus),
+        n_gpus_list=args.gpus,
         global_batch_size=args.global_batch,
+        space=_scenario_space(args),
+        options=_scenario_options(args),
         jobs=args.jobs,
         cache=cache,
     )
@@ -178,7 +277,7 @@ def cmd_systems(args: argparse.Namespace) -> int:
 
 def cmd_speedup(args: argparse.Namespace) -> int:
     """2D TP speedups over 1D TP, Fig. A4 (``repro-perf speedup``)."""
-    model = get_model(args.model)
+    model = _resolve_model(args)
     cache = _make_cache(args)
     points = speedup_sweep(
         model,
@@ -186,8 +285,10 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         baseline_strategy=args.strategy,
         gpu_generations=args.generations.split(","),
         nvs_domain_sizes=[int(x) for x in args.nvs_sizes.split(",")],
-        n_gpus_list=_parse_gpu_list(args.gpus),
+        n_gpus_list=args.gpus,
         global_batch_size=args.global_batch,
+        space=_scenario_space(args),
+        options=_scenario_options(args),
         jobs=args.jobs,
         cache=cache,
     )
@@ -233,6 +334,37 @@ def cmd_collectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """List the registered workload scenarios (``repro-perf workloads``)."""
+    rows = []
+    specs = []
+    for name in available_workloads():
+        spec = get_workload(name)
+        if spec.name.lower() != name:
+            continue  # alias rows (e.g. vit-long) would duplicate the listing
+        specs.append(spec)
+        model = spec.model
+        rows.append(
+            [
+                name,
+                model.total_params / 1e9,
+                model.active_params / 1e9,
+                f"{model.num_experts}x" + (f"top{model.moe_top_k}" if model.is_moe else "dense"),
+                f"{model.kv_heads}/{model.num_heads}",
+                spec.description,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "params(B)", "active(B)", "experts", "kv/q heads", "description"],
+            rows,
+        )
+    )
+    if args.json:
+        dump_json([spec.summary() for spec in specs], args.json)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro-perf`` argument parser (one sub-command per experiment)."""
     parser = argparse.ArgumentParser(
@@ -250,13 +382,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="strong-scaling sweep (Fig. 4 / A3)")
     _add_common_model_args(p)
     _add_runtime_args(p)
-    p.add_argument("--gpus", default="128,256,512,1024,2048,4096,8192,16384")
+    p.add_argument(
+        "--gpus", type=_parse_gpu_list, default="128,256,512,1024,2048,4096,8192,16384"
+    )
     p.set_defaults(func=cmd_scaling)
 
     p = sub.add_parser("systems", help="GPU-generation x NVS grid in training days (Fig. 5)")
     _add_common_model_args(p)
     _add_runtime_args(p)
-    p.add_argument("--gpus", default="1024,4096,16384")
+    p.add_argument("--gpus", type=_parse_gpu_list, default="1024,4096,16384")
     p.add_argument("--generations", default="A100,H200,B200")
     p.add_argument("--nvs-sizes", default="4,8,64")
     p.set_defaults(func=cmd_systems)
@@ -265,7 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_model_args(p)
     _add_runtime_args(p)
     p.add_argument("--variant", default="summa", help="variant strategy (tp2d or summa)")
-    p.add_argument("--gpus", default="1024,4096,16384")
+    p.add_argument("--gpus", type=_parse_gpu_list, default="1024,4096,16384")
     p.add_argument("--generations", default="A100,B200")
     p.add_argument("--nvs-sizes", default="8,64")
     p.set_defaults(func=cmd_speedup)
@@ -279,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the case evaluations (1 = serial)",
     )
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("workloads", help="list the registered workload scenarios")
+    p.add_argument("--json", default=None)
+    p.set_defaults(func=cmd_workloads)
 
     p = sub.add_parser("collectives", help="analytic vs simulated collective times (Fig. A1)")
     p.add_argument("--gpus", type=int, default=32)

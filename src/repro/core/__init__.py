@@ -24,6 +24,16 @@ from repro.core.model import (
     VIT_LONG_SEQ,
     get_model,
 )
+from repro.core.workloads import (
+    MOE_1T,
+    MOE_MIXTRAL,
+    WORKLOAD_REGISTRY,
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    get_workload_model,
+    register_workload,
+)
 from repro.core.system import (
     GPU_GENERATIONS,
     GpuSpec,
@@ -59,6 +69,14 @@ __all__ = [
     "DEFAULT_OPTIONS",
     "GPT3_175B",
     "GPT3_1T",
+    "MOE_1T",
+    "MOE_MIXTRAL",
+    "WORKLOAD_REGISTRY",
+    "WorkloadSpec",
+    "available_workloads",
+    "get_workload",
+    "get_workload_model",
+    "register_workload",
     "GPU_GENERATIONS",
     "GpuAssignment",
     "GpuSpec",

@@ -21,8 +21,9 @@ NIC): ``n_NIC_effective = nics_per_node * g / n_NVS``.
 Other collectives reuse the same structure with standard ring-algorithm
 multipliers: ReduceScatter is identical to AllGather, AllReduce is an RS
 followed by an AG (2x the bandwidth term), Broadcast and Reduce move the
-full buffer once around the ring, and point-to-point moves the buffer over a
-single link.
+full buffer once around the ring, AllToAll (MoE expert dispatch/combine)
+exchanges ``(n-1)/n`` of each GPU's buffer pairwise — the same volume shape
+as one ring pass — and point-to-point moves the buffer over a single link.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ REDUCE_SCATTER = "reduce_scatter"
 ALL_REDUCE = "all_reduce"
 BROADCAST = "broadcast"
 REDUCE = "reduce"
+ALL_TO_ALL = "all_to_all"
 POINT_TO_POINT = "p2p"
 
 SUPPORTED_COLLECTIVES = (
@@ -46,6 +48,7 @@ SUPPORTED_COLLECTIVES = (
     ALL_REDUCE,
     BROADCAST,
     REDUCE,
+    ALL_TO_ALL,
     POINT_TO_POINT,
 )
 
@@ -58,6 +61,9 @@ _BANDWIDTH_MULTIPLIER: Dict[str, float] = {
     ALL_REDUCE: 2.0,
     BROADCAST: 1.0,
     REDUCE: 1.0,
+    # Pairwise exchange of (n-1)/n of the local buffer: the aggregate per-GPU
+    # traffic matches a single ring pass, so the AllGather shape is reused.
+    ALL_TO_ALL: 1.0,
 }
 
 
@@ -197,6 +203,11 @@ def all_reduce_time(volume_bytes, placement, network) -> float:
 def broadcast_time(volume_bytes, placement, network) -> float:
     """Convenience wrapper for :func:`collective_time` with Broadcast."""
     return collective_time(BROADCAST, volume_bytes, placement, network)
+
+
+def all_to_all_time(volume_bytes, placement, network) -> float:
+    """Convenience wrapper for :func:`collective_time` with AllToAll."""
+    return collective_time(ALL_TO_ALL, volume_bytes, placement, network)
 
 
 def effective_algorithm_bandwidth(

@@ -48,6 +48,10 @@ class SearchSpace:
     summa_panels: Tuple[int, ...] = (1, 2, 4)
     #: Upper bound on the total tensor-parallel degree (None = unlimited).
     max_tensor_parallel: int | None = None
+    #: Candidate expert-parallel degrees for MoE models; ``None`` derives
+    #: them automatically (every factor of the data-parallel degree that also
+    #: divides the expert count).  Ignored for dense models (always 1).
+    expert_parallel: Tuple[int, ...] | None = None
     #: Search over GPU-to-NVS-domain assignments (the paper's contribution
     #: over Calculon); when False, a single default assignment is used that
     #: fills the domain in (tp1, tp2, pp, dp) priority order.
@@ -79,6 +83,37 @@ def microbatch_candidates(
         )
     candidates = _candidate_factors(local_batch, space.power_of_two_only)
     return tuple(bm for bm in candidates if bm <= space.max_microbatch_size)
+
+
+def expert_parallel_candidates(
+    model: TransformerConfig,
+    data_parallel: int,
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+) -> Tuple[int, ...]:
+    """Admissible expert-parallel degrees for ``model`` at one DP degree.
+
+    The EP group is carved out of the DP group, so every candidate must
+    divide ``data_parallel``; each GPU holds ``num_experts / ep`` whole
+    experts, so it must divide the expert count too.  Dense models always
+    return ``(1,)``.
+
+    With an explicit ``space.expert_parallel`` candidate list the result may
+    be empty: a pinned degree that no candidate satisfies at this DP degree
+    must eliminate the parallelization, not silently fall back to ``ep=1``.
+    The automatic derivation always contains 1, so it is never empty.
+    """
+    if model.num_experts == 1:
+        return (1,)
+    candidates = (
+        space.expert_parallel
+        if space.expert_parallel is not None
+        else _candidate_factors(data_parallel, space.power_of_two_only)
+    )
+    return tuple(
+        ep
+        for ep in candidates
+        if ep >= 1 and data_parallel % ep == 0 and model.num_experts % ep == 0
+    )
 
 
 def parallel_configs(
@@ -127,19 +162,22 @@ def parallel_configs(
         else:
             panel_options = (1,)
 
+        ep_options = expert_parallel_candidates(model, nd, space)
         for bm in bms:
             for nb in panel_options:
-                config = ParallelConfig(
-                    strategy=strategy,
-                    tensor_parallel_1=n1,
-                    tensor_parallel_2=n2,
-                    pipeline_parallel=np_,
-                    data_parallel=nd,
-                    microbatch_size=bm,
-                    summa_panels=nb,
-                )
-                if strat.validate_config(model, config) is None:
-                    yield config
+                for ep in ep_options:
+                    config = ParallelConfig(
+                        strategy=strategy,
+                        tensor_parallel_1=n1,
+                        tensor_parallel_2=n2,
+                        pipeline_parallel=np_,
+                        data_parallel=nd,
+                        microbatch_size=bm,
+                        summa_panels=nb,
+                        expert_parallel=ep,
+                    )
+                    if strat.validate_config(model, config) is None:
+                        yield config
 
 
 def default_assignment(config: ParallelConfig, nvs_domain_size: int) -> GpuAssignment:

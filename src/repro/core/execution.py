@@ -28,6 +28,7 @@ from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.model import TransformerConfig
 from repro.core.operations import CommOp
 from repro.core.parallelism.base import (
+    GROUP_EP,
     GROUP_PP,
     GpuAssignment,
     LayerWorkload,
@@ -35,7 +36,7 @@ from repro.core.parallelism.base import (
     SummaMatmul,
     get_strategy,
 )
-from repro.core.parallelism.data_parallel import data_parallel_plan
+from repro.core.parallelism.data_parallel import data_parallel_plan, resolve_zero_stage
 from repro.core.parallelism.pipeline import (
     layers_per_stage,
     pipeline_bubble_time,
@@ -53,8 +54,14 @@ class ModelingOptions:
     flash_attention: bool = True
     #: Model dropout layers explicitly (the paper omits them for brevity).
     include_dropout: bool = False
-    #: Shard the Adam optimizer states over the DP group (ZeRO-1).
+    #: Shard the Adam optimizer states over the DP group (ZeRO-1).  Legacy
+    #: boolean knob; ignored when ``zero_stage`` is set explicitly.
     zero_optimizer: bool = True
+    #: ZeRO sharding stage 0-3 (``None`` = legacy: stage 1 when
+    #: ``zero_optimizer`` is set, stage 0 otherwise).  Stages 2/3 additionally
+    #: shard gradients/parameters in the memory model; stage 3 doubles the
+    #: weight AllGather volume (forward + backward re-gather).
+    zero_stage: Optional[int] = None
     #: Overlap the DP gradient ReduceScatter / weight AllGather with the
     #: backward/forward pass of the last/first microbatch.
     overlap_dp: bool = True
@@ -191,21 +198,25 @@ def _cached_workload(
     summa_panels: int,
     flash_attention: bool,
     include_dropout: bool,
+    expert_parallel: int = 1,
 ) -> LayerWorkload:
     """Build (and cache) the per-layer workload for a TP configuration.
 
     The workload does not depend on the pipeline or data-parallel degrees,
-    so those are fixed to 1 here; the caller re-applies its own config for
-    everything else.
+    so those are fixed to the minimum here (the expert-parallel degree needs
+    an equally large DP degree to be structurally valid, but no per-GPU
+    quantity of the workload depends on ``nd`` itself); the caller re-applies
+    its own config for everything else.
     """
     probe = ParallelConfig(
         strategy=strategy_name,
         tensor_parallel_1=n1,
         tensor_parallel_2=n2,
         pipeline_parallel=1,
-        data_parallel=1,
+        data_parallel=expert_parallel,
         microbatch_size=microbatch_size,
         summa_panels=summa_panels,
+        expert_parallel=expert_parallel,
     )
     strategy = get_strategy(strategy_name)
     return strategy.layer_workload(
@@ -256,10 +267,19 @@ def _cached_stage_times(
     flash_attention: bool,
     include_dropout: bool,
     include_flop_latency: bool,
+    expert_parallel: int = 1,
 ) -> _StageTimes:
     """Roofline times of one layer (forward and backward), per microbatch."""
     workload = _cached_workload(
-        strategy_name, model, microbatch_size, n1, n2, summa_panels, flash_attention, include_dropout
+        strategy_name,
+        model,
+        microbatch_size,
+        n1,
+        n2,
+        summa_panels,
+        flash_attention,
+        include_dropout,
+        expert_parallel,
     )
     fwd = ops_time(workload.forward_ops, gpu, include_latency=include_flop_latency)
     bwd = ops_time(workload.backward_ops, gpu, include_latency=include_flop_latency)
@@ -293,12 +313,35 @@ def clear_caches() -> None:
 # Assignment-dependent evaluation
 # ----------------------------------------------------------------------
 
+def _largest_divisor_at_most(n: int, limit: int) -> int:
+    """Largest divisor of ``n`` that is <= ``limit`` (>= 1)."""
+    best = 1
+    for d in range(1, n + 1):
+        if d > limit:
+            break
+        if n % d == 0:
+            best = d
+    return best
+
+
 def _group_placement(
     group: str, config: ParallelConfig, assignment: GpuAssignment
 ) -> GroupPlacement:
-    """Placement of the named parallel group under ``assignment``."""
+    """Placement of the named parallel group under ``assignment``.
+
+    Expert-parallel groups (``ep`` and the ``<group>/ep`` gradient-sync
+    groups) are carved out of the data-parallel group, so their GPUs share
+    NVSwitch domains at most as much as the DP group does; the co-located
+    count is clamped to the largest divisor of the group size.
+    """
+    size = config.group_size(group)
+    if group == GROUP_EP or group.endswith("/ep"):
+        base = group[: -len("/ep")] if group.endswith("/ep") else "dp"
+        base_nvs = assignment.for_group(base) if base != "dp" else assignment.nvs_dp
+        nvs = _largest_divisor_at_most(size, max(1, base_nvs))
+        return GroupPlacement(size=size, gpus_per_nvs_domain=nvs)
     return GroupPlacement(
-        size=config.group_size(group),
+        size=size,
         gpus_per_nvs_domain=assignment.for_group(group),
     )
 
@@ -384,6 +427,7 @@ def evaluate_config(
         options.flash_attention,
         options.include_dropout,
         options.include_flop_latency,
+        config.expert_parallel,
     )
     workload = _cached_workload(
         config.strategy,
@@ -394,6 +438,7 @@ def evaluate_config(
         config.summa_panels,
         options.flash_attention,
         options.include_dropout,
+        config.expert_parallel,
     )
 
     # --- per-microbatch, per-stage times -------------------------------
@@ -432,25 +477,46 @@ def evaluate_config(
         pp_comm = m * point_to_point_time(p2p_bytes, placement, system.network)
 
     # --- data parallel ---------------------------------------------------
-    plan = data_parallel_plan(
-        workload.params_per_gpu * stage_layers,
-        config,
-        grad_sync_group=workload.grad_sync_group,
-        overlap_with_compute=options.overlap_dp,
-    )
+    zero_stage = resolve_zero_stage(options.zero_stage, options.zero_optimizer)
+    plans = [
+        data_parallel_plan(
+            workload.params_per_gpu * stage_layers,
+            config,
+            grad_sync_group=workload.grad_sync_group,
+            overlap_with_compute=options.overlap_dp,
+            zero_stage=zero_stage,
+        )
+    ]
+    if workload.expert_params_per_gpu > 0:
+        # Expert (MoE) weights replicate only nd/ep times; their gradients
+        # synchronise over the correspondingly smaller group.
+        plans.append(
+            data_parallel_plan(
+                workload.expert_params_per_gpu * stage_layers,
+                config,
+                grad_sync_group=workload.expert_grad_sync_group,
+                overlap_with_compute=options.overlap_dp,
+                zero_stage=zero_stage,
+            )
+        )
     dp_comm = 0.0
-    if plan.total_bytes > 0:
+    rs_total = 0.0
+    ag_total = 0.0
+    for plan in plans:
+        if plan.total_bytes <= 0:
+            continue
         placement = _group_placement(plan.sync_group, config, assignment)
-        rs_time = collective_time(
+        rs_total += collective_time(
             "reduce_scatter", plan.grad_reduce_scatter_bytes, placement, system.network
         )
-        ag_time = collective_time(
+        ag_total += collective_time(
             "all_gather", plan.weight_all_gather_bytes, placement, system.network
         )
+    if rs_total > 0 or ag_total > 0:
         if options.overlap_dp:
-            dp_comm = max(0.0, rs_time - tb) + max(0.0, ag_time - tf)
+            dp_comm = max(0.0, rs_total - tb) + max(0.0, ag_total - tf)
         else:
-            dp_comm = rs_time + ag_time
+            dp_comm = rs_total + ag_total
 
     breakdown = TimeBreakdown(
         compute=m * (fwd_compute + bwd_compute),
@@ -469,6 +535,7 @@ def evaluate_config(
         m,
         zero_optimizer=options.zero_optimizer,
         activation_checkpointing=options.activation_checkpointing,
+        zero_stage=options.zero_stage,
     )
     feasible = memory.fits(system.gpu.hbm_capacity)
     reason = None if feasible else (
@@ -521,6 +588,7 @@ def config_time_lower_bound(
         options.flash_attention,
         options.include_dropout,
         options.include_flop_latency,
+        config.expert_parallel,
     )
     stage_layers = layers_per_stage(model, config)
     tf = (stage.fwd_flop + stage.fwd_mem_exposed) * stage_layers
@@ -549,6 +617,7 @@ def estimate_config_memory(
         config.summa_panels,
         options.flash_attention,
         options.include_dropout,
+        config.expert_parallel,
     )
     m = config.num_microbatches(global_batch_size)
     return estimate_memory(
@@ -558,4 +627,5 @@ def estimate_config_memory(
         m,
         zero_optimizer=options.zero_optimizer,
         activation_checkpointing=options.activation_checkpointing,
+        zero_stage=options.zero_stage,
     )

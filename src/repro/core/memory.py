@@ -4,9 +4,13 @@ Under mixed-precision training each GPU holds:
 
 * FP16 weights and FP16 gradients — 2 bytes per parameter each, where the
   parameter count per GPU follows from the tensor-parallel sharding and the
-  number of layers per pipeline stage;
+  number of layers per pipeline stage; under ZeRO-3 the weights (and under
+  ZeRO-2/3 the gradients) additionally shard across the data-parallel group;
 * the Adam optimizer states — 12 bytes per parameter, sharded across the
-  data-parallel group when the distributed (ZeRO-1) optimizer is used;
+  data-parallel group when the distributed (ZeRO-1+) optimizer is used;
+* for MoE layers, the expert weights/grads/optimizer states, which replicate
+  only ``nd / ep`` times (the expert-parallel degree ``ep`` shards the
+  experts), so their ZeRO divisors use that smaller group;
 * the intermediate activations retained for the backward pass — per layer
   and per microbatch as reported by the tensor-parallel strategy (with
   FlashAttention the ``l x l`` attention matrix is recomputed instead of
@@ -27,8 +31,10 @@ from repro.core.model import TransformerConfig
 from repro.core.parallelism.base import LayerWorkload, ParallelConfig
 from repro.core.parallelism.data_parallel import (
     GRAD_BYTES_PER_PARAM,
+    OPTIMIZER_BYTES_PER_PARAM,
     WEIGHT_BYTES_PER_PARAM,
-    optimizer_bytes_per_param,
+    resolve_zero_stage,
+    zero_shard_divisors,
 )
 from repro.core.parallelism.pipeline import (
     in_flight_microbatches,
@@ -87,6 +93,7 @@ def estimate_memory(
     *,
     zero_optimizer: bool = True,
     activation_checkpointing: bool = False,
+    zero_stage: int | None = None,
 ) -> MemoryEstimate:
     """Estimate the per-GPU HBM footprint of ``config``.
 
@@ -95,15 +102,32 @@ def estimate_memory(
     it).  With ``activation_checkpointing`` only each block's input is
     retained between the forward and backward pass (the block is recomputed
     during backward), plus one block's worth of live intermediates.
+
+    ``zero_stage`` (0-3) controls how much per-parameter state shards across
+    the data-parallel group; ``None`` keeps the legacy behaviour driven by
+    ``zero_optimizer`` (stage 1 when set, stage 0 otherwise).  Expert (MoE)
+    parameters shard over the smaller ``nd / ep`` expert-replication group.
     """
     stage_layers = layers_per_stage(model, config)
     params_per_gpu = workload.params_per_gpu * stage_layers
+    expert_params = workload.expert_params_per_gpu * stage_layers
 
-    weight_bytes = WEIGHT_BYTES_PER_PARAM * params_per_gpu
-    grad_bytes = GRAD_BYTES_PER_PARAM * params_per_gpu
+    stage = resolve_zero_stage(zero_stage, zero_optimizer)
+    w_div, g_div, o_div = zero_shard_divisors(stage, config.data_parallel)
+    expert_group = max(1, config.data_parallel // config.expert_parallel)
+    we_div, ge_div, oe_div = zero_shard_divisors(stage, expert_group)
+
+    weight_bytes = (
+        (WEIGHT_BYTES_PER_PARAM / w_div) * params_per_gpu
+        + (WEIGHT_BYTES_PER_PARAM / we_div) * expert_params
+    )
+    grad_bytes = (
+        (GRAD_BYTES_PER_PARAM / g_div) * params_per_gpu
+        + (GRAD_BYTES_PER_PARAM / ge_div) * expert_params
+    )
     optimizer_bytes = (
-        optimizer_bytes_per_param(config.data_parallel, zero_sharded=zero_optimizer)
-        * params_per_gpu
+        (OPTIMIZER_BYTES_PER_PARAM / o_div) * params_per_gpu
+        + (OPTIMIZER_BYTES_PER_PARAM / oe_div) * expert_params
     )
 
     in_flight = in_flight_microbatches(config.pipeline_parallel, num_microbatches)

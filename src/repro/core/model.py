@@ -17,6 +17,22 @@ Two model classes are studied in the paper:
 
 Additional presets cover the models used in the paper's empirical-validation
 section (GPT3-175B and a 32K-sequence ViT trained on 512 A100 GPUs).
+
+Beyond the paper's two dense workloads, the architecture description carries
+three optional scenario dimensions (all defaulting to the dense/MHA model the
+paper studies, with *exact* reduction to it at the defaults):
+
+* **grouped-query attention** — ``kv_heads < num_heads`` shares each K/V head
+  across a group of query heads (``kv_heads=1`` is multi-query attention),
+  shrinking the K/V projections, their activations and their communication;
+* **mixture-of-experts** — ``num_experts > 1`` replaces the dense MLP with
+  ``num_experts`` expert MLPs of which ``moe_top_k`` are active per token,
+  multiplying MLP parameters by the expert count while scaling MLP FLOPs only
+  by ``moe_top_k``.
+
+The named presets themselves live in the pluggable workload registry
+(:mod:`repro.core.workloads`); the catalogue kept here covers the paper's
+original models and stays for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -51,6 +67,14 @@ class TransformerConfig:
     dtype_bytes:
         Bytes per element of activations/weights (2 for FP16/BF16 mixed
         precision, which the paper assumes throughout).
+    kv_heads:
+        Number of key/value heads for grouped-query attention; must divide
+        ``num_heads``.  Defaults to 0, meaning ``num_heads`` (standard
+        multi-head attention); 1 is multi-query attention.
+    num_experts:
+        Number of MLP experts; 1 (the default) is the dense model.
+    moe_top_k:
+        Experts activated per token when ``num_experts > 1``.
     """
 
     name: str
@@ -61,15 +85,30 @@ class TransformerConfig:
     hidden_dim: int = 0
     vocab_size: int = 0
     dtype_bytes: int = 2
+    kv_heads: int = 0
+    num_experts: int = 1
+    moe_top_k: int = 1
 
     def __post_init__(self) -> None:
         if self.hidden_dim == 0:
             object.__setattr__(self, "hidden_dim", 4 * self.embed_dim)
+        if self.kv_heads == 0:
+            object.__setattr__(self, "kv_heads", self.num_heads)
         if self.seq_len <= 0 or self.embed_dim <= 0 or self.depth <= 0:
             raise ValueError("seq_len, embed_dim and depth must be positive")
         if self.num_heads <= 0 or self.embed_dim % self.num_heads != 0:
             raise ValueError(
                 f"num_heads ({self.num_heads}) must divide embed_dim ({self.embed_dim})"
+            )
+        if self.kv_heads <= 0 or self.num_heads % self.kv_heads != 0:
+            raise ValueError(
+                f"kv_heads ({self.kv_heads}) must divide num_heads ({self.num_heads})"
+            )
+        if self.num_experts < 1:
+            raise ValueError(f"num_experts ({self.num_experts}) must be >= 1")
+        if not 1 <= self.moe_top_k <= self.num_experts:
+            raise ValueError(
+                f"moe_top_k ({self.moe_top_k}) must be in [1, num_experts={self.num_experts}]"
             )
         if self.dtype_bytes not in (1, 2, 4, 8):
             raise ValueError(f"unsupported dtype_bytes {self.dtype_bytes}")
@@ -83,16 +122,40 @@ class TransformerConfig:
         return self.embed_dim // self.num_heads
 
     @property
+    def kv_dim(self) -> int:
+        """Total K (or V) projection width ``kv_heads * head_dim`` (= ``e`` for MHA)."""
+        return self.kv_heads * self.head_dim
+
+    @property
+    def is_moe(self) -> bool:
+        """True when the MLP is a mixture of experts (``num_experts > 1``)."""
+        return self.num_experts > 1
+
+    @property
     def attention_params_per_layer(self) -> int:
-        """Parameters of the self-attention block (W_Q, W_K, W_V, W_p + biases)."""
-        e = self.embed_dim
-        return 4 * e * e + 4 * e
+        """Parameters of the self-attention block (W_Q, W_K, W_V, W_p + biases).
+
+        With grouped-query attention the K and V projections produce only
+        ``kv_heads * head_dim`` columns instead of ``e``.
+        """
+        e, kv = self.embed_dim, self.kv_dim
+        return 2 * e * e + 2 * e * kv + 2 * e + 2 * kv
+
+    @property
+    def router_params_per_layer(self) -> int:
+        """Parameters of the MoE router/gate (0 for the dense model)."""
+        return self.embed_dim * self.num_experts if self.is_moe else 0
+
+    @property
+    def expert_mlp_params(self) -> int:
+        """Parameters of a single expert MLP (W_1, W_2 + biases)."""
+        e, f = self.embed_dim, self.hidden_dim
+        return 2 * e * f + f + e
 
     @property
     def mlp_params_per_layer(self) -> int:
-        """Parameters of the MLP block (W_1, W_2 + biases)."""
-        e, f = self.embed_dim, self.hidden_dim
-        return 2 * e * f + f + e
+        """Parameters of the MLP block: all experts plus the router."""
+        return self.num_experts * self.expert_mlp_params + self.router_params_per_layer
 
     @property
     def layernorm_params_per_layer(self) -> int:
@@ -118,6 +181,21 @@ class TransformerConfig:
         """Total parameter count of the model."""
         return self.depth * self.params_per_layer + self.embedding_params
 
+    @property
+    def active_params_per_layer(self) -> int:
+        """Parameters touched by one token: ``moe_top_k`` experts instead of all."""
+        return (
+            self.attention_params_per_layer
+            + self.layernorm_params_per_layer
+            + self.moe_top_k * self.expert_mlp_params
+            + self.router_params_per_layer
+        )
+
+    @property
+    def active_params(self) -> int:
+        """Per-token active parameter count (= ``total_params`` for dense models)."""
+        return self.depth * self.active_params_per_layer + self.embedding_params
+
     # ------------------------------------------------------------------
     # FLOP accounting at the model level (per token / per sample)
     # ------------------------------------------------------------------
@@ -125,17 +203,32 @@ class TransformerConfig:
         """Forward FLOPs of one self-attention block for ``batch`` samples.
 
         Includes the four projections (QKV + output) and the two
-        activation-activation matmuls of Logit-Attend.
+        activation-activation matmuls of Logit-Attend.  With grouped-query
+        attention the K/V projections shrink to ``kv_heads * head_dim``
+        output columns; the Logit-Attend FLOPs are unchanged (every query
+        head still attends over the full sequence).
         """
-        b, l, e = batch, self.seq_len, self.embed_dim
-        proj = 4 * (2.0 * b * l * e * e)
+        b, l, e, kv = batch, self.seq_len, self.embed_dim, self.kv_dim
+        proj = 2 * (2.0 * b * l * e * e) + 2 * (2.0 * b * l * e * kv)
         logit_attend = 2 * (2.0 * b * l * l * e)
         return proj + logit_attend
 
+    def router_flops_per_layer(self, batch: int = 1) -> float:
+        """Forward FLOPs of the MoE router/gate (0 for the dense model)."""
+        if not self.is_moe:
+            return 0.0
+        b, l, e = batch, self.seq_len, self.embed_dim
+        return 2.0 * b * l * e * self.num_experts
+
     def mlp_flops_per_layer(self, batch: int = 1) -> float:
-        """Forward FLOPs of one MLP block for ``batch`` samples."""
+        """Forward FLOPs of one MLP block for ``batch`` samples.
+
+        For MoE, every token runs through ``moe_top_k`` experts (plus the
+        router), so the dense MLP FLOPs scale by ``moe_top_k``.
+        """
         b, l, e, f = batch, self.seq_len, self.embed_dim, self.hidden_dim
-        return 2 * (2.0 * b * l * e * f)
+        dense = 2 * (2.0 * b * l * e * f)
+        return self.moe_top_k * dense + self.router_flops_per_layer(batch)
 
     def flops_per_layer(self, batch: int = 1) -> float:
         """Forward FLOPs of one full transformer block."""
@@ -162,7 +255,7 @@ class TransformerConfig:
 
     def describe(self) -> Dict[str, float]:
         """Summary dictionary used by reports and the CLI."""
-        return {
+        out = {
             "name": self.name,
             "seq_len": self.seq_len,
             "embed_dim": self.embed_dim,
@@ -174,6 +267,13 @@ class TransformerConfig:
             "params_per_layer": self.params_per_layer,
             "mlp_to_attention_flops": self.mlp_to_attention_flop_ratio(),
         }
+        if self.kv_heads != self.num_heads:
+            out["kv_heads"] = self.kv_heads
+        if self.is_moe:
+            out["num_experts"] = self.num_experts
+            out["moe_top_k"] = self.moe_top_k
+            out["params_active"] = self.active_params
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -218,12 +318,20 @@ MODEL_CATALOG: Dict[str, TransformerConfig] = {
 def get_model(name: str) -> TransformerConfig:
     """Look up a model preset by (case-insensitive) name.
 
+    Resolves through the pluggable workload registry
+    (:mod:`repro.core.workloads`), so registered scenarios (``moe-1t``,
+    ``gpt3-1t-gqa``, downstream additions) are accepted alongside the
+    paper's catalogue above.
+
     >>> get_model("GPT3-1T").depth
     128
     """
     key = name.strip().lower()
-    if key not in MODEL_CATALOG:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_CATALOG)}"
-        )
-    return MODEL_CATALOG[key]
+    if key in MODEL_CATALOG:
+        return MODEL_CATALOG[key]
+    from repro.core.workloads import WORKLOAD_REGISTRY  # local: avoid import cycle
+
+    if key in WORKLOAD_REGISTRY:
+        return WORKLOAD_REGISTRY[key].model
+    available = sorted(set(MODEL_CATALOG) | set(WORKLOAD_REGISTRY))
+    raise KeyError(f"unknown model {name!r}; available: {available}")

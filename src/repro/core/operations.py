@@ -257,6 +257,8 @@ class AttentionShape:
     under 2D TP), ``kv_rows`` the number of key/value positions visible to
     the kernel (the full ``l`` — the sequence is gathered for K and V),
     ``heads`` the number of local heads and ``head_dim`` the per-head width.
+    ``kv_heads`` is the number of local key/value heads for grouped-query
+    attention (0, the default, means ``heads``, i.e. standard MHA).
     """
 
     batch: float
@@ -264,6 +266,14 @@ class AttentionShape:
     q_rows: float
     kv_rows: float
     head_dim: float
+    kv_heads: float = 0.0
+
+    @property
+    def kv_ratio(self) -> float:
+        """K/V head fraction ``kv_heads / heads`` (exactly 1.0 for MHA)."""
+        if self.kv_heads <= 0:
+            return 1.0
+        return self.kv_heads / self.heads
 
 
 def flash_attention_forward(
@@ -285,12 +295,16 @@ def flash_attention_forward(
         shape.kv_rows,
         shape.head_dim,
     )
+    # Grouped-query attention: K/V tensors carry only kv_heads heads.  The
+    # score/attend FLOPs are unchanged (each query head attends over the full
+    # sequence); only the K/V bytes shrink by kvr = kv_heads / heads.
+    kvr = shape.kv_ratio
     qk_flops = matmul_flops(lq, dh, lk, batch=b * h)
     av_flops = matmul_flops(lq, lk, dh, batch=b * h)
     softmax_flops = _VECTOR_FLOPS_PER_ELEMENT["softmax"] * b * h * lq * lk
 
     if fused:
-        io_bytes = dtype_bytes * b * h * (lq * dh + 2 * lk * dh + lq * dh)
+        io_bytes = dtype_bytes * b * h * (lq * dh + 2 * kvr * lk * dh + lq * dh)
         return [
             ComputeOp(
                 name="flash_attention.fwd",
@@ -305,7 +319,7 @@ def flash_attention_forward(
         ComputeOp(
             name="attention.qk",
             flops=qk_flops,
-            bytes_hbm=dtype_bytes * b * h * (lq * dh + lk * dh) + logits_bytes,
+            bytes_hbm=dtype_bytes * b * h * (lq * dh + kvr * lk * dh) + logits_bytes,
             pipe=TENSOR_PIPE,
         ),
         ComputeOp(
@@ -317,7 +331,7 @@ def flash_attention_forward(
         ComputeOp(
             name="attention.av",
             flops=av_flops,
-            bytes_hbm=logits_bytes + dtype_bytes * b * h * (lk * dh + lq * dh),
+            bytes_hbm=logits_bytes + dtype_bytes * b * h * (kvr * lk * dh + lq * dh),
             pipe=TENSOR_PIPE,
         ),
     ]

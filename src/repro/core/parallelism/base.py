@@ -34,6 +34,15 @@ GROUP_PP = "pp"
 #: Weight-gradient synchronisation group for 2D TP: the weights are shared
 #: across the n2 dimension, so their gradients reduce over nd x n2.
 GROUP_DP_TP2 = "dp+tp2"
+#: Expert-parallel group: the subset of the data-parallel group across which
+#: the MoE experts are sharded; MoE dispatch/combine AllToAlls run here.
+GROUP_EP = "ep"
+#: Expert-weight gradient synchronisation group: experts are replicated only
+#: ``nd / ep`` times, so their gradients reduce over the DP group *divided*
+#: by the expert-parallel degree.  The generic ``<group>/ep`` suffix is
+#: understood by :meth:`ParallelConfig.group_size` (``dp/ep`` for 1D TP,
+#: ``dp+tp2/ep`` for 2D TP whose expert weights also replicate over n2).
+GROUP_DP_EP = "dp/ep"
 
 PARALLEL_GROUPS = (GROUP_TP1, GROUP_TP2, GROUP_PP, GROUP_DP)
 
@@ -57,6 +66,11 @@ class ParallelConfig:
     microbatch_size: int
     #: Number of SUMMA panels (ignored by non-SUMMA strategies).
     summa_panels: int = 1
+    #: Expert-parallel degree for MoE models.  The EP group is carved out of
+    #: the data-parallel group (Megatron-style), so it must divide ``nd`` and
+    #: does not change :attr:`total_gpus`.  1 (the default) replicates every
+    #: expert on every DP rank — the dense behaviour.
+    expert_parallel: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -66,9 +80,15 @@ class ParallelConfig:
             "data_parallel",
             "microbatch_size",
             "summa_panels",
+            "expert_parallel",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.data_parallel % self.expert_parallel != 0:
+            raise ValueError(
+                f"expert_parallel ({self.expert_parallel}) must divide "
+                f"data_parallel ({self.data_parallel})"
+            )
 
     @property
     def tensor_parallel(self) -> int:
@@ -95,13 +115,26 @@ class ParallelConfig:
         return per_replica // self.microbatch_size
 
     def group_size(self, group: str) -> int:
-        """Size of the named parallel group."""
+        """Size of the named parallel group.
+
+        A ``<group>/ep`` suffix divides the base group by the expert-parallel
+        degree (e.g. ``dp/ep`` is the replication group of one expert shard).
+        """
+        if group.endswith("/ep"):
+            base = self.group_size(group[: -len("/ep")])
+            if base % self.expert_parallel != 0:
+                raise ValueError(
+                    f"expert_parallel ({self.expert_parallel}) does not divide "
+                    f"group {group[:-3]!r} of size {base}"
+                )
+            return base // self.expert_parallel
         return {
             GROUP_TP1: self.tensor_parallel_1,
             GROUP_TP2: self.tensor_parallel_2,
             GROUP_PP: self.pipeline_parallel,
             GROUP_DP: self.data_parallel,
             GROUP_DP_TP2: self.data_parallel * self.tensor_parallel_2,
+            GROUP_EP: self.expert_parallel,
             "tp": self.tensor_parallel,
         }[group]
 
@@ -122,6 +155,7 @@ class ParallelConfig:
             f"n2={self.tensor_parallel_2},np={self.pipeline_parallel},"
             f"nd={self.data_parallel}"
             + (f",nb={self.summa_panels}" if self.summa_panels > 1 else "")
+            + (f",ep={self.expert_parallel}" if self.expert_parallel > 1 else "")
             + "]"
         )
 
@@ -239,12 +273,21 @@ class LayerWorkload:
     #: retained when full activation checkpointing (recompute) is enabled.
     block_input_elements: float = 0.0
     #: Parameters of this layer resident on one GPU (sharded weights plus the
-    #: replicated LayerNorm/bias parameters).
+    #: replicated LayerNorm/bias parameters).  For MoE layers this covers the
+    #: *dense* parameters only (attention, LayerNorms, router); the expert
+    #: weights are tracked separately below because they shard and
+    #: synchronise over different groups.
     params_per_gpu: float = 0.0
     #: Parameters whose gradients synchronise over the plain DP group.
     dp_synced_params: float = 0.0
     #: Group over which weight gradients are synchronised ("dp" or "dp+tp2").
     grad_sync_group: str = GROUP_DP
+    #: Expert (MoE) parameters resident on one GPU — already divided by the
+    #: expert-parallel degree.  0 for dense models.
+    expert_params_per_gpu: float = 0.0
+    #: Group over which expert-weight gradients synchronise (the dense
+    #: gradient-sync group shrunk by the expert-parallel degree).
+    expert_grad_sync_group: str = GROUP_DP_EP
 
     def total_forward_flops(self) -> float:
         """Forward FLOPs of this layer per microbatch (including SUMMA ops)."""

@@ -1,0 +1,168 @@
+"""Expert parallelism: mixture-of-experts layers as a workload transform.
+
+An MoE transformer block keeps the attention sub-block of the dense model
+and replaces the single MLP with ``E`` expert MLPs of which ``k = moe_top_k``
+are active per token.  Rather than re-deriving every tensor-parallel
+strategy for MoE, this module *transforms* the dense
+:class:`~repro.core.parallelism.base.LayerWorkload` produced by a strategy
+(Megatron-style: expert weights are tensor-parallel-sharded exactly like the
+dense MLP weights, and the expert-parallel group is carved out of the
+data-parallel group):
+
+* **compute** — every MLP matmul/GeLU op (forward and backward) scales by
+  ``k``: with balanced routing each GPU processes ``k`` token-expert pairs
+  per token, against its local shard of the active experts' weights.  A
+  router matmul (``e x E`` gate) plus softmax is added;
+* **communication** — token dispatch and combine are AllToAlls over the
+  expert-parallel group (volume: the sequence-sharded activation times
+  ``k``), in the forward pass and, conjugated, in the backward pass;
+* **memory** — each GPU stores ``E / ep`` experts' weights (reported
+  separately as ``expert_params_per_gpu`` because they replicate only
+  ``nd / ep`` times and therefore shard/synchronise over smaller groups),
+  and retains the ``k``-times-larger MLP intermediates plus the routed
+  token copies for the backward pass.
+
+First-order approximations (documented so they can be tightened later):
+balanced routing with no capacity-factor padding or token dropping; expert
+weights read once per matmul (weight re-reads for many small experts are
+neglected against the activation traffic); and the MLP block's
+tensor-parallel collectives keep their *dense* volumes — as in Megatron's
+sequence-parallel MoE they bracket the pre-dispatch input and the
+post-combine output (both ``b*l*e`` tensors), while the ``top_k``-fold token
+expansion travels inside the AllToAlls, which *are* scaled by ``k``.  A
+capacity-factor > 1 or unbalanced routing would grow both the AllToAll and
+the expert compute beyond this model.
+
+The transform is an exact no-op for dense models (``num_experts == 1``), so
+every dense figure of the paper is bit-identical with or without it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import TransformerConfig
+from repro.core.operations import (
+    CommOp,
+    ComputeOp,
+    matmul_backward_ops,
+    matmul_op,
+    softmax_op,
+    vector_backward_op,
+)
+from repro.core.parallelism.base import GROUP_EP, LayerWorkload, ParallelConfig
+
+#: MLP ops scaled by ``moe_top_k`` (their backward ops carry these prefixes).
+_EXPERT_OP_PREFIXES = ("mlp.up_proj", "mlp.gelu", "mlp.down_proj")
+
+
+def validate_expert_config(
+    model: TransformerConfig, config: ParallelConfig
+) -> str | None:
+    """Divisibility rules of the expert-parallel axis (None when admissible)."""
+    if model.num_experts == 1:
+        if config.expert_parallel != 1:
+            return "expert_parallel > 1 requires an MoE model (num_experts > 1)"
+        return None
+    if model.num_experts % config.expert_parallel != 0:
+        return (
+            f"expert_parallel ({config.expert_parallel}) does not divide "
+            f"num_experts ({model.num_experts})"
+        )
+    # ep | nd is enforced structurally by ParallelConfig.__post_init__.
+    return None
+
+
+def _scale_expert_ops(ops: List[ComputeOp], top_k: int) -> List[ComputeOp]:
+    """Scale the MLP matmul/activation ops by the routed expert count."""
+    return [
+        op.scaled(float(top_k)) if op.name.startswith(_EXPERT_OP_PREFIXES) else op
+        for op in ops
+    ]
+
+
+def apply_expert_parallelism(
+    model: TransformerConfig,
+    config: ParallelConfig,
+    workload: LayerWorkload,
+) -> LayerWorkload:
+    """Turn a dense per-layer workload into its MoE equivalent.
+
+    Returns ``workload`` unchanged for dense models, so strategies can call
+    this unconditionally.
+    """
+    err = validate_expert_config(model, config)
+    if err is not None:
+        raise ValueError(err)
+    if model.num_experts == 1:
+        return workload
+
+    b = float(config.microbatch_size)
+    l, e, f = float(model.seq_len), float(model.embed_dim), float(model.hidden_dim)
+    n1 = float(config.tensor_parallel_1)
+    n2 = float(config.tensor_parallel_2)
+    nt = float(config.tensor_parallel)
+    dt = model.dtype_bytes
+    experts = float(model.num_experts)
+    k = model.moe_top_k
+    ep = float(config.expert_parallel)
+
+    fwd_ops = _scale_expert_ops(workload.forward_ops, k)
+    bwd_ops = _scale_expert_ops(workload.backward_ops, k)
+
+    # Router/gate on the sequence-sharded tokens: (b*l/nt, e) x (e, E).
+    router_rows = b * l / nt
+    gate = matmul_op("moe.router", router_rows, e, experts, dtype_bytes=dt, shared_operand_b=True)
+    gate_softmax = softmax_op(router_rows * experts, name="moe.router_softmax", dtype_bytes=dt)
+    fwd_ops = fwd_ops + [gate, gate_softmax]
+    bwd_ops = bwd_ops + matmul_backward_ops(
+        "moe.router", router_rows, e, experts, dtype_bytes=dt, shared_operand_b=True
+    ) + [vector_backward_op(gate_softmax)]
+
+    # Dispatch/combine AllToAlls over the expert-parallel group: each of the
+    # b*l/nt local tokens travels (with its full embedding) to its k experts
+    # and its expert outputs travel back; the backward pass moves the
+    # corresponding gradients.  The ring model applies the (ep-1)/ep factor.
+    a2a_bytes = dt * b * l * k * e / nt
+    fwd_comms = list(workload.forward_comms) + [
+        CommOp("moe.dispatch", "all_to_all", a2a_bytes, GROUP_EP),
+        CommOp("moe.combine", "all_to_all", a2a_bytes, GROUP_EP),
+    ]
+    bwd_comms = list(workload.backward_comms) + [
+        CommOp("moe.dispatch_grad", "all_to_all", a2a_bytes, GROUP_EP),
+        CommOp("moe.combine_grad", "all_to_all", a2a_bytes, GROUP_EP),
+    ]
+
+    # Memory: the MLP intermediates Z and GeLU(Z) grow k-fold, the routed
+    # token copies (expert inputs) and router logits are retained as well.
+    mlp_intermediate = 2.0 * b * l * f / (n1 * n2)
+    activation_elements = (
+        workload.activation_elements
+        + (k - 1) * mlp_intermediate
+        + k * b * l * e / nt
+        + router_rows * experts
+    )
+
+    # Parameters: the dense MLP matrices (2ef, sharded over n1) are replaced
+    # by E/ep experts of the same shard size; the router (e x E) stays dense
+    # and replicated, synchronising with the other dense parameters.
+    dense_mlp_matrix = 2.0 * e * f / n1
+    router_params = e * experts
+    params_per_gpu = workload.params_per_gpu - dense_mlp_matrix + router_params
+    expert_params_per_gpu = (experts / ep) * dense_mlp_matrix
+
+    return LayerWorkload(
+        forward_ops=fwd_ops,
+        forward_comms=fwd_comms,
+        backward_ops=bwd_ops,
+        backward_comms=bwd_comms,
+        forward_summa=list(workload.forward_summa),
+        backward_summa=list(workload.backward_summa),
+        activation_elements=activation_elements,
+        block_input_elements=workload.block_input_elements,
+        params_per_gpu=params_per_gpu,
+        dp_synced_params=params_per_gpu,
+        grad_sync_group=workload.grad_sync_group,
+        expert_params_per_gpu=expert_params_per_gpu,
+        expert_grad_sync_group=f"{workload.grad_sync_group}/ep",
+    )

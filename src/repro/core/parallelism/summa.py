@@ -123,9 +123,15 @@ class TensorParallelSUMMA(TensorParallelStrategy):
 
     # ------------------------------------------------------------------
     def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        if model.num_experts > 1 or config.expert_parallel > 1:
+            return (
+                "summa does not support mixture-of-experts layers "
+                "(use tp1d or tp2d for MoE workloads)"
+            )
         n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
         for check in (
             self._check_divisible(model.num_heads, n1, "num_heads vs n1"),
+            self._check_divisible(model.kv_heads, n1, "kv_heads vs n1"),
             self._check_divisible(model.embed_dim, n1, "embed_dim vs n1"),
             self._check_divisible(model.embed_dim, n2, "embed_dim vs n2"),
             self._check_divisible(model.hidden_dim, n1, "hidden_dim vs n1"),
@@ -166,6 +172,10 @@ class TensorParallelSUMMA(TensorParallelStrategy):
         n1 = float(config.tensor_parallel_1)
         n2 = float(config.tensor_parallel_2)
         dt = model.dtype_bytes
+        # Grouped-query attention: kvr == 1.0 exactly for MHA, keeping the
+        # dense formulas bit-identical at the default.
+        kvr = float(model.kv_heads) / h
+        kvd = e * kvr
 
         fwd_ops: List[ComputeOp] = []
         fwd_comms: List[CommOp] = []
@@ -195,16 +205,23 @@ class TensorParallelSUMMA(TensorParallelStrategy):
         fwd_comms.append(CommOp("sa.ar_ln", "all_reduce", v_ln_stats, GROUP_TP1))
         bwd_comms.append(CommOp("sa.ar_ln_bwd", "all_reduce", v_ln_stats, GROUP_TP1))
 
-        # QKV projections as SUMMA multiplies: (b*l/n2, e) x (e, e/n1).
-        for proj in ("q", "k", "v"):
+        # QKV projections as SUMMA multiplies: (b*l/n2, e) x (e, e/n1) for Q;
+        # the grouped K/V produce kvd/n1 columns (and broadcast proportionally
+        # smaller weight panels).
+        v_w_kv = dt * e * kvd / n1
+        for proj, out_dim, w_bcast in (
+            ("q", e, v_w_attn),
+            ("k", kvd, v_w_kv),
+            ("v", kvd, v_w_kv),
+        ):
             fwd_summa.append(
                 _summa_forward(
                     f"sa.{proj}_proj",
                     b * l / n2,
                     e,
-                    e / n1,
+                    out_dim / n1,
                     activation_bcast=v_act,
-                    weight_bcast=v_w_attn,
+                    weight_bcast=w_bcast,
                     dtype_bytes=dt,
                 )
             )
@@ -213,9 +230,9 @@ class TensorParallelSUMMA(TensorParallelStrategy):
                     f"sa.{proj}_proj",
                     b * l / n2,
                     e,
-                    e / n1,
+                    out_dim / n1,
                     activation_bcast=v_act,
-                    weight_bcast=v_w_attn,
+                    weight_bcast=w_bcast,
                     dtype_bytes=dt,
                 )
             )
@@ -224,16 +241,21 @@ class TensorParallelSUMMA(TensorParallelStrategy):
         # sequence-sharded K/V are retained for the backward pass; the fused
         # attention backward re-gathers them (two extra AllGathers) and
         # reduce-scatters their gradients.
-        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.ag_k_bwd", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.ag_v_bwd", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.ag_k_bwd", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.ag_v_bwd", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * kvd / n1, GROUP_TP2))
 
         # Fused Logit-Attend: local heads h/n1, local queries l/n2, full K/V.
         attn_shape = AttentionShape(
-            batch=b, heads=h / n1, q_rows=l / n2, kv_rows=l, head_dim=eh
+            batch=b,
+            heads=h / n1,
+            q_rows=l / n2,
+            kv_rows=l,
+            head_dim=eh,
+            kv_heads=float(model.kv_heads) / n1,
         )
         fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
         bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
@@ -337,18 +359,20 @@ class TensorParallelSUMMA(TensorParallelStrategy):
         # Every retained activation is fully partitioned over the n1 x n2
         # grid (the gathered K/V are re-gathered in the backward pass rather
         # than stored):
-        #   ~X, ~Y, X, Q, K, V, S, Y              -> 8 * b*l*e / (n1*n2)
+        #   ~X, ~Y, X, Q, S, Y                    -> 6 * b*l*e / (n1*n2)
+        #   K, V (kv_heads wide)                  -> 2 * kvr * b*l*e / (n1*n2)
         #   MLP intermediate Z and GeLU(Z)        -> 2 * b*l*f / (n1*n2)
         activation_elements = (
-            8.0 * b * l * e / (n1 * n2) + 2.0 * b * l * f / (n1 * n2)
+            (6.0 + 2.0 * kvr) * b * l * e / (n1 * n2) + 2.0 * b * l * f / (n1 * n2)
         )
         if not flash_attention:
             activation_elements += b * (h / n1) * (l / n2) * l
 
         # All weight matrices are block-partitioned over the full grid (no
         # shared weights under SUMMA); LayerNorms and biases stay replicated.
-        matrix_params = (4 * e * e + 2 * e * f) / (n1 * n2)
-        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        matrix_params = (2.0 * e * e + 2.0 * e * kvd + 2 * e * f) / (n1 * n2)
+        attention_biases = 2.0 * e + 2.0 * kvd
+        replicated_params = model.layernorm_params_per_layer + attention_biases + f + e
         params_per_gpu = matrix_params + replicated_params
 
         return LayerWorkload(

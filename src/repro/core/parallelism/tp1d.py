@@ -41,6 +41,10 @@ from repro.core.parallelism.base import (
     TensorParallelStrategy,
     register_strategy,
 )
+from repro.core.parallelism.expert import (
+    apply_expert_parallelism,
+    validate_expert_config,
+)
 
 
 class TensorParallel1D(TensorParallelStrategy):
@@ -55,10 +59,12 @@ class TensorParallel1D(TensorParallelStrategy):
         nt = config.tensor_parallel_1
         for check in (
             self._check_divisible(model.num_heads, nt, "num_heads vs n1"),
+            self._check_divisible(model.kv_heads, nt, "kv_heads vs n1"),
             self._check_divisible(model.seq_len, nt, "seq_len vs n1"),
             self._check_divisible(model.hidden_dim, nt, "hidden_dim vs n1"),
             self._check_divisible(model.embed_dim, nt, "embed_dim vs n1"),
             self._check_divisible(model.depth, config.pipeline_parallel, "depth vs np"),
+            validate_expert_config(model, config),
         ):
             if check is not None:
                 return check
@@ -87,6 +93,11 @@ class TensorParallel1D(TensorParallelStrategy):
         eh = float(model.head_dim)
         nt = float(config.tensor_parallel_1)
         dt = model.dtype_bytes
+        # Grouped-query attention: K/V projections produce kvd = kv_heads*eh
+        # columns (kvr == 1.0 exactly for MHA, keeping every formula below
+        # bit-identical to the dense model).
+        kvr = float(model.kv_heads) / h
+        kvd = e * kvr
 
         fwd_ops: List[ComputeOp] = []
         fwd_comms: List[CommOp] = []
@@ -108,20 +119,28 @@ class TensorParallel1D(TensorParallelStrategy):
             CommOp("sa.rs_dx", "reduce_scatter", dt * b * l * e, GROUP_TP1)
         )
 
-        # QKV projections: (b*l, e) x (e, e/nt) each, weights column-parallel.
-        for proj in ("q", "k", "v"):
+        # QKV projections: (b*l, e) x (e, e/nt) for Q (kvd/nt columns for the
+        # grouped K/V), weights column-parallel.
+        for proj, out_dim in (("q", e), ("k", kvd), ("v", kvd)):
             op = matmul_op(
-                f"sa.{proj}_proj", b * l, e, e / nt, dtype_bytes=dt, shared_operand_b=True
+                f"sa.{proj}_proj", b * l, e, out_dim / nt, dtype_bytes=dt, shared_operand_b=True
             )
             fwd_ops.append(op)
             bwd_ops.extend(
                 matmul_backward_ops(
-                    f"sa.{proj}_proj", b * l, e, e / nt, dtype_bytes=dt, shared_operand_b=True
+                    f"sa.{proj}_proj", b * l, e, out_dim / nt, dtype_bytes=dt, shared_operand_b=True
                 )
             )
 
         # Fused Logit-Attend with the local heads h/nt over the full sequence.
-        attn_shape = AttentionShape(batch=b, heads=h / nt, q_rows=l, kv_rows=l, head_dim=eh)
+        attn_shape = AttentionShape(
+            batch=b,
+            heads=h / nt,
+            q_rows=l,
+            kv_rows=l,
+            head_dim=eh,
+            kv_heads=float(model.kv_heads) / nt,
+        )
         fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
         bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
 
@@ -179,19 +198,24 @@ class TensorParallel1D(TensorParallelStrategy):
 
         # ---------------- Memory & parameters ----------------
         # Stored activations per microbatch (elements, per GPU):
-        #   local shards X, Q, K, V, S, Y      -> 6 * b*l*e / nt
+        #   local shards X, Q, S, Y            -> 4 * b*l*e / nt
+        #   local K, V (kv_heads wide)         -> 2 * kvr * b*l*e / nt
         #   replicated ~X, ~Y                  -> 2 * b*l*e
         #   MLP intermediate Z and GeLU(Z)     -> 2 * b*l*f / nt
-        activation_elements = b * l * e * (2.0 + 6.0 / nt) + 2.0 * b * l * f / nt
+        activation_elements = (
+            b * l * e * (2.0 + (4.0 + 2.0 * kvr) / nt) + 2.0 * b * l * f / nt
+        )
         if not flash_attention:
             # The (b, h/nt, l, l) attention matrix must be retained as well.
             activation_elements += b * (h / nt) * l * l
 
-        matrix_params = 4 * e * e + 2 * e * f
-        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        attention_matrix_params = 2.0 * e * e + 2.0 * e * kvd
+        matrix_params = attention_matrix_params + 2 * e * f
+        attention_biases = 2.0 * e + 2.0 * kvd
+        replicated_params = model.layernorm_params_per_layer + attention_biases + f + e
         params_per_gpu = matrix_params / nt + replicated_params
 
-        return LayerWorkload(
+        workload = LayerWorkload(
             forward_ops=fwd_ops,
             forward_comms=fwd_comms,
             backward_ops=bwd_ops,
@@ -202,6 +226,7 @@ class TensorParallel1D(TensorParallelStrategy):
             dp_synced_params=params_per_gpu,
             grad_sync_group=GROUP_DP,
         )
+        return apply_expert_parallelism(model, config, workload)
 
 
 #: Module-level singleton registered for lookup by name.

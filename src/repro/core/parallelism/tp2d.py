@@ -44,6 +44,10 @@ from repro.core.parallelism.base import (
     TensorParallelStrategy,
     register_strategy,
 )
+from repro.core.parallelism.expert import (
+    apply_expert_parallelism,
+    validate_expert_config,
+)
 
 
 class TensorParallel2D(TensorParallelStrategy):
@@ -56,11 +60,13 @@ class TensorParallel2D(TensorParallelStrategy):
         n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
         for check in (
             self._check_divisible(model.num_heads, n1, "num_heads vs n1"),
+            self._check_divisible(model.kv_heads, n1, "kv_heads vs n1"),
             self._check_divisible(model.embed_dim, n1, "embed_dim vs n1"),
             self._check_divisible(model.hidden_dim, n1, "hidden_dim vs n1"),
             self._check_divisible(model.seq_len, n2, "seq_len vs n2"),
             self._check_divisible(model.seq_len, n1 * n2, "seq_len vs n1*n2"),
             self._check_divisible(model.depth, config.pipeline_parallel, "depth vs np"),
+            validate_expert_config(model, config),
         ):
             if check is not None:
                 return check
@@ -90,6 +96,10 @@ class TensorParallel2D(TensorParallelStrategy):
         n1 = float(config.tensor_parallel_1)
         n2 = float(config.tensor_parallel_2)
         dt = model.dtype_bytes
+        # Grouped-query attention: kvr == 1.0 exactly for MHA, so all the
+        # dense-model formulas below stay bit-identical at the default.
+        kvr = float(model.kv_heads) / h
+        kvd = e * kvr
 
         fwd_ops: List[ComputeOp] = []
         fwd_comms: List[CommOp] = []
@@ -105,16 +115,17 @@ class TensorParallel2D(TensorParallelStrategy):
         fwd_comms.append(CommOp("sa.ag_x", "all_gather", dt * b * l * e / n2, GROUP_TP1))
         bwd_comms.append(CommOp("sa.rs_dx", "reduce_scatter", dt * b * l * e / n2, GROUP_TP1))
 
-        # QKV projections: (b*l/n2, e) x (e, e/n1).
-        for proj in ("q", "k", "v"):
+        # QKV projections: (b*l/n2, e) x (e, e/n1) for Q, kvd/n1 columns for
+        # the grouped K/V.
+        for proj, out_dim in (("q", e), ("k", kvd), ("v", kvd)):
             fwd_ops.append(
                 matmul_op(
-                    f"sa.{proj}_proj", b * l / n2, e, e / n1, dtype_bytes=dt, shared_operand_b=True
+                    f"sa.{proj}_proj", b * l / n2, e, out_dim / n1, dtype_bytes=dt, shared_operand_b=True
                 )
             )
             bwd_ops.extend(
                 matmul_backward_ops(
-                    f"sa.{proj}_proj", b * l / n2, e, e / n1, dtype_bytes=dt, shared_operand_b=True
+                    f"sa.{proj}_proj", b * l / n2, e, out_dim / n1, dtype_bytes=dt, shared_operand_b=True
                 )
             )
 
@@ -124,14 +135,19 @@ class TensorParallel2D(TensorParallelStrategy):
         # "shared activations" memory pressure of plain 2D TP the paper
         # contrasts with SUMMA in Fig. A2.  The backward pass reduce-scatters
         # dK and dV.
-        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
-        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * e / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_k", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        fwd_comms.append(CommOp("sa.ag_v", "all_gather", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dk", "reduce_scatter", dt * b * l * kvd / n1, GROUP_TP2))
+        bwd_comms.append(CommOp("sa.rs_dv", "reduce_scatter", dt * b * l * kvd / n1, GROUP_TP2))
 
         # Fused Logit-Attend: local heads h/n1, local queries l/n2, full K/V.
         attn_shape = AttentionShape(
-            batch=b, heads=h / n1, q_rows=l / n2, kv_rows=l, head_dim=eh
+            batch=b,
+            heads=h / n1,
+            q_rows=l / n2,
+            kv_rows=l,
+            head_dim=eh,
+            kv_heads=float(model.kv_heads) / n1,
         )
         fwd_ops.extend(flash_attention_forward(attn_shape, dtype_bytes=dt, fused=flash_attention))
         bwd_ops.extend(flash_attention_backward(attn_shape, dtype_bytes=dt, fused=flash_attention))
@@ -193,12 +209,12 @@ class TensorParallel2D(TensorParallelStrategy):
         # ---------------- Memory & parameters ----------------
         # Stored activations per microbatch (elements, per GPU):
         #   sequence-sharded ~X, ~Y              -> 2 * b*l*e / n2
-        #   gathered full-sequence K, V          -> 2 * b*l*e / n1
+        #   gathered full-sequence K, V          -> 2 * b*l*kvd / n1
         #   fully partitioned X, Q, S, Y         -> 4 * b*l*e / (n1*n2)
         #   MLP intermediate Z and GeLU(Z)       -> 2 * b*l*f / (n1*n2)
         activation_elements = (
             2.0 * b * l * e / n2
-            + 2.0 * b * l * e / n1
+            + 2.0 * b * l * kvd / n1
             + 4.0 * b * l * e / (n1 * n2)
             + 2.0 * b * l * f / (n1 * n2)
         )
@@ -208,11 +224,13 @@ class TensorParallel2D(TensorParallelStrategy):
         # Weights are sharded over n1 only (replicated across n2), so each GPU
         # holds matrix_params / n1 parameters whose gradients reduce over
         # nd x n2 (scheduled together with the DP collectives).
-        matrix_params = 4 * e * e + 2 * e * f
-        replicated_params = model.layernorm_params_per_layer + 4 * e + f + e
+        attention_matrix_params = 2.0 * e * e + 2.0 * e * kvd
+        matrix_params = attention_matrix_params + 2 * e * f
+        attention_biases = 2.0 * e + 2.0 * kvd
+        replicated_params = model.layernorm_params_per_layer + attention_biases + f + e
         params_per_gpu = matrix_params / n1 + replicated_params
 
-        return LayerWorkload(
+        workload = LayerWorkload(
             forward_ops=fwd_ops,
             forward_comms=fwd_comms,
             backward_ops=bwd_ops,
@@ -223,6 +241,7 @@ class TensorParallel2D(TensorParallelStrategy):
             dp_synced_params=params_per_gpu,
             grad_sync_group=GROUP_DP_TP2,
         )
+        return apply_expert_parallelism(model, config, workload)
 
 
 #: Module-level singleton registered for lookup by name.

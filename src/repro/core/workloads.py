@@ -1,0 +1,200 @@
+"""Pluggable workload registry: named training scenarios as an extension point.
+
+The paper studies exactly two dense workloads (GPT3-1T and a long-sequence
+ViT).  This module turns the "model preset" idea into a registry so that new
+scenarios — mixture-of-experts transformers, grouped-query-attention LLMs,
+future multimodal variants — can be added (by this repo or by downstream
+users) without touching the performance model:
+
+>>> from repro.core.workloads import get_workload, register_workload, WorkloadSpec
+>>> get_workload("moe-1t").model.num_experts
+32
+>>> spec = WorkloadSpec(
+...     name="my-model",
+...     model=TransformerConfig(name="MY", seq_len=2048, embed_dim=4096,
+...                             num_heads=32, depth=32),
+...     description="downstream experiment",
+... )
+>>> _ = register_workload(spec)
+
+Every workload the CLI exposes through ``--workload`` (and, for backwards
+compatibility, ``--model``) resolves through this registry; the paper's
+original presets from :mod:`repro.core.model` are registered on import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.core.model import MODEL_CATALOG, TransformerConfig
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named training scenario: an architecture plus registry metadata.
+
+    Parameters
+    ----------
+    name:
+        Registry key (matched case-insensitively by :func:`get_workload`).
+    model:
+        The transformer architecture of the workload.
+    description:
+        One-line summary shown by ``repro-perf workloads``.
+    tags:
+        Free-form labels (``"paper"``, ``"moe"``, ``"gqa"``, ...) used for
+        filtering in reports.
+    default_global_batch:
+        Global batch size typical for the workload (the paper uses 4096).
+    """
+
+    name: str
+    model: TransformerConfig
+    description: str = ""
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+    default_global_batch: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.name.strip():
+            raise ValueError("workload name must be non-empty")
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def summary(self) -> Dict[str, object]:
+        """Flat description used by the CLI listing."""
+        out: Dict[str, object] = {
+            "workload": self.name,
+            "description": self.description,
+            "tags": ",".join(self.tags),
+            "global_batch": self.default_global_batch,
+        }
+        out.update(self.model.describe())
+        return out
+
+
+#: Registry of workload specs keyed by their lower-cased name.
+WORKLOAD_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec, *, aliases: Sequence[str] = ()) -> WorkloadSpec:
+    """Register ``spec`` (and optional aliases) for lookup by name.
+
+    Re-registering a name overwrites the previous entry, so downstream code
+    can shadow a built-in scenario with a tweaked variant.
+    """
+    for key in (spec.name, *aliases):
+        WORKLOAD_REGISTRY[key.strip().lower()] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by (case-insensitive) name.
+
+    Falls back to wrapping the legacy :data:`~repro.core.model.MODEL_CATALOG`
+    presets, so every name ``--model`` ever accepted resolves here too.
+    """
+    key = name.strip().lower()
+    if key in WORKLOAD_REGISTRY:
+        return WORKLOAD_REGISTRY[key]
+    if key in MODEL_CATALOG:
+        return WorkloadSpec(name=key, model=MODEL_CATALOG[key], tags=("paper",))
+    raise KeyError(
+        f"unknown workload {name!r}; available: {available_workloads()}"
+    )
+
+
+def get_workload_model(name: str) -> TransformerConfig:
+    """Shorthand for ``get_workload(name).model``."""
+    return get_workload(name).model
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Sorted names of every registered workload (registry + legacy catalogue)."""
+    return tuple(sorted(set(WORKLOAD_REGISTRY) | set(MODEL_CATALOG)))
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+
+# The paper's own models, re-exported through the registry.
+_PAPER_DESCRIPTIONS = {
+    "gpt3-1t": "paper's 1T-parameter GPT-3 style LLM (dense, MHA)",
+    "vit": "paper's long-sequence ViT (ERA5, 64800 patches)",
+    "vit-long": "alias of 'vit'",
+    "gpt3-175b": "paper's Megatron-LM validation GPT3-175B",
+    "vit-32k": "paper's Megatron-LM validation 32K-sequence ViT",
+}
+for _name, _model in MODEL_CATALOG.items():
+    register_workload(
+        WorkloadSpec(
+            name=_name,
+            model=_model,
+            description=_PAPER_DESCRIPTIONS.get(_name, ""),
+            tags=("paper", "dense"),
+        )
+    )
+
+#: ~1T-total-parameter mixture-of-experts LLM with grouped-query attention:
+#: 32 experts, top-2 routing, 8 KV heads — representative of modern MoE
+#: pre-training (Mixtral/DeepSeek-style scaled up).  Total params ≈ 1.1T,
+#: active params per token ≈ 90B.
+MOE_1T = TransformerConfig(
+    name="MoE-1T",
+    seq_len=4096,
+    embed_dim=8192,
+    num_heads=64,
+    kv_heads=8,
+    depth=64,
+    num_experts=32,
+    moe_top_k=2,
+)
+register_workload(
+    WorkloadSpec(
+        name="moe-1t",
+        model=MOE_1T,
+        description="1T-total-param MoE LLM (32 experts, top-2, GQA 8 KV heads)",
+        tags=("moe", "gqa"),
+    )
+)
+
+#: Mixtral-8x7B-shaped MoE (8 experts, top-2, GQA) — a smaller scenario that
+#: fits modest clusters; useful for examples and tests.
+MOE_MIXTRAL = TransformerConfig(
+    name="MoE-Mixtral-8x7B",
+    seq_len=4096,
+    embed_dim=4096,
+    num_heads=32,
+    kv_heads=8,
+    depth=32,
+    hidden_dim=14336,
+    num_experts=8,
+    moe_top_k=2,
+)
+register_workload(
+    WorkloadSpec(
+        name="moe-mixtral",
+        model=MOE_MIXTRAL,
+        description="Mixtral-8x7B-shaped MoE (8 experts, top-2, GQA 8 KV heads)",
+        tags=("moe", "gqa"),
+    )
+)
+
+#: GPT3-1T with grouped-query attention (8 KV heads): isolates the GQA axis
+#: against the paper's dense baseline.
+GPT3_1T_GQA = TransformerConfig(
+    name="GPT3-1T-GQA",
+    seq_len=2048,
+    embed_dim=25600,
+    num_heads=160,
+    kv_heads=8,
+    depth=128,
+)
+register_workload(
+    WorkloadSpec(
+        name="gpt3-1t-gqa",
+        model=GPT3_1T_GQA,
+        description="GPT3-1T with grouped-query attention (8 KV heads)",
+        tags=("gqa",),
+    )
+)

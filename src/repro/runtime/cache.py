@@ -34,7 +34,9 @@ from repro.utils.serialization import (
 
 #: Bump when the fingerprint recipe or the stored result schema changes;
 #: persisted caches with a different version are discarded on load.
-CACHE_FORMAT_VERSION = 1
+#: v2: ParallelConfig gained ``expert_parallel`` and the model gained the
+#: GQA/MoE scenario fields.
+CACHE_FORMAT_VERSION = 2
 
 
 class SearchCache:
@@ -87,9 +89,9 @@ class SearchCache:
         if entry is not None:
             try:
                 result = dataclass_from_jsonable(SearchResult, entry)
-            except (TypeError, KeyError, ValueError):
-                # Hand-edited / schema-drifted entry: drop it and recompute
-                # rather than aborting the whole sweep.
+            except (TypeError, KeyError, ValueError, AttributeError):
+                # Hand-edited / schema-drifted / corrupted entry: drop it and
+                # recompute rather than aborting the whole sweep.
                 del self._entries[fp]
             else:
                 self.hits += 1
@@ -134,7 +136,14 @@ class SearchCache:
 
     @staticmethod
     def _read_entries(path: Path) -> Dict[str, Any]:
-        """Entries stored in ``path``; empty on missing/corrupt/old files."""
+        """Entries stored in ``path``; empty on missing/corrupt/old files.
+
+        ``json.loads`` failures (truncated writes, binary garbage, undecodable
+        bytes — all of which surface as ``ValueError`` subclasses — and OS
+        errors such as the path being a directory) degrade to an empty cache,
+        and individually malformed entry values are filtered out so a partly
+        corrupted file never poisons a later :meth:`save`.
+        """
         try:
             data = load_json(path)
         except (OSError, ValueError):
@@ -142,7 +151,9 @@ class SearchCache:
         if not isinstance(data, dict) or data.get("version") != CACHE_FORMAT_VERSION:
             return {}
         entries = data.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        if not isinstance(entries, dict):
+            return {}
+        return {k: v for k, v in entries.items() if isinstance(v, dict)}
 
     def _load(self) -> None:
         self._entries.update(self._read_entries(self.path))

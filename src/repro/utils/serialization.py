@@ -20,9 +20,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import types
 import typing
 from pathlib import Path
 from typing import Any
+
+#: ``X | None`` unions (PEP 604) have their own runtime origin on 3.10+.
+_UNION_ORIGINS = (typing.Union, getattr(types, "UnionType", typing.Union))
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -61,7 +65,7 @@ def _convert(annotation: Any, value: Any) -> Any:
     if value is None:
         return None
     origin = typing.get_origin(annotation)
-    if origin is typing.Union:
+    if origin in _UNION_ORIGINS:
         candidates = [a for a in typing.get_args(annotation) if a is not type(None)]
         return _convert(candidates[0], value) if candidates else value
     if origin in (list, tuple):

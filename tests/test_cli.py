@@ -76,3 +76,66 @@ class TestOtherCommands:
         ])
         assert rc == 0
         assert "relative speed-up" in capsys.readouterr().out
+
+
+class TestGpuListParsing:
+    def test_commas_whitespace_and_duplicates(self):
+        from repro.cli import _parse_gpu_list
+
+        assert _parse_gpu_list("128,256,512") == [128, 256, 512]
+        assert _parse_gpu_list(" 128 ,  256\t512 ") == [128, 256, 512]
+        assert _parse_gpu_list("128,,256") == [128, 256]
+        # Duplicates are dropped, first occurrence wins.
+        assert _parse_gpu_list("256,128,256,128") == [256, 128]
+
+    @pytest.mark.parametrize("bad", ["", "  ", ",,,", "abc", "128;256", "0", "-4", "1e3"])
+    def test_malformed_lists_raise_argparse_errors(self, bad):
+        import argparse
+
+        from repro.cli import _parse_gpu_list
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_gpu_list(bad)
+
+    def test_sweep_flag_reports_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scaling", "--gpus", "not-a-number"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "invalid GPU count" in capsys.readouterr().err
+
+
+class TestScenarioFlags:
+    def test_workload_listing(self, capsys):
+        rc = main(["workloads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("gpt3-1t", "vit", "moe-1t", "moe-mixtral", "gpt3-1t-gqa"):
+            assert name in out
+
+    def test_workload_flag_overrides_model(self, capsys):
+        rc = main(
+            ["search", "--workload", "moe-mixtral", "--model", "gpt3-1t",
+             "--gpus", "64", "--global-batch", "64"]
+        )
+        assert rc == 0
+        assert "MoE-Mixtral" in capsys.readouterr().out
+
+    def test_zero_stage_changes_memory(self, capsys):
+        argv = ["search", "--model", "gpt3-175b", "--gpus", "64", "--global-batch", "64"]
+        assert main(argv + ["--zero-stage", "0"]) == 0
+        mem0 = [l for l in capsys.readouterr().out.splitlines() if "memory" in l][0]
+        assert main(argv + ["--zero-stage", "3"]) == 0
+        mem3 = [l for l in capsys.readouterr().out.splitlines() if "memory" in l][0]
+        assert mem0 != mem3
+
+    def test_fixed_expert_parallel_degree(self, capsys):
+        rc = main(
+            ["search", "--workload", "moe-mixtral", "--expert-parallel", "8",
+             "--gpus", "64", "--global-batch", "64"]
+        )
+        assert rc == 0
+        assert "ep=8" in capsys.readouterr().out
+
+    def test_invalid_zero_stage_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--zero-stage", "7", "--gpus", "64"])

@@ -1,0 +1,89 @@
+"""Golden-figure regression harness.
+
+Every figure/table the benchmark suite reproduces is rendered as a plain-text
+report under ``benchmarks/results/``.  This module pins a byte-exact snapshot
+of each report under ``tests/goldens/`` so that refactors of the performance
+model (new scenario axes, search changes, ...) provably do not drift any
+reproduced paper number.
+
+Workflow
+--------
+* The benchmark suite (``benchmarks/``) regenerates ``benchmarks/results/*.txt``
+  on every run; a full ``pytest -x -q`` therefore compares *freshly computed*
+  reports against the goldens (benchmarks collect before tests).  Running
+  ``pytest tests/`` alone compares the committed reports instead, which is
+  equally valid because the results directory is version-controlled.
+* After an *intentional* change to a figure, refresh the snapshot with::
+
+      PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+  and commit the updated files together with the change that caused them.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def _golden_names():
+    return sorted(p.name for p in GOLDENS_DIR.glob("*.txt"))
+
+
+def _diff_preview(golden: str, current: str, name: str, limit: int = 40) -> str:
+    lines = list(
+        difflib.unified_diff(
+            golden.splitlines(),
+            current.splitlines(),
+            fromfile=f"goldens/{name}",
+            tofile=f"results/{name}",
+            lineterm="",
+        )
+    )
+    if len(lines) > limit:
+        lines = lines[:limit] + [f"... ({len(lines) - limit} more diff lines)"]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_figure_matches_golden(name, update_goldens):
+    """Each benchmark report is byte-identical to its pinned golden."""
+    result_path = RESULTS_DIR / name
+    golden_path = GOLDENS_DIR / name
+    assert result_path.exists(), (
+        f"benchmarks/results/{name} is missing; the figure that produced the "
+        f"golden no longer runs (or was renamed without updating tests/goldens)"
+    )
+    current = result_path.read_text()
+    if update_goldens:
+        golden_path.write_text(current)
+        return
+    golden = golden_path.read_text()
+    assert current == golden, (
+        f"{name} drifted from its golden snapshot.  If the change is "
+        f"intentional, refresh with `pytest tests/test_goldens.py "
+        f"--update-goldens`.\n{_diff_preview(golden, current, name)}"
+    )
+
+
+def test_every_result_has_a_golden(update_goldens):
+    """New figures must be pinned too: results/ and goldens/ track the same set."""
+    results = {p.name for p in RESULTS_DIR.glob("*.txt")}
+    goldens = set(_golden_names())
+    if update_goldens:
+        for name in results - goldens:
+            (GOLDENS_DIR / name).write_text((RESULTS_DIR / name).read_text())
+        for name in goldens - results:
+            (GOLDENS_DIR / name).unlink()
+        return
+    missing = sorted(results - goldens)
+    stale = sorted(goldens - results)
+    assert not missing and not stale, (
+        f"golden set out of sync: unpinned results {missing}, "
+        f"goldens without a result {stale}; refresh with --update-goldens"
+    )
