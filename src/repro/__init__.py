@@ -61,10 +61,18 @@ from repro.core import (
     training_days,
     vit_era5_regime,
 )
-from repro.core import register_workload
+from repro.core import (
+    CostPhase,
+    ExecutionPlan,
+    available_schedules,
+    build_execution_plan,
+    get_schedule,
+    register_schedule,
+    register_workload,
+)
 from repro.runtime import SearchCache, SearchTask, SweepExecutor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_OPTIONS",
@@ -81,12 +89,18 @@ __all__ = [
     "GpuSpec",
     "IterationEstimate",
     "MODEL_CATALOG",
+    "CostPhase",
+    "ExecutionPlan",
     "MemoryEstimate",
     "ModelingOptions",
     "NVS_DOMAIN_SIZES",
     "NetworkSpec",
     "ParallelConfig",
     "SearchCache",
+    "available_schedules",
+    "build_execution_plan",
+    "get_schedule",
+    "register_schedule",
     "SearchResult",
     "SearchSpace",
     "SearchTask",

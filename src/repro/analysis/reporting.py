@@ -15,7 +15,40 @@ from repro.analysis.configurations import ConfigurationStudy
 from repro.analysis.speedups import SpeedupPoint, speedups_by_system
 from repro.analysis.sweeps import HardwareHeatmap, ScalingSweep, SystemScalingSeries
 from repro.analysis.validation import ValidationComparison
+from repro.core.plan import ExecutionPlan
 from repro.utils.tables import format_table
+from repro.utils.units import GB
+
+
+def render_plan_phases(plan: ExecutionPlan) -> str:
+    """Render an :class:`~repro.core.plan.ExecutionPlan` as a phase table.
+
+    One row per :class:`~repro.core.plan.CostPhase`: the per-instance
+    duration, the multiplicity, the overlap budget the phase can hide
+    under, the wall-clock it actually exposes after overlap, and the HBM
+    delta it accounts for.  This is the ``repro-perf search --explain-plan``
+    view of *why* a configuration costs what it costs.
+    """
+    headers = ["phase", "category", "count", "each(s)", "overlap(s)", "exposed(s)", "mem(GB)"]
+    rows = []
+    for phase in plan.phases:
+        rows.append(
+            [
+                phase.name,
+                phase.category,
+                phase.count,
+                phase.seconds,
+                "hidden" if phase.overlapped else phase.overlap_budget,
+                phase.exposed_seconds,
+                phase.memory_bytes / GB,
+            ]
+        )
+    title = (
+        f"execution plan: schedule={plan.schedule}"
+        + (f" (v={plan.virtual_stages})" if plan.virtual_stages > 1 else "")
+        + f", {plan.num_stages} stages x {plan.num_microbatches} microbatches"
+    )
+    return title + "\n" + format_table(headers, rows)
 
 
 def render_configuration_study(study: ConfigurationStudy) -> str:

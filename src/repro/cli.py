@@ -11,13 +11,18 @@ Sub-commands map onto the paper's experiments:
   validation numbers (§IV);
 * ``repro-perf collectives`` — analytic vs simulated collective times
   (Fig. A1);
-* ``repro-perf workloads`` — list the registered workload scenarios.
+* ``repro-perf workloads`` — list the registered workload scenarios;
+* ``repro-perf schedules`` — list the registered pipeline schedules.
 
 Every command that takes a model accepts ``--workload`` (preferred; resolves
 through the pluggable registry in :mod:`repro.core.workloads`, including MoE
 and GQA scenarios) as well as the legacy ``--model`` alias, plus the
-scenario knobs ``--zero-stage 0..3`` (ZeRO sharding) and
-``--expert-parallel auto|N`` (MoE expert-parallel degree searched or fixed).
+scenario knobs ``--zero-stage 0..3`` (ZeRO sharding),
+``--expert-parallel auto|N`` (MoE expert-parallel degree searched or fixed)
+and ``--schedule 1f1b|gpipe|interleaved`` / ``--virtual-stages N`` (the
+pipeline schedule, resolved through :mod:`repro.core.schedules`).  ``search``
+additionally offers ``--explain-plan`` to print the winning candidate's
+phase-level cost plan.
 
 Each command prints a plain-text table and can additionally archive the raw
 series as JSON via ``--json PATH``.
@@ -33,9 +38,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import (
+    render_plan_phases,
     render_scaling_sweep,
     render_speedups,
     render_system_grid,
@@ -47,6 +54,11 @@ from repro.analysis.validation import run_validation
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
 from repro.core.search import find_optimal_config
+from repro.core.schedules import (
+    DEFAULT_SCHEDULE,
+    available_schedules,
+    get_schedule,
+)
 from repro.core.system import make_perlmutter, make_system
 from repro.core.workloads import available_workloads, get_workload
 from repro.runtime import SearchCache
@@ -83,6 +95,19 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="MoE expert-parallel degree: 'auto' searches every admissible "
         "degree, an integer fixes it (ignored for dense workloads)",
+    )
+    parser.add_argument(
+        "--schedule",
+        default=None,
+        help="pipeline schedule (see `repro-perf schedules`); default: the "
+        "workload's preset, usually 1f1b",
+    )
+    parser.add_argument(
+        "--virtual-stages",
+        type=int,
+        default=None,
+        help="virtual-stage degree for interleaving schedules (requires a "
+        "schedule that supports it, e.g. --schedule interleaved)",
     )
     parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
 
@@ -155,11 +180,49 @@ def _resolve_model(args: argparse.Namespace):
 
 
 def _scenario_space(args: argparse.Namespace) -> SearchSpace:
-    """Search space honouring ``--expert-parallel`` (auto = enumerate)."""
+    """Search space honouring ``--expert-parallel``, ``--schedule`` and
+    ``--virtual-stages`` (unset flags fall back to the workload's presets,
+    so the default space — and every reproduced figure — is unchanged)."""
+    overrides = {}
     degree = _parse_expert_parallel(str(getattr(args, "expert_parallel", None) or "auto"))
-    if degree is None:
+    if degree is not None:
+        overrides["expert_parallel"] = (degree,)
+
+    spec = get_workload(getattr(args, "workload", None) or getattr(args, "model", "gpt3-1t"))
+    explicit_schedule = getattr(args, "schedule", None)
+    schedule_name = explicit_schedule or spec.pipeline_schedule
+    virtual = getattr(args, "virtual_stages", None)
+    if virtual is None:
+        # The preset's virtual-stage degree belongs to the preset's own
+        # schedule: an explicit --schedule override drops it (back to 1)
+        # unless the override names the same schedule, so e.g.
+        # `--workload gpt3-1t-interleaved --schedule 1f1b` just works.
+        if explicit_schedule is None or explicit_schedule == spec.pipeline_schedule:
+            virtual = spec.virtual_stages
+        else:
+            virtual = 1
+    try:
+        schedule = get_schedule(schedule_name)
+    except KeyError:
+        raise SystemExit(
+            f"repro-perf: error: unknown schedule {schedule_name!r}; "
+            f"available: {', '.join(available_schedules())}"
+        ) from None
+    if virtual < 1:
+        raise SystemExit("repro-perf: error: --virtual-stages must be >= 1")
+    if virtual > 1 and not schedule.supports_virtual_stages:
+        raise SystemExit(
+            f"repro-perf: error: schedule {schedule.name!r} does not support "
+            f"--virtual-stages {virtual}; use --schedule interleaved"
+        )
+    if schedule.name != DEFAULT_SCHEDULE:
+        overrides["schedules"] = (schedule.name,)
+    if virtual != 1:
+        overrides["virtual_stages"] = (virtual,)
+
+    if not overrides:
         return DEFAULT_SEARCH_SPACE
-    return SearchSpace(expert_parallel=(degree,))
+    return replace(DEFAULT_SEARCH_SPACE, **overrides)
 
 
 def _scenario_options(args: argparse.Namespace) -> ModelingOptions:
@@ -213,6 +276,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         f"{result.statistics.candidates_evaluated} candidates evaluated, "
         f"{result.statistics.pruned_configs} pruned by bound"
     )
+    if getattr(args, "explain_plan", False) and best.plan is not None:
+        print(render_plan_phases(best.plan))
     if args.top_k > 1 and result.top_k:
         rows = [
             [
@@ -334,6 +399,26 @@ def cmd_collectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schedules(args: argparse.Namespace) -> int:
+    """List the registered pipeline schedules (``repro-perf schedules``)."""
+    rows = []
+    summaries = []
+    for name in available_schedules():
+        schedule = get_schedule(name)
+        summaries.append(schedule.summary())
+        rows.append(
+            [
+                name + (" (default)" if name == DEFAULT_SCHEDULE else ""),
+                "yes" if schedule.supports_virtual_stages else "no",
+                schedule.description,
+            ]
+        )
+    print(format_table(["schedule", "virtual stages", "description"], rows))
+    if args.json:
+        dump_json(summaries, args.json)
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """List the registered workload scenarios (``repro-perf workloads``)."""
     rows = []
@@ -377,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_model_args(p)
     p.add_argument("--gpus", type=int, default=1024, help="number of GPUs")
     p.add_argument("--top-k", type=int, default=1, help="also print the k best configurations")
+    p.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the winning configuration's phase-level cost plan",
+    )
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("scaling", help="strong-scaling sweep (Fig. 4 / A3)")
@@ -417,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("workloads", help="list the registered workload scenarios")
     p.add_argument("--json", default=None)
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("schedules", help="list the registered pipeline schedules")
+    p.add_argument("--json", default=None)
+    p.set_defaults(func=cmd_schedules)
 
     p = sub.add_parser("collectives", help="analytic vs simulated collective times (Fig. A1)")
     p.add_argument("--gpus", type=int, default=32)

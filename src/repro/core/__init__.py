@@ -51,7 +51,15 @@ from repro.core.execution import (
     IterationEstimate,
     ModelingOptions,
     TimeBreakdown,
+    build_execution_plan,
     evaluate_config,
+)
+from repro.core.plan import CostPhase, ExecutionPlan
+from repro.core.schedules import (
+    PipelineSchedule,
+    available_schedules,
+    get_schedule,
+    register_schedule,
 )
 from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.parallelism.base import GpuAssignment, ParallelConfig
@@ -95,10 +103,17 @@ __all__ = [
     "TransformerConfig",
     "VIT_32K",
     "VIT_LONG_SEQ",
+    "CostPhase",
+    "ExecutionPlan",
+    "PipelineSchedule",
+    "available_schedules",
     "best_assignment_for",
+    "build_execution_plan",
     "default_regime",
     "estimate_memory",
     "evaluate_config",
+    "get_schedule",
+    "register_schedule",
     "find_optimal_config",
     "get_model",
     "gpt_pretraining_regime",

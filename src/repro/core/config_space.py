@@ -12,7 +12,10 @@ search space consists of
 2. *GPU assignment configurations* ``(nNVS1, nNVS2, nNVSp, nNVSd)`` obtained
    by decomposing the NVSwitch-domain size into per-group factors, each of
    which must divide its group size;
-3. *SUMMA panel counts* ``nb`` (only for the SUMMA strategy).
+3. *SUMMA panel counts* ``nb`` (only for the SUMMA strategy);
+4. *Pipeline schedules* and their virtual-stage degrees (``SearchSpace.schedules``
+   / ``SearchSpace.virtual_stages``; the default enumerates only the paper's
+   1F1B so the searched space matches the paper exactly).
 
 The enumeration is deliberately exhaustive — the paper's solver does a
 brute-force search — but restricted to power-of-two factors by default
@@ -31,6 +34,7 @@ from repro.core.parallelism.base import (
     ParallelConfig,
     get_strategy,
 )
+from repro.core.schedules import DEFAULT_SCHEDULE, get_schedule
 from repro.utils.factorization import divisors, factorizations, pow2_divisors
 
 
@@ -62,6 +66,15 @@ class SearchSpace:
     #: already exceeds the incumbent optimum.  Never changes the selected
     #: optimum (or the top-k set); only reduces the candidates evaluated.
     prune_with_lower_bound: bool = True
+    #: Pipeline schedules to enumerate (registry names, see
+    #: :mod:`repro.core.schedules`).  The default searches only the paper's
+    #: non-interleaved 1F1B, which keeps the candidate set (and therefore
+    #: every reproduced figure) identical to the paper's.
+    schedules: Tuple[str, ...] = (DEFAULT_SCHEDULE,)
+    #: Candidate virtual-stage degrees for interleaving schedules; degrees a
+    #: schedule rejects for a given configuration (non-dividing, or the
+    #: schedule does not interleave at all) are filtered per candidate.
+    virtual_stages: Tuple[int, ...] = (1,)
 
 
 DEFAULT_SEARCH_SPACE = SearchSpace()
@@ -166,18 +179,25 @@ def parallel_configs(
         for bm in bms:
             for nb in panel_options:
                 for ep in ep_options:
-                    config = ParallelConfig(
-                        strategy=strategy,
-                        tensor_parallel_1=n1,
-                        tensor_parallel_2=n2,
-                        pipeline_parallel=np_,
-                        data_parallel=nd,
-                        microbatch_size=bm,
-                        summa_panels=nb,
-                        expert_parallel=ep,
-                    )
-                    if strat.validate_config(model, config) is None:
-                        yield config
+                    for sched_name in space.schedules:
+                        schedule = get_schedule(sched_name)
+                        for v in space.virtual_stages:
+                            config = ParallelConfig(
+                                strategy=strategy,
+                                tensor_parallel_1=n1,
+                                tensor_parallel_2=n2,
+                                pipeline_parallel=np_,
+                                data_parallel=nd,
+                                microbatch_size=bm,
+                                summa_panels=nb,
+                                expert_parallel=ep,
+                                schedule=sched_name,
+                                virtual_stages=v,
+                            )
+                            if schedule.validate(model, config) is not None:
+                                continue
+                            if strat.validate_config(model, config) is None:
+                                yield config
 
 
 def default_assignment(config: ParallelConfig, nvs_domain_size: int) -> GpuAssignment:

@@ -1,4 +1,4 @@
-"""Iteration-time assembly: turn counts into an end-to-end time estimate.
+"""Iteration-time assembly: build a cost plan, then reduce it to a time.
 
 This module combines every other piece of the performance model:
 
@@ -7,19 +7,24 @@ This module combines every other piece of the performance model:
 * the roofline compute-time model;
 * the dual-network collective-time model with the configuration's NVSwitch
   assignment;
-* the 1F1B pipeline schedule (steady state + bubbles + P2P);
+* the configuration's pipeline schedule (1F1B by default; GPipe and
+  interleaved-1F1B through :mod:`repro.core.schedules`);
 * the data-parallel gradient synchronisation with its overlap rules;
 * the HBM memory model for the feasibility check.
 
-The result is an :class:`IterationEstimate` with the total time of one
-training iteration (one forward+backward pass over the global batch), a
-breakdown into the same categories the paper's figures use (Compute, Memory,
-TP Comm, PP Bubble, PP Comm, DP Comm) and the per-GPU memory footprint.
+Rather than computing the iteration time inline, :func:`evaluate_config`
+*builds* a phase-level :class:`~repro.core.plan.ExecutionPlan` — the cost IR
+of :mod:`repro.core.plan` — and *reduces* it.  The result is an
+:class:`IterationEstimate` with the total time of one training iteration
+(one forward+backward pass over the global batch), a breakdown into the same
+categories the paper's figures use (Compute, Memory, TP Comm, PP Bubble,
+PP Comm, DP Comm), the per-GPU memory footprint, and the plan itself for
+phase-level introspection (``repro-perf search --explain-plan``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
@@ -37,13 +42,36 @@ from repro.core.parallelism.base import (
     get_strategy,
 )
 from repro.core.parallelism.data_parallel import data_parallel_plan, resolve_zero_stage
-from repro.core.parallelism.pipeline import (
-    layers_per_stage,
-    pipeline_bubble_time,
-    pipeline_p2p_volume_bytes,
+from repro.core.parallelism.pipeline import layers_per_stage, pipeline_p2p_volume_bytes
+from repro.core.plan import (
+    CATEGORY_COMPUTE,
+    CATEGORY_DP_COMM,
+    CATEGORY_MEMORY,
+    CATEGORY_PP_BUBBLE,
+    CATEGORY_PP_COMM,
+    CATEGORY_STATE,
+    CATEGORY_TP_COMM,
+    CostPhase,
+    ExecutionPlan,
+    TimeBreakdown,
 )
 from repro.core.roofline import ops_time
+from repro.core.schedules import get_schedule
 from repro.core.system import GpuSpec, SystemSpec
+from repro.utils import factorization
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "ModelingOptions",
+    "TimeBreakdown",
+    "IterationEstimate",
+    "evaluate_config",
+    "build_execution_plan",
+    "config_time_lower_bound",
+    "estimate_config_memory",
+    "cache_stats",
+    "clear_caches",
+]
 
 
 @dataclass(frozen=True)
@@ -82,48 +110,6 @@ DEFAULT_OPTIONS = ModelingOptions()
 
 
 @dataclass(frozen=True)
-class TimeBreakdown:
-    """Per-iteration time split into the paper's reporting categories."""
-
-    compute: float = 0.0
-    memory: float = 0.0
-    tp_comm: float = 0.0
-    pp_bubble: float = 0.0
-    pp_comm: float = 0.0
-    dp_comm: float = 0.0
-
-    @property
-    def total(self) -> float:
-        """Total iteration time (sum of all categories)."""
-        return (
-            self.compute
-            + self.memory
-            + self.tp_comm
-            + self.pp_bubble
-            + self.pp_comm
-            + self.dp_comm
-        )
-
-    def as_dict(self) -> Dict[str, float]:
-        """Dictionary view (seconds per category)."""
-        return {
-            "compute": self.compute,
-            "memory": self.memory,
-            "tp_comm": self.tp_comm,
-            "pp_bubble": self.pp_bubble,
-            "pp_comm": self.pp_comm,
-            "dp_comm": self.dp_comm,
-        }
-
-    def fractions(self) -> Dict[str, float]:
-        """Category shares of the total (0..1), as in the paper's bar charts."""
-        total = self.total
-        if total <= 0:
-            return {key: 0.0 for key in self.as_dict()}
-        return {key: value / total for key, value in self.as_dict().items()}
-
-
-@dataclass(frozen=True)
 class IterationEstimate:
     """Result of evaluating one configuration on one system."""
 
@@ -137,6 +123,8 @@ class IterationEstimate:
     memory: MemoryEstimate
     feasible: bool
     infeasible_reason: Optional[str] = None
+    #: The phase-level cost plan the breakdown was reduced from.
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def total_time(self) -> float:
@@ -173,6 +161,28 @@ class IterationEstimate:
 #:  panel compute time, inner dim)
 _SummaRecord = Tuple[float, str, float, str, float, int]
 
+#: Explicit cache bounds.  The keys are per (strategy, model, microbatch,
+#: TP factorization) — *not* per schedule, microbatch count or assignment —
+#: so a whole multi-schedule search at one scale needs only a few dozen
+#: entries; the bound caps worst-case growth in long-lived sweep workers.
+WORKLOAD_CACHE_SIZE = 4096
+STAGE_TIMES_CACHE_SIZE = 8192
+
+#: Every memoization this module (and its helpers) maintains, keyed by a
+#: stable reporting name — the single source of truth for both
+#: :func:`clear_caches` and :func:`cache_stats`.
+_CACHE_REGISTRY: Dict[str, object] = {}
+
+
+def _register_cache(name: str):
+    """Track an ``lru_cache``-wrapped function under ``name``."""
+
+    def wrap(fn):
+        _CACHE_REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
 
 @dataclass(frozen=True)
 class _StageTimes:
@@ -188,7 +198,8 @@ class _StageTimes:
     bwd_summa: Tuple[_SummaRecord, ...]
 
 
-@lru_cache(maxsize=8192)
+@_register_cache("workload")
+@lru_cache(maxsize=WORKLOAD_CACHE_SIZE)
 def _cached_workload(
     strategy_name: str,
     model: TransformerConfig,
@@ -202,11 +213,14 @@ def _cached_workload(
 ) -> LayerWorkload:
     """Build (and cache) the per-layer workload for a TP configuration.
 
-    The workload does not depend on the pipeline or data-parallel degrees,
-    so those are fixed to the minimum here (the expert-parallel degree needs
-    an equally large DP degree to be structurally valid, but no per-GPU
-    quantity of the workload depends on ``nd`` itself); the caller re-applies
-    its own config for everything else.
+    The workload does not depend on the pipeline degree, the pipeline
+    schedule or the data-parallel degree, so those are fixed to the minimum
+    here (the expert-parallel degree needs an equally large DP degree to be
+    structurally valid, but no per-GPU quantity of the workload depends on
+    ``nd`` itself); the caller re-applies its own config for everything
+    else.  This is what lets every microbatch-count, schedule and
+    NVS-assignment candidate of one tensor-parallel strategy re-cost its
+    plan from the same cached workload.
     """
     probe = ParallelConfig(
         strategy=strategy_name,
@@ -255,7 +269,8 @@ def _summa_records(
     return tuple(records)
 
 
-@lru_cache(maxsize=8192)
+@_register_cache("stage_times")
+@lru_cache(maxsize=STAGE_TIMES_CACHE_SIZE)
 def _cached_stage_times(
     strategy_name: str,
     model: TransformerConfig,
@@ -303,10 +318,25 @@ def _cached_stage_times(
     )
 
 
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters of every registered memoization cache."""
+    return {name: fn.cache_info()._asdict() for name, fn in _CACHE_REGISTRY.items()}
+
+
 def clear_caches() -> None:
-    """Drop all memoized workloads/times (used by tests and sweeps)."""
-    _cached_workload.cache_clear()
-    _cached_stage_times.cache_clear()
+    """Drop every memoization this model maintains.
+
+    Covers every cache in the registry (workload, stage times, and anything
+    a future change registers) *and* the factorization caches the
+    configuration enumeration leans on, so tests, sweeps and freshly
+    started worker processes all start from the same cold, bounded state
+    (:class:`~repro.runtime.SweepExecutor` installs this as its pool
+    initializer).
+    """
+    for fn in _CACHE_REGISTRY.values():
+        fn.cache_clear()
+    factorization.divisors.cache_clear()
+    factorization.factorizations.cache_clear()
 
 
 # ----------------------------------------------------------------------
@@ -387,32 +417,23 @@ def _summa_comm_time(
     return total
 
 
-def evaluate_config(
+def _assemble_plan(
     model: TransformerConfig,
     system: SystemSpec,
     config: ParallelConfig,
-    assignment: GpuAssignment | None = None,
+    assignment: GpuAssignment,
     *,
     global_batch_size: int,
-    options: ModelingOptions = DEFAULT_OPTIONS,
-) -> IterationEstimate:
-    """Estimate the iteration time and memory of one configuration.
+    options: ModelingOptions,
+) -> Tuple[ExecutionPlan, MemoryEstimate, int]:
+    """Build the phase-level cost plan of one validated candidate.
 
-    Raises ``ValueError`` for structurally invalid configurations (bad
-    divisibility); returns an estimate flagged infeasible when the
-    configuration is valid but does not fit in HBM.
+    Returns ``(plan, memory, num_microbatches)``.  The phase values are
+    computed with exactly the arithmetic the legacy inline evaluation used,
+    so reducing the plan reproduces the pre-IR totals bit-for-bit under the
+    default 1F1B schedule.
     """
-    assignment = assignment or GpuAssignment()
-    strategy = get_strategy(config.strategy)
-    err = strategy.validate_config(model, config)
-    if err is not None:
-        raise ValueError(f"invalid configuration {config.describe()}: {err}")
-    if not assignment.is_valid_for(config, system.nvs_domain_size):
-        raise ValueError(
-            f"assignment {assignment.as_tuple()} invalid for {config.describe()} "
-            f"on NVS domain size {system.nvs_domain_size}"
-        )
-
+    schedule = get_schedule(config.schedule)
     num_microbatches = config.num_microbatches(global_batch_size)
     stage_layers = layers_per_stage(model, config)
 
@@ -468,13 +489,63 @@ def evaluate_config(
 
     m = num_microbatches
 
-    # --- pipeline -------------------------------------------------------
-    bubble = pipeline_bubble_time(config.pipeline_parallel, tf, tb)
-    pp_comm = 0.0
-    if config.pipeline_parallel > 1 and not options.overlap_pp:
+    # --- memory (phase deltas + feasibility input) ----------------------
+    memory = estimate_memory(
+        model,
+        config,
+        workload,
+        m,
+        zero_optimizer=options.zero_optimizer,
+        activation_checkpointing=options.activation_checkpointing,
+        zero_stage=options.zero_stage,
+    )
+
+    phases: List[CostPhase] = [
+        CostPhase(
+            name="microbatch.compute",
+            category=CATEGORY_COMPUTE,
+            seconds=fwd_compute + bwd_compute,
+            count=m,
+        ),
+        CostPhase(
+            name="microbatch.hbm",
+            category=CATEGORY_MEMORY,
+            seconds=fwd_memory + bwd_memory,
+            count=m,
+        ),
+        CostPhase(
+            name="microbatch.tp_comm",
+            category=CATEGORY_TP_COMM,
+            seconds=fwd_tp_comm + bwd_tp_comm,
+            count=m,
+        ),
+        CostPhase(
+            name="pipeline.bubble",
+            category=CATEGORY_PP_BUBBLE,
+            seconds=schedule.bubble_time(
+                config.pipeline_parallel, m, tf, tb, config.virtual_stages
+            ),
+        ),
+    ]
+
+    # --- pipeline P2P ---------------------------------------------------
+    if config.pipeline_parallel > 1:
         p2p_bytes = pipeline_p2p_volume_bytes(model, config, both_directions=True)
         placement = _group_placement(GROUP_PP, config, assignment)
-        pp_comm = m * point_to_point_time(p2p_bytes, placement, system.network)
+        # Interleaving crosses v chunk boundaries per microbatch — v separate
+        # messages, each paying the full latency, so the factor scales the
+        # per-boundary *time*, not just the bytes.
+        phases.append(
+            CostPhase(
+                name="pipeline.p2p",
+                category=CATEGORY_PP_COMM,
+                seconds=schedule.p2p_volume_factor(config.virtual_stages)
+                * point_to_point_time(p2p_bytes, placement, system.network),
+                count=m,
+                overlapped=options.overlap_pp,
+                memory_bytes=memory.pipeline_buffer_bytes,
+            )
+        )
 
     # --- data parallel ---------------------------------------------------
     zero_stage = resolve_zero_stage(options.zero_stage, options.zero_optimizer)
@@ -499,7 +570,6 @@ def evaluate_config(
                 zero_stage=zero_stage,
             )
         )
-    dp_comm = 0.0
     rs_total = 0.0
     ag_total = 0.0
     for plan in plans:
@@ -513,30 +583,122 @@ def evaluate_config(
             "all_gather", plan.weight_all_gather_bytes, placement, system.network
         )
     if rs_total > 0 or ag_total > 0:
-        if options.overlap_dp:
-            dp_comm = max(0.0, rs_total - tb) + max(0.0, ag_total - tf)
-        else:
-            dp_comm = rs_total + ag_total
+        # The gradient ReduceScatter can hide under the last microbatch's
+        # backward pass, the weight AllGather under the first forward.
+        phases.append(
+            CostPhase(
+                name="dp.grad_reduce_scatter",
+                category=CATEGORY_DP_COMM,
+                seconds=rs_total,
+                overlap_budget=tb if options.overlap_dp else 0.0,
+            )
+        )
+        phases.append(
+            CostPhase(
+                name="dp.weight_all_gather",
+                category=CATEGORY_DP_COMM,
+                seconds=ag_total,
+                overlap_budget=tf if options.overlap_dp else 0.0,
+            )
+        )
 
-    breakdown = TimeBreakdown(
-        compute=m * (fwd_compute + bwd_compute),
-        memory=m * (fwd_memory + bwd_memory),
-        tp_comm=m * (fwd_tp_comm + bwd_tp_comm),
-        pp_bubble=bubble,
-        pp_comm=pp_comm,
-        dp_comm=dp_comm,
+    # --- resident state (memory-only phases) -----------------------------
+    phases.append(
+        CostPhase(
+            name="state.parameters",
+            category=CATEGORY_STATE,
+            seconds=0.0,
+            memory_bytes=memory.weight_bytes + memory.grad_bytes + memory.optimizer_bytes,
+        )
+    )
+    phases.append(
+        CostPhase(
+            name="state.activations",
+            category=CATEGORY_STATE,
+            seconds=0.0,
+            memory_bytes=memory.activation_bytes,
+        )
     )
 
-    # --- memory feasibility ----------------------------------------------
-    memory = estimate_memory(
-        model,
-        config,
-        workload,
-        m,
-        zero_optimizer=options.zero_optimizer,
-        activation_checkpointing=options.activation_checkpointing,
-        zero_stage=options.zero_stage,
+    plan = ExecutionPlan(
+        schedule=config.schedule,
+        virtual_stages=config.virtual_stages,
+        num_stages=config.pipeline_parallel,
+        num_microbatches=m,
+        phases=tuple(phases),
     )
+    return plan, memory, m
+
+
+def _validate_candidate(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    assignment: GpuAssignment,
+) -> None:
+    """Raise ``ValueError`` for structurally invalid (config, assignment)."""
+    strategy = get_strategy(config.strategy)
+    err = strategy.validate_config(model, config)
+    if err is None:
+        err = get_schedule(config.schedule).validate(model, config)
+    if err is not None:
+        raise ValueError(f"invalid configuration {config.describe()}: {err}")
+    if not assignment.is_valid_for(config, system.nvs_domain_size):
+        raise ValueError(
+            f"assignment {assignment.as_tuple()} invalid for {config.describe()} "
+            f"on NVS domain size {system.nvs_domain_size}"
+        )
+
+
+def build_execution_plan(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    assignment: GpuAssignment | None = None,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> ExecutionPlan:
+    """Build (but do not reduce) the cost plan of one candidate.
+
+    Raises ``ValueError`` for structurally invalid configurations, exactly
+    like :func:`evaluate_config`.
+    """
+    assignment = assignment or GpuAssignment()
+    _validate_candidate(model, system, config, assignment)
+    plan, _, _ = _assemble_plan(
+        model, system, config, assignment,
+        global_batch_size=global_batch_size, options=options,
+    )
+    return plan
+
+
+def evaluate_config(
+    model: TransformerConfig,
+    system: SystemSpec,
+    config: ParallelConfig,
+    assignment: GpuAssignment | None = None,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> IterationEstimate:
+    """Estimate the iteration time and memory of one configuration.
+
+    Builds the candidate's :class:`~repro.core.plan.ExecutionPlan` and
+    reduces it to the category breakdown.  Raises ``ValueError`` for
+    structurally invalid configurations (bad divisibility); returns an
+    estimate flagged infeasible when the configuration is valid but does not
+    fit in HBM.
+    """
+    assignment = assignment or GpuAssignment()
+    _validate_candidate(model, system, config, assignment)
+    plan, memory, m = _assemble_plan(
+        model, system, config, assignment,
+        global_batch_size=global_batch_size, options=options,
+    )
+
+    breakdown = plan.reduce()
+
     feasible = memory.fits(system.gpu.hbm_capacity)
     reason = None if feasible else (
         f"memory {memory.total_gb:.1f} GB exceeds HBM capacity "
@@ -554,6 +716,7 @@ def evaluate_config(
         memory=memory,
         feasible=feasible,
         infeasible_reason=reason,
+        plan=plan,
     )
 
 
@@ -567,7 +730,7 @@ def config_time_lower_bound(
 ) -> float:
     """Assignment-independent lower bound on the iteration time of ``config``.
 
-    The compute and exposed-HBM times of each stage, and the pipeline bubble
+    The compute and exposed-HBM times of each stage, and the schedule bubble
     they imply, do not depend on the GPU-to-NVSwitch assignment; every
     communication term (TP collectives, pipeline P2P, DP synchronisation,
     SUMMA broadcasts) is non-negative under *any* assignment.  Dropping the
@@ -576,6 +739,11 @@ def config_time_lower_bound(
     search uses for branch-and-bound pruning: a parallelization whose bound
     already exceeds the incumbent best cannot contain the optimum, so its
     NVS-assignment loop can be skipped entirely.
+
+    The bound stays admissible across schedules because each configuration's
+    bound uses *its own* schedule's bubble (e.g. the interleaved bubble
+    shrinks by the virtual-stage degree in both the bound and the full
+    evaluation).
     """
     stage = _cached_stage_times(
         config.strategy,
@@ -596,7 +764,9 @@ def config_time_lower_bound(
     if options.activation_checkpointing:
         tb += tf
     m = config.num_microbatches(global_batch_size)
-    bubble = pipeline_bubble_time(config.pipeline_parallel, tf, tb)
+    bubble = get_schedule(config.schedule).bubble_time(
+        config.pipeline_parallel, m, tf, tb, config.virtual_stages
+    )
     return m * (tf + tb) + bubble
 
 

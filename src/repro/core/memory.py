@@ -14,8 +14,9 @@ Under mixed-precision training each GPU holds:
 * the intermediate activations retained for the backward pass — per layer
   and per microbatch as reported by the tensor-parallel strategy (with
   FlashAttention the ``l x l`` attention matrix is recomputed instead of
-  stored), multiplied by the number of in-flight microbatches of the 1F1B
-  schedule (``min(m, np)`` rather than ``m``);
+  stored), multiplied by the number of in-flight microbatches of the
+  configuration's pipeline schedule (``min(m, np)`` under 1F1B, all ``m``
+  under GPipe — see :mod:`repro.core.schedules`);
 * small pipeline input/output buffers for the activations in flight at the
   stage boundaries.
 
@@ -37,10 +38,10 @@ from repro.core.parallelism.data_parallel import (
     zero_shard_divisors,
 )
 from repro.core.parallelism.pipeline import (
-    in_flight_microbatches,
     layers_per_stage,
     pipeline_p2p_volume_bytes,
 )
+from repro.core.schedules import get_schedule
 from repro.utils.units import GB
 
 
@@ -130,7 +131,10 @@ def estimate_memory(
         + (OPTIMIZER_BYTES_PER_PARAM / oe_div) * expert_params
     )
 
-    in_flight = in_flight_microbatches(config.pipeline_parallel, num_microbatches)
+    schedule = get_schedule(config.schedule)
+    in_flight = schedule.in_flight_microbatches(
+        config.pipeline_parallel, num_microbatches, config.virtual_stages
+    )
     if activation_checkpointing:
         retained = workload.block_input_elements * stage_layers * in_flight
         # One block's intermediates are live while it is being recomputed.
@@ -142,7 +146,9 @@ def estimate_memory(
         )
 
     pipeline_buffer_bytes = (
-        pipeline_p2p_volume_bytes(model, config, both_directions=False) * in_flight
+        pipeline_p2p_volume_bytes(model, config, both_directions=False)
+        * schedule.p2p_volume_factor(config.virtual_stages)
+        * in_flight
     )
 
     return MemoryEstimate(

@@ -21,7 +21,7 @@ from repro.core.parallelism.tp1d import TensorParallel1D
 from repro.core.parallelism.tp2d import TensorParallel2D
 from repro.core.parallelism.summa import TensorParallelSUMMA
 from repro.core.parallelism.pipeline import (
-    PipelineSchedule,
+    PipelineTiming,
     pipeline_bubble_time,
     pipeline_p2p_volume_bytes,
     in_flight_microbatches,
@@ -37,7 +37,7 @@ __all__ = [
     "GpuAssignment",
     "LayerWorkload",
     "ParallelConfig",
-    "PipelineSchedule",
+    "PipelineTiming",
     "STRATEGY_REGISTRY",
     "SummaMatmul",
     "TensorParallel1D",

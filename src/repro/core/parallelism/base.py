@@ -71,6 +71,14 @@ class ParallelConfig:
     #: does not change :attr:`total_gpus`.  1 (the default) replicates every
     #: expert on every DP rank — the dense behaviour.
     expert_parallel: int = 1
+    #: Pipeline schedule the configuration runs under, resolved through the
+    #: registry in :mod:`repro.core.schedules` (``1f1b`` — the paper's
+    #: default — ``gpipe``, or ``interleaved``).
+    schedule: str = "1f1b"
+    #: Virtual-stage degree for interleaving schedules: each GPU holds this
+    #: many non-contiguous layer chunks.  1 (the default) is the plain
+    #: one-chunk-per-GPU assignment every non-interleaved schedule uses.
+    virtual_stages: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -81,6 +89,7 @@ class ParallelConfig:
             "microbatch_size",
             "summa_panels",
             "expert_parallel",
+            "virtual_stages",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
@@ -156,6 +165,8 @@ class ParallelConfig:
             f"nd={self.data_parallel}"
             + (f",nb={self.summa_panels}" if self.summa_panels > 1 else "")
             + (f",ep={self.expert_parallel}" if self.expert_parallel > 1 else "")
+            + (f",sched={self.schedule}" if self.schedule != "1f1b" else "")
+            + (f",v={self.virtual_stages}" if self.virtual_stages > 1 else "")
             + "]"
         )
 

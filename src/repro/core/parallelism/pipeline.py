@@ -1,16 +1,19 @@
-"""Pipeline parallelism: the 1F1B non-interleaved schedule.
+"""Pipeline-parallel primitives shared by every schedule.
 
-The model depth ``d`` is split into ``np`` stages of ``d / np`` layers.  Each
-iteration processes ``m`` microbatches; the 1F1B schedule interleaves one
-forward and one backward microbatch per stage once the pipeline is full, so
+The model depth ``d`` is split into ``np`` stages of ``d / np`` layers; each
+stage boundary exchanges the activation shard ``(b_m, l, e) / n_t`` per
+microbatch (point-to-point), plus the gradient of the same tensor on the way
+back.  This module holds the *schedule-independent* quantities — the layer
+split, the boundary volume, and the classic ``(np - 1) * (t_f + t_b)``
+fill/drain ramp that both 1F1B and GPipe pay.
 
-* the idle (bubble) time is ``(np - 1) * (t_f + t_b)`` where ``t_f`` and
-  ``t_b`` are the forward/backward times of one microbatch on one stage;
-* at most ``min(m, np)`` microbatches are in flight per stage, which bounds
-  the activation memory that must be retained (instead of all ``m``);
-* each stage boundary exchanges the activation shard
-  ``(b_m, l, e) / n_t`` per microbatch (point-to-point), plus the gradient of
-  the same tensor on the way back.
+Which ramp applies, how many microbatches are in flight, and how often a
+microbatch crosses this GPU's boundaries are *schedule* decisions; they live
+in the pluggable :mod:`repro.core.schedules` registry (1F1B — the paper's
+default — GPipe, and interleaved-1F1B with a virtual-stage degree).
+:class:`PipelineTiming` below is the legacy 1F1B summary object kept for
+diagnostics and the simulator (``PipelineSchedule`` remains as a
+deprecated alias so existing imports keep working).
 """
 
 from __future__ import annotations
@@ -22,8 +25,13 @@ from repro.core.parallelism.base import ParallelConfig
 
 
 @dataclass(frozen=True)
-class PipelineSchedule:
-    """Summary of a 1F1B pipeline execution for one training iteration."""
+class PipelineTiming:
+    """Summary of a 1F1B pipeline execution for one training iteration.
+
+    Diagnostics/simulator helper only — the *pluggable* schedule interface
+    lives in :mod:`repro.core.schedules` (whose abstract base is named
+    ``PipelineSchedule``; this class was renamed to avoid shadowing it).
+    """
 
     num_stages: int
     num_microbatches: int
@@ -60,6 +68,12 @@ class PipelineSchedule:
     def in_flight_microbatches(self) -> int:
         """Microbatches whose activations are simultaneously retained."""
         return min(self.num_microbatches, self.num_stages)
+
+
+#: Deprecated alias of :class:`PipelineTiming` — kept because downstream
+#: code imported the timing summary under this name before the pluggable
+#: schedule ABC (:class:`repro.core.schedules.PipelineSchedule`) existed.
+PipelineSchedule = PipelineTiming
 
 
 def pipeline_bubble_time(num_stages: int, forward_time: float, backward_time: float) -> float:

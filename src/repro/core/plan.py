@@ -1,0 +1,198 @@
+"""Cost-plan IR: the phase-level intermediate representation of one iteration.
+
+Instead of computing the iteration time of a candidate configuration inline
+(the pre-refactor ``evaluate_config`` was one ~170-line monolith), the
+execution model now *builds* an :class:`ExecutionPlan` — an explicit list of
+:class:`CostPhase` nodes, each carrying its duration, its multiplicity, its
+overlap semantics and the HBM delta it is responsible for — and then
+*reduces* that plan into the familiar :class:`TimeBreakdown`.
+
+The IR buys three things:
+
+* **pluggable schedules** — the pipeline schedule (1F1B, GPipe,
+  interleaved-1F1B, see :mod:`repro.core.schedules`) contributes its bubble
+  and its point-to-point phases as data, so schedule variants need no
+  change to the assembly code;
+* **introspection** — the phase list is the per-candidate "why is it this
+  fast" record that the analysis layer renders
+  (:func:`repro.analysis.reporting.render_plan_phases`) and that
+  ``repro-perf search --explain-plan`` prints;
+* **incremental re-costing** — phases are built from the memoized
+  assignment-independent stage times, so microbatch/schedule/assignment
+  variants of the same tensor-parallel strategy share everything but the
+  cheap reduction.
+
+Reduction is carefully arranged to be *bit-exact* with the legacy inline
+arithmetic for the default 1F1B schedule: each phase's exposed time is
+``count * max(0, seconds - overlap_budget)``, and phases are aggregated per
+category in plan order, which reproduces the exact floating-point expression
+the monolith evaluated.  This is what keeps all golden figures byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Reporting categories of :class:`TimeBreakdown`, in reduction order.
+CATEGORY_COMPUTE = "compute"
+CATEGORY_MEMORY = "memory"
+CATEGORY_TP_COMM = "tp_comm"
+CATEGORY_PP_BUBBLE = "pp_bubble"
+CATEGORY_PP_COMM = "pp_comm"
+CATEGORY_DP_COMM = "dp_comm"
+#: Zero-duration phases carrying only a memory delta (parameters, optimizer
+#: state, retained activations).  They are skipped by the time reduction.
+CATEGORY_STATE = "state"
+
+TIME_CATEGORIES: Tuple[str, ...] = (
+    CATEGORY_COMPUTE,
+    CATEGORY_MEMORY,
+    CATEGORY_TP_COMM,
+    CATEGORY_PP_BUBBLE,
+    CATEGORY_PP_COMM,
+    CATEGORY_DP_COMM,
+)
+
+ALL_CATEGORIES: Tuple[str, ...] = TIME_CATEGORIES + (CATEGORY_STATE,)
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-iteration time split into the paper's reporting categories."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    tp_comm: float = 0.0
+    pp_bubble: float = 0.0
+    pp_comm: float = 0.0
+    dp_comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total iteration time (sum of all categories)."""
+        return (
+            self.compute
+            + self.memory
+            + self.tp_comm
+            + self.pp_bubble
+            + self.pp_comm
+            + self.dp_comm
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view (seconds per category)."""
+        return {
+            "compute": self.compute,
+            "memory": self.memory,
+            "tp_comm": self.tp_comm,
+            "pp_bubble": self.pp_bubble,
+            "pp_comm": self.pp_comm,
+            "dp_comm": self.dp_comm,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Category shares of the total (0..1), as in the paper's bar charts."""
+        total = self.total
+        if total <= 0:
+            return {key: 0.0 for key in self.as_dict()}
+        return {key: value / total for key, value in self.as_dict().items()}
+
+
+@dataclass(frozen=True)
+class CostPhase:
+    """One phase of the execution plan.
+
+    A phase occupies ``seconds`` of wall-clock per instance and occurs
+    ``count`` times per iteration.  Its *exposed* contribution to the
+    iteration is ``count * max(0, seconds - overlap_budget)``: an
+    ``overlap_budget`` models communication that hides under that much
+    compute (e.g. the DP gradient ReduceScatter under the last microbatch's
+    backward pass), and ``overlapped`` marks phases the model treats as
+    fully hidden (their cost is recorded but exposes nothing).
+
+    ``memory_bytes`` is the per-GPU HBM delta attributable to the phase
+    (retained activations, parameter state, pipeline buffers); zero-duration
+    :data:`CATEGORY_STATE` phases carry memory only.
+    """
+
+    name: str
+    category: str
+    seconds: float
+    count: float = 1.0
+    overlap_budget: float = 0.0
+    overlapped: bool = False
+    memory_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.category not in ALL_CATEGORIES:
+            raise ValueError(
+                f"unknown phase category {self.category!r}; expected one of {ALL_CATEGORIES}"
+            )
+
+    @property
+    def exposed_seconds(self) -> float:
+        """Wall-clock this phase adds to the iteration after overlap."""
+        if self.overlapped or self.category == CATEGORY_STATE:
+            return 0.0
+        if self.overlap_budget > 0.0:
+            return self.count * max(0.0, self.seconds - self.overlap_budget)
+        return self.count * self.seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total occupancy of the phase, ignoring overlap (diagnostics)."""
+        return self.count * self.seconds
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Phase-level cost plan of one (configuration, assignment) candidate.
+
+    The plan is the IR between the counting layer (strategies, schedules,
+    collective model) and the reporting layer (:class:`TimeBreakdown`).  It
+    is deliberately a frozen value object: building it is cheap, reducing it
+    is a single pass, and it serializes losslessly through
+    :mod:`repro.utils.serialization` for caching and archiving.
+    """
+
+    schedule: str
+    virtual_stages: int
+    num_stages: int
+    num_microbatches: int
+    phases: Tuple[CostPhase, ...]
+
+    def reduce(self) -> TimeBreakdown:
+        """Fold the phases into the per-category time breakdown.
+
+        Phases are accumulated in plan order per category; with the phases
+        the default builder emits this reproduces the legacy inline
+        arithmetic bit-for-bit.
+        """
+        totals = {category: 0.0 for category in TIME_CATEGORIES}
+        for phase in self.phases:
+            if phase.category == CATEGORY_STATE:
+                continue
+            totals[phase.category] += phase.exposed_seconds
+        return TimeBreakdown(**totals)
+
+    @property
+    def total_time(self) -> float:
+        """Total iteration time of the reduced plan (seconds)."""
+        return self.reduce().total
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Sum of the per-phase HBM deltas (per GPU)."""
+        return sum(phase.memory_bytes for phase in self.phases)
+
+    def phase(self, name: str) -> CostPhase:
+        """Look up a phase by name (raises ``KeyError`` when absent)."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"plan has no phase {name!r}; phases: {[p.name for p in self.phases]}")
+
+    def exposed_by_category(self) -> Dict[str, float]:
+        """Exposed seconds per category (the reduction, as a dict)."""
+        return self.reduce().as_dict()

@@ -1,0 +1,32 @@
+"""Pluggable pipeline schedules (1F1B, GPipe, interleaved-1F1B).
+
+The schedule a configuration runs under is part of :class:`ParallelConfig`
+(``schedule`` + ``virtual_stages``); this package maps those names onto
+:class:`PipelineSchedule` instances through a registry, mirroring the
+tensor-parallel strategy registry.  Importing the package registers the
+built-in schedules.
+"""
+
+from repro.core.schedules.base import (
+    DEFAULT_SCHEDULE,
+    SCHEDULE_REGISTRY,
+    PipelineSchedule,
+    available_schedules,
+    get_schedule,
+    register_schedule,
+)
+from repro.core.schedules.gpipe import GPipeSchedule
+from repro.core.schedules.interleaved import InterleavedSchedule
+from repro.core.schedules.one_f_one_b import OneFOneBSchedule
+
+__all__ = [
+    "DEFAULT_SCHEDULE",
+    "SCHEDULE_REGISTRY",
+    "PipelineSchedule",
+    "OneFOneBSchedule",
+    "GPipeSchedule",
+    "InterleavedSchedule",
+    "available_schedules",
+    "get_schedule",
+    "register_schedule",
+]

@@ -1,0 +1,108 @@
+"""Pipeline-schedule interface and registry.
+
+A *pipeline schedule* decides how the ``m`` microbatches of one iteration
+flow through the ``np`` pipeline stages.  The execution model only needs
+four schedule-dependent quantities, so that is the whole interface:
+
+* the **bubble time** — fill/drain idle time given the per-microbatch
+  forward/backward stage times;
+* the **in-flight microbatch count** — how many microbatches' activations a
+  stage must retain simultaneously (the activation-memory multiplier);
+* the **point-to-point volume factor** — how many times a microbatch
+  crosses this GPU's stage boundaries (interleaving with ``v`` virtual
+  stages per GPU multiplies the P2P traffic by ``v``);
+* a **validation** hook for schedule-specific divisibility rules (e.g. the
+  virtual-stage degree must divide the layers per stage).
+
+Schedules are registered like tensor-parallel strategies
+(:mod:`repro.core.parallelism.base`), so new variants plug in without
+touching the execution model, the search, or the CLI.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+
+#: Name of the paper's default schedule (non-interleaved 1F1B).
+DEFAULT_SCHEDULE = "1f1b"
+
+
+class PipelineSchedule(ABC):
+    """Interface of a pipeline execution schedule."""
+
+    #: Registry key, e.g. ``"1f1b"``.
+    name: str = "abstract"
+    #: One-line summary shown by ``repro-perf schedules``.
+    description: str = ""
+    #: Whether the schedule understands ``virtual_stages > 1``.
+    supports_virtual_stages: bool = False
+
+    def validate(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """Return ``None`` when ``config`` is admissible, else a reason string."""
+        v = config.virtual_stages
+        if v > 1 and not self.supports_virtual_stages:
+            return f"schedule {self.name!r} does not support virtual stages (got v={v})"
+        return None
+
+    @abstractmethod
+    def bubble_time(
+        self,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int = 1,
+    ) -> float:
+        """Fill/drain idle time of one iteration (seconds)."""
+
+    def in_flight_microbatches(
+        self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> int:
+        """Microbatches whose activations one stage retains simultaneously."""
+        if num_stages < 1 or num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        return min(num_stages, num_microbatches)
+
+    def p2p_volume_factor(self, virtual_stages: int = 1) -> float:
+        """Multiplier on the per-microbatch stage-boundary P2P traffic.
+
+        Counts boundary *crossings* per GPU: it scales both the transfer
+        time (each crossing is a separate message paying full latency) and
+        the in-flight buffer bytes of the memory model.
+        """
+        return 1.0
+
+    def summary(self) -> Dict[str, object]:
+        """Flat description used by the CLI listing."""
+        return {
+            "schedule": self.name,
+            "virtual_stages": self.supports_virtual_stages,
+            "description": self.description,
+        }
+
+
+#: Registry of schedule instances keyed by their public name.
+SCHEDULE_REGISTRY: Dict[str, PipelineSchedule] = {}
+
+
+def register_schedule(schedule: PipelineSchedule) -> PipelineSchedule:
+    """Register a schedule instance so it can be looked up by name."""
+    SCHEDULE_REGISTRY[schedule.name] = schedule
+    return schedule
+
+
+def get_schedule(name: str) -> PipelineSchedule:
+    """Look up a registered schedule by name (``1f1b``, ``gpipe``, ``interleaved``)."""
+    key = name.strip().lower()
+    if key not in SCHEDULE_REGISTRY:
+        raise KeyError(f"unknown schedule {name!r}; available: {sorted(SCHEDULE_REGISTRY)}")
+    return SCHEDULE_REGISTRY[key]
+
+
+def available_schedules() -> Sequence[str]:
+    """Names of all registered schedules."""
+    return tuple(sorted(SCHEDULE_REGISTRY))

@@ -1,0 +1,43 @@
+"""GPipe: all forwards, then all backwards.
+
+The fill/drain bubble is the same ``(np - 1) * (tf + tb)`` ramp as 1F1B,
+but because every forward microbatch completes before the first backward
+starts, *all* ``m`` microbatches' activations are resident at the steady
+state — GPipe trades memory for implementation simplicity.  The execution
+model therefore reports identical time to 1F1B but a (potentially much)
+larger activation footprint, which is exactly how the two schedules differ
+in practice at large microbatch counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.parallelism.pipeline import pipeline_bubble_time
+from repro.core.schedules.base import PipelineSchedule, register_schedule
+
+
+class GPipeSchedule(PipelineSchedule):
+    """GPipe: same bubble ramp as 1F1B, all microbatches retained."""
+
+    name = "gpipe"
+    description = "GPipe: bubble (np-1)(tf+tb), all m microbatches in flight"
+    supports_virtual_stages = False
+
+    def bubble_time(
+        self,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int = 1,
+    ) -> float:
+        return pipeline_bubble_time(num_stages, forward_time, backward_time)
+
+    def in_flight_microbatches(
+        self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> int:
+        if num_stages < 1 or num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        return num_microbatches
+
+
+register_schedule(GPipeSchedule())

@@ -1,0 +1,65 @@
+"""Interleaved 1F1B (Megatron's virtual-pipeline schedule).
+
+Each GPU holds ``v`` *virtual stages* — ``v`` non-contiguous chunks of
+``depth / (np * v)`` layers — and the schedule round-robins microbatches
+through the chunks.  The fill/drain ramp only spans one chunk instead of a
+whole stage, so the bubble shrinks by the virtual-stage degree:
+
+    bubble = (np - 1) * (tf + tb) / v
+
+The price is communication: a microbatch now crosses ``np * v - 1`` chunk
+boundaries instead of ``np - 1``, so the per-GPU point-to-point volume
+grows by the factor ``v``.  With ``v = 1`` the schedule is *exactly*
+non-interleaved 1F1B (the division by 1 and the x1 volume factor are exact
+floating-point identities), which is pinned by a hypothesis property test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+from repro.core.parallelism.pipeline import pipeline_bubble_time
+from repro.core.schedules.base import PipelineSchedule, register_schedule
+
+
+class InterleavedSchedule(PipelineSchedule):
+    """Interleaved 1F1B with a virtual-stage degree ``v``."""
+
+    name = "interleaved"
+    description = "interleaved 1F1B: bubble (np-1)(tf+tb)/v, P2P volume x v"
+    supports_virtual_stages = True
+
+    def validate(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        v = config.virtual_stages
+        if v == 1:
+            return None
+        if config.pipeline_parallel < 2:
+            return f"virtual stages (v={v}) require pipeline_parallel > 1"
+        if model.depth % (config.pipeline_parallel * v) != 0:
+            return (
+                f"virtual stages: np*v ({config.pipeline_parallel}*{v}) "
+                f"must divide depth ({model.depth})"
+            )
+        return None
+
+    def bubble_time(
+        self,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int = 1,
+    ) -> float:
+        if virtual_stages < 1:
+            raise ValueError("virtual_stages must be >= 1")
+        return pipeline_bubble_time(num_stages, forward_time, backward_time) / virtual_stages
+
+    def p2p_volume_factor(self, virtual_stages: int = 1) -> float:
+        if virtual_stages < 1:
+            raise ValueError("virtual_stages must be >= 1")
+        return float(virtual_stages)
+
+
+register_schedule(InterleavedSchedule())

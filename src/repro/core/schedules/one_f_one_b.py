@@ -1,0 +1,34 @@
+"""The paper's default schedule: non-interleaved 1F1B (PipeDream-flush).
+
+Once the pipeline is full every stage alternates one forward and one
+backward microbatch, so the idle time is the fill/drain ramp
+``(np - 1) * (tf + tb)`` and at most ``min(m, np)`` microbatches are in
+flight per stage (which bounds the retained activation memory — the reason
+1F1B is preferred over GPipe at scale).
+"""
+
+from __future__ import annotations
+
+from repro.core.parallelism.pipeline import pipeline_bubble_time
+from repro.core.schedules.base import PipelineSchedule, register_schedule
+
+
+class OneFOneBSchedule(PipelineSchedule):
+    """Non-interleaved 1F1B: the schedule the paper models."""
+
+    name = "1f1b"
+    description = "non-interleaved 1F1B: bubble (np-1)(tf+tb), min(m,np) in flight"
+    supports_virtual_stages = False
+
+    def bubble_time(
+        self,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int = 1,
+    ) -> float:
+        return pipeline_bubble_time(num_stages, forward_time, backward_time)
+
+
+register_schedule(OneFOneBSchedule())

@@ -38,6 +38,7 @@ from repro.core.execution import (
     DEFAULT_OPTIONS,
     IterationEstimate,
     ModelingOptions,
+    cache_stats,
     config_time_lower_bound,
     estimate_config_memory,
     evaluate_config,
@@ -73,6 +74,19 @@ class SearchStatistics:
     #: Parallelizations skipped outright because their lower bound met or
     #: exceeded the incumbent optimum; their NVS-assignment loops never ran.
     pruned_configs: int = 0
+    #: Hits/misses of the memoized per-layer workload cache during this
+    #: search (``execution._cached_workload``) — hits mean microbatch,
+    #: schedule and assignment candidates re-used an already-built workload.
+    #: The counters depend on how warm the process-local caches already are,
+    #: so they are diagnostics only and excluded from equality: a parallel
+    #: sweep (cold workers) still compares equal to a serial one.
+    workload_cache_hits: int = field(default=0, compare=False)
+    workload_cache_misses: int = field(default=0, compare=False)
+    #: Hits/misses of the memoized roofline stage-time cache
+    #: (``execution._cached_stage_times``); stage times are shared across
+    #: every schedule/assignment candidate of one TP parallelization.
+    stage_cache_hits: int = field(default=0, compare=False)
+    stage_cache_misses: int = field(default=0, compare=False)
 
     def merged(self, other: "SearchStatistics") -> "SearchStatistics":
         """Combine statistics of two (sub-)searches."""
@@ -83,6 +97,10 @@ class SearchStatistics:
             infeasible_other=self.infeasible_other + other.infeasible_other,
             bounds_computed=self.bounds_computed + other.bounds_computed,
             pruned_configs=self.pruned_configs + other.pruned_configs,
+            workload_cache_hits=self.workload_cache_hits + other.workload_cache_hits,
+            workload_cache_misses=self.workload_cache_misses + other.workload_cache_misses,
+            stage_cache_hits=self.stage_cache_hits + other.stage_cache_hits,
+            stage_cache_misses=self.stage_cache_misses + other.stage_cache_misses,
         )
 
 
@@ -169,6 +187,7 @@ def _search_single_strategy(
     n_other = 0
     n_bounds = 0
     n_pruned = 0
+    caches_before = cache_stats()
 
     # Pass 1: memory pre-filter (assignment-independent), then compute the
     # cheap compute-only lower bound of every surviving parallelization so
@@ -252,6 +271,8 @@ def _search_single_strategy(
         est for _, _, _, est in sorted(topk_heap, key=lambda e: (-e[0], -e[1], -e[2]))
     ]
 
+    caches_after = cache_stats()
+
     return SearchResult(
         model_name=model.name,
         system_name=system.name,
@@ -267,6 +288,18 @@ def _search_single_strategy(
             infeasible_other=n_other,
             bounds_computed=n_bounds,
             pruned_configs=n_pruned,
+            workload_cache_hits=(
+                caches_after["workload"]["hits"] - caches_before["workload"]["hits"]
+            ),
+            workload_cache_misses=(
+                caches_after["workload"]["misses"] - caches_before["workload"]["misses"]
+            ),
+            stage_cache_hits=(
+                caches_after["stage_times"]["hits"] - caches_before["stage_times"]["hits"]
+            ),
+            stage_cache_misses=(
+                caches_after["stage_times"]["misses"] - caches_before["stage_times"]["misses"]
+            ),
         ),
     )
 

@@ -36,7 +36,10 @@ from repro.utils.serialization import (
 #: persisted caches with a different version are discarded on load.
 #: v2: ParallelConfig gained ``expert_parallel`` and the model gained the
 #: GQA/MoE scenario fields.
-CACHE_FORMAT_VERSION = 2
+#: v3: the cost-plan IR — ParallelConfig gained ``schedule``/``virtual_stages``,
+#: SearchSpace gained the schedule axes, IterationEstimate carries its
+#: ExecutionPlan, and SearchStatistics gained the memoization counters.
+CACHE_FORMAT_VERSION = 3
 
 
 class SearchCache:

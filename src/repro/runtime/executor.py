@@ -29,10 +29,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
-from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
+from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_configurations
+from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions, clear_caches
 from repro.core.model import TransformerConfig
-from repro.core.search import SearchResult, find_optimal_config
+from repro.core.search import ALL_STRATEGIES, SearchResult, find_optimal_config
 from repro.core.system import SystemSpec
 from repro.runtime.cache import SearchCache
 
@@ -62,6 +62,39 @@ class SearchTask:
         # (batch dedup uses them as dict keys) and picklable.
         if not isinstance(self.strategy, str):
             object.__setattr__(self, "strategy", tuple(self.strategy))
+
+
+def estimate_task_cost(task: SearchTask) -> float:
+    """Estimated size of the search space ``task`` will enumerate.
+
+    Counts the full (parallelization, NVS-assignment) candidate set via
+    :func:`repro.core.config_space.count_configurations` — the same
+    enumeration the solver runs, minus any evaluation — summed over the
+    task's strategies.  Used by :meth:`SweepExecutor.run` to dispatch the
+    largest searches first (longest-processing-time order), so one huge
+    GPU-count point submitted last no longer serializes the tail of a
+    sweep.  Falls back to the GPU count if the enumeration itself rejects
+    the task (the solver will surface the real error).
+    """
+    if isinstance(task.strategy, str):
+        strategies = ALL_STRATEGIES if task.strategy == "all" else (task.strategy,)
+    else:
+        strategies = task.strategy
+    total = 0
+    for strategy in strategies:
+        try:
+            _, n_candidates = count_configurations(
+                task.model,
+                task.n_gpus,
+                task.global_batch_size,
+                strategy,
+                task.system.nvs_domain_size,
+                task.space,
+            )
+            total += n_candidates
+        except (ValueError, KeyError):
+            total += task.n_gpus
+    return float(total)
 
 
 def solve_search_task(task: SearchTask) -> SearchResult:
@@ -140,7 +173,13 @@ class SweepExecutor:
 
     def _map_parallel(self, fn: Callable, items: List, done: int, total: int) -> List:
         try:
-            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(items)))
+            # Workers start from a cold, explicitly bounded memoization
+            # state: clear_caches() covers every model-layer cache, so a
+            # long-lived worker's memory stays bounded by the caches' sizes
+            # rather than by whatever the parent had accumulated.
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items)), initializer=clear_caches
+            )
         except (OSError, NotImplementedError, ImportError):
             # This host cannot start worker processes at all (restricted
             # sandbox, missing semaphores, ...): run everything in-process.
@@ -211,6 +250,14 @@ class SweepExecutor:
                 pending.setdefault(task, []).append(idx)
 
         unique_tasks = list(pending)
+        if self.jobs > 1 and len(unique_tasks) > 1:
+            # Longest-processing-time dispatch: hand the biggest searches to
+            # the pool first so the sweep's critical path is the single
+            # largest point, not "whatever happened to be submitted last".
+            # Results are fanned back to their original positions through
+            # ``pending``, so the returned order (and every result) is
+            # identical to serial execution.
+            unique_tasks.sort(key=estimate_task_cost, reverse=True)
         solved = self.map(
             solve_search_task,
             unique_tasks,

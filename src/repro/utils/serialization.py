@@ -60,6 +60,31 @@ def load_json(path: str | Path) -> Any:
     return json.loads(Path(path).read_text())
 
 
+def _shape_matches(annotation: Any, value: Any) -> bool:
+    """True when a JSON ``value`` structurally fits ``annotation``.
+
+    Used to disambiguate union members: JSON only distinguishes objects,
+    arrays, strings, numbers and booleans, so that is the granularity the
+    check works at.
+    """
+    origin = typing.get_origin(annotation)
+    if origin in (list, tuple) or annotation in (list, tuple):
+        return isinstance(value, (list, tuple))
+    if origin is dict or annotation is dict:
+        return isinstance(value, dict)
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        return isinstance(value, dict)
+    if annotation is bool:
+        return isinstance(value, bool)
+    if annotation is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if annotation is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if annotation is str:
+        return isinstance(value, str)
+    return False
+
+
 def _convert(annotation: Any, value: Any) -> Any:
     """Coerce ``value`` (a JSON type) into the shape ``annotation`` describes."""
     if value is None:
@@ -67,10 +92,19 @@ def _convert(annotation: Any, value: Any) -> Any:
     origin = typing.get_origin(annotation)
     if origin in _UNION_ORIGINS:
         candidates = [a for a in typing.get_args(annotation) if a is not type(None)]
-        return _convert(candidates[0], value) if candidates else value
-    if origin in (list, tuple):
+        if not candidates:
+            return value
+        # Both typing.Union[...] and PEP 604 ``X | Y`` unions land here; pick
+        # the member whose JSON shape matches the value (e.g. a list for the
+        # ``str | Tuple[str, ...]`` strategy field), falling back to the
+        # first member for scalars that fit several.
+        for candidate in candidates:
+            if _shape_matches(candidate, value):
+                return _convert(candidate, value)
+        return _convert(candidates[0], value)
+    if origin in (list, tuple) or annotation in (list, tuple):
         args = typing.get_args(annotation)
-        if origin is list:
+        if origin is list or annotation is list:
             item_type = args[0] if args else Any
             return [_convert(item_type, v) for v in value]
         if len(args) == 2 and args[1] is Ellipsis:  # Tuple[X, ...]

@@ -139,3 +139,58 @@ class TestScenarioFlags:
     def test_invalid_zero_stage_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["search", "--zero-stage", "7", "--gpus", "64"])
+
+
+class TestScheduleFlags:
+    def test_schedule_listing(self, capsys):
+        rc = main(["schedules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("1f1b", "gpipe", "interleaved"):
+            assert name in out
+
+    def test_interleaved_search(self, capsys):
+        rc = main(
+            ["search", "--model", "gpt3-1t", "--schedule", "interleaved",
+             "--virtual-stages", "2", "--gpus", "256", "--global-batch", "512"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sched=interleaved" in out and "v=2" in out
+
+    def test_explain_plan_prints_phases(self, capsys):
+        rc = main(
+            ["search", "--model", "gpt3-1t", "--gpus", "256",
+             "--global-batch", "512", "--explain-plan"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out
+        assert "microbatch.compute" in out and "pipeline.bubble" in out
+
+    def test_workload_preset_carries_schedule(self, capsys):
+        rc = main(
+            ["search", "--workload", "gpt3-1t-interleaved",
+             "--gpus", "256", "--global-batch", "512"]
+        )
+        assert rc == 0
+        assert "sched=interleaved" in capsys.readouterr().out
+
+    def test_unknown_schedule_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--schedule", "pipedream", "--gpus", "64"])
+
+    def test_virtual_stages_require_interleaving_schedule(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--schedule", "gpipe", "--virtual-stages", "2", "--gpus", "64"])
+
+    def test_explicit_schedule_override_drops_preset_virtual_stages(self, capsys):
+        # The interleaved preset's v=2 belongs to its own schedule; overriding
+        # with --schedule 1f1b must not demand an explicit --virtual-stages 1.
+        rc = main(
+            ["search", "--workload", "gpt3-1t-interleaved", "--schedule", "1f1b",
+             "--gpus", "256", "--global-batch", "512"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sched=" not in out and "v=2" not in out

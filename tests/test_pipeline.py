@@ -5,7 +5,7 @@ import pytest
 from repro.core.model import GPT3_1T
 from repro.core.parallelism.base import ParallelConfig
 from repro.core.parallelism.pipeline import (
-    PipelineSchedule,
+    PipelineTiming,
     in_flight_microbatches,
     layers_per_stage,
     pipeline_bubble_time,
@@ -32,7 +32,7 @@ class TestBubbleModel:
             pipeline_bubble_time(0, 1.0, 1.0)
 
     def test_schedule_object(self):
-        sched = PipelineSchedule(
+        sched = PipelineTiming(
             num_stages=4, num_microbatches=16, layers_per_stage=2,
             forward_time=1.0, backward_time=2.0,
         )
@@ -43,8 +43,8 @@ class TestBubbleModel:
         assert sched.in_flight_microbatches == 4
 
     def test_bubble_fraction_shrinks_with_more_microbatches(self):
-        few = PipelineSchedule(8, 8, 1, 1.0, 2.0)
-        many = PipelineSchedule(8, 128, 1, 1.0, 2.0)
+        few = PipelineTiming(8, 8, 1, 1.0, 2.0)
+        many = PipelineTiming(8, 128, 1, 1.0, 2.0)
         assert many.bubble_fraction < few.bubble_fraction
 
 
@@ -89,3 +89,10 @@ class TestLayersPerStage:
     def test_uneven_split_raises(self):
         with pytest.raises(ValueError):
             layers_per_stage(GPT3_1T, tp1d_config(np_=96))
+
+
+def test_legacy_pipeline_schedule_alias():
+    """Downstream imports of the old name keep resolving to the timing object."""
+    from repro.core.parallelism import pipeline
+
+    assert pipeline.PipelineSchedule is PipelineTiming

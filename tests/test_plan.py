@@ -1,0 +1,222 @@
+"""The cost-plan IR: phase construction, reduction, and cache plumbing."""
+
+import pytest
+
+from repro.core.execution import (
+    DEFAULT_OPTIONS,
+    ModelingOptions,
+    build_execution_plan,
+    cache_stats,
+    clear_caches,
+    evaluate_config,
+)
+from repro.core.model import GPT3_1T
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.plan import (
+    CATEGORY_COMPUTE,
+    CATEGORY_DP_COMM,
+    CATEGORY_STATE,
+    CostPhase,
+    ExecutionPlan,
+    TimeBreakdown,
+)
+from repro.core.search import find_optimal_config
+from repro.core.system import make_system
+from repro.utils.factorization import divisors
+
+
+def tp1d_config(nt=8, np_=64, nd=32, bm=1, **kwargs):
+    return ParallelConfig(
+        strategy="tp1d", tensor_parallel_1=nt, tensor_parallel_2=1,
+        pipeline_parallel=np_, data_parallel=nd, microbatch_size=bm, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def b200():
+    return make_system("B200", 8)
+
+
+class TestCostPhase:
+    def test_exposed_is_count_times_seconds(self):
+        phase = CostPhase(name="x", category=CATEGORY_COMPUTE, seconds=0.5, count=4)
+        assert phase.exposed_seconds == 2.0
+        assert phase.busy_seconds == 2.0
+
+    def test_overlap_budget_hides_time(self):
+        phase = CostPhase(
+            name="x", category=CATEGORY_DP_COMM, seconds=3.0, overlap_budget=2.0
+        )
+        assert phase.exposed_seconds == 1.0
+        fully_hidden = CostPhase(
+            name="x", category=CATEGORY_DP_COMM, seconds=1.0, overlap_budget=2.0
+        )
+        assert fully_hidden.exposed_seconds == 0.0
+
+    def test_overlapped_phase_exposes_nothing(self):
+        phase = CostPhase(
+            name="x", category=CATEGORY_COMPUTE, seconds=3.0, count=7, overlapped=True
+        )
+        assert phase.exposed_seconds == 0.0
+        assert phase.busy_seconds == 21.0
+
+    def test_state_phase_contributes_no_time(self):
+        phase = CostPhase(
+            name="x", category=CATEGORY_STATE, seconds=9.0, memory_bytes=1e9
+        )
+        assert phase.exposed_seconds == 0.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            CostPhase(name="x", category="nonsense", seconds=1.0)
+
+
+class TestExecutionPlan:
+    def test_reduce_sums_per_category(self):
+        plan = ExecutionPlan(
+            schedule="1f1b", virtual_stages=1, num_stages=2, num_microbatches=4,
+            phases=(
+                CostPhase(name="a", category=CATEGORY_COMPUTE, seconds=1.0, count=4),
+                CostPhase(name="b", category=CATEGORY_COMPUTE, seconds=0.5, count=2),
+                CostPhase(name="c", category=CATEGORY_DP_COMM, seconds=2.0),
+                CostPhase(name="d", category=CATEGORY_STATE, seconds=0.0, memory_bytes=5.0),
+            ),
+        )
+        breakdown = plan.reduce()
+        assert breakdown == TimeBreakdown(compute=5.0, dp_comm=2.0)
+        assert plan.total_time == 7.0
+        assert plan.total_memory_bytes == 5.0
+
+    def test_phase_lookup(self):
+        plan = ExecutionPlan(
+            schedule="1f1b", virtual_stages=1, num_stages=1, num_microbatches=1,
+            phases=(CostPhase(name="a", category=CATEGORY_COMPUTE, seconds=1.0),),
+        )
+        assert plan.phase("a").seconds == 1.0
+        with pytest.raises(KeyError):
+            plan.phase("missing")
+
+
+class TestBuiltPlan:
+    def test_estimate_carries_its_plan(self, b200):
+        est = evaluate_config(
+            GPT3_1T, b200, tp1d_config(), GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        assert est.plan is not None
+        assert est.plan.schedule == "1f1b"
+        assert est.plan.reduce() == est.breakdown
+
+    def test_build_execution_plan_matches_evaluate(self, b200):
+        config = tp1d_config()
+        plan = build_execution_plan(
+            GPT3_1T, b200, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        est = evaluate_config(
+            GPT3_1T, b200, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        assert plan == est.plan
+        assert plan.total_time == est.total_time
+
+    def test_plan_memory_matches_memory_estimate(self, b200):
+        est = evaluate_config(
+            GPT3_1T, b200, tp1d_config(), GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        assert est.plan.total_memory_bytes == pytest.approx(est.memory.total_bytes)
+
+    def test_overlap_pp_marks_phase_hidden_but_keeps_cost(self, b200):
+        config = tp1d_config()
+        est = evaluate_config(
+            GPT3_1T, b200, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+            options=ModelingOptions(overlap_pp=True),
+        )
+        p2p = est.plan.phase("pipeline.p2p")
+        assert p2p.overlapped
+        assert p2p.busy_seconds > 0.0
+        assert est.breakdown.pp_comm == 0.0
+
+    def test_no_pipeline_phase_without_pipeline(self, b200):
+        config = tp1d_config(nt=8, np_=1, nd=16)
+        est = evaluate_config(
+            GPT3_1T, b200, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        with pytest.raises(KeyError):
+            est.plan.phase("pipeline.p2p")
+        assert est.plan.phase("pipeline.bubble").seconds == 0.0
+
+    def test_invalid_schedule_name_raises(self, b200):
+        with pytest.raises(KeyError):
+            evaluate_config(
+                GPT3_1T, b200, tp1d_config(schedule="not-a-schedule"),
+                GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+            )
+
+    def test_virtual_stages_on_1f1b_rejected(self, b200):
+        with pytest.raises(ValueError):
+            evaluate_config(
+                GPT3_1T, b200, tp1d_config(virtual_stages=2),
+                GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+            )
+
+
+class TestCachePlumbing:
+    def test_cache_stats_report_hits_and_misses(self, b200):
+        clear_caches()
+        config = tp1d_config()
+        evaluate_config(GPT3_1T, b200, config, GpuAssignment(nvs_tp1=8), global_batch_size=4096)
+        first = cache_stats()
+        assert first["workload"]["misses"] >= 1
+        evaluate_config(GPT3_1T, b200, config, GpuAssignment(nvs_dp=8), global_batch_size=4096)
+        second = cache_stats()
+        # A different assignment re-uses both the workload and stage times.
+        assert second["workload"]["hits"] > first["workload"]["hits"]
+        assert second["stage_times"]["hits"] > first["stage_times"]["hits"]
+        assert second["stage_times"]["misses"] == first["stage_times"]["misses"]
+
+    def test_stage_times_shared_across_schedules(self, b200):
+        clear_caches()
+        evaluate_config(
+            GPT3_1T, b200, tp1d_config(), GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        before = cache_stats()
+        evaluate_config(
+            GPT3_1T, b200, tp1d_config(schedule="gpipe"),
+            GpuAssignment(nvs_tp1=8), global_batch_size=4096,
+        )
+        after = cache_stats()
+        # The gpipe candidate re-costs its plan from the cached stage times.
+        assert after["stage_times"]["misses"] == before["stage_times"]["misses"]
+        assert after["stage_times"]["hits"] > before["stage_times"]["hits"]
+
+    def test_clear_caches_covers_every_registered_cache(self, b200):
+        evaluate_config(
+            GPT3_1T, b200, tp1d_config(), GpuAssignment(nvs_tp1=8), global_batch_size=4096
+        )
+        divisors(4096)
+        clear_caches()
+        stats = cache_stats()
+        assert stats["workload"]["currsize"] == 0
+        assert stats["stage_times"]["currsize"] == 0
+        assert divisors.cache_info().currsize == 0
+
+    def test_caches_have_explicit_bounds(self):
+        stats = cache_stats()
+        assert stats["workload"]["maxsize"] is not None
+        assert stats["stage_times"]["maxsize"] is not None
+
+    def test_search_statistics_expose_cache_counters(self, b200):
+        clear_caches()
+        result = find_optimal_config(
+            GPT3_1T, b200, n_gpus=128, global_batch_size=4096, strategy="tp1d"
+        )
+        stats = result.statistics
+        assert stats.workload_cache_misses > 0
+        assert stats.stage_cache_hits + stats.stage_cache_misses > 0
+        # Warm second run: all lookups hit.
+        warm = find_optimal_config(
+            GPT3_1T, b200, n_gpus=128, global_batch_size=4096, strategy="tp1d"
+        )
+        assert warm.statistics.workload_cache_misses == 0
+        assert warm.statistics.stage_cache_misses == 0
+        assert warm.statistics.workload_cache_hits > 0
+        # Counters are diagnostics: they never break result equality.
+        assert warm == result

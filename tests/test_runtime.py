@@ -16,6 +16,7 @@ from repro.core.model import GPT3_1T, VIT_LONG_SEQ
 from repro.core.search import find_optimal_config
 from repro.core.system import make_system
 from repro.runtime import SearchCache, SearchTask, SweepExecutor, solve_search_task
+from repro.runtime.executor import estimate_task_cost
 from repro.utils.serialization import dataclass_from_jsonable, to_jsonable
 
 
@@ -82,6 +83,40 @@ class TestSweepExecutor:
         assert results[0] == results[1] == results[2]
         # Progress still covers all three occurrences, monotonically.
         assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_cost_estimate_orders_large_points_first(self, b200):
+        # More GPUs decompose into more parallelizations: the estimated
+        # search-space size must be monotone in the sweep's hardest axis.
+        costs = [estimate_task_cost(_task(b200, n)) for n in (128, 1024, 4096)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_cost_estimate_covers_all_strategies(self, b200):
+        single = estimate_task_cost(_task(b200, 256))
+        combined = estimate_task_cost(_task(b200, 256, strategy="all"))
+        assert combined > single
+
+    def test_cost_estimate_survives_bad_tasks(self, b200):
+        # A task the enumeration rejects falls back to the GPU count rather
+        # than raising during dispatch ordering.
+        bad = _task(b200, 256, strategy="no-such-strategy")
+        assert estimate_task_cost(bad) == 256.0
+
+    def test_lpt_dispatch_preserves_results_and_order(self, b200):
+        dispatched = []
+
+        class RecordingExecutor(SweepExecutor):
+            def map(self, fn, items, **kwargs):
+                dispatched.extend(items)
+                return [fn(item) for item in items]
+
+        tasks = [_task(b200, n) for n in (128, 512, 256)]
+        recording = RecordingExecutor(4)
+        results = recording.run(tasks)
+        # Dispatch goes biggest-first (LPT), results return in input order.
+        assert [t.n_gpus for t in dispatched] == [512, 256, 128]
+        assert [r.n_gpus for r in results] == [128, 512, 256]
+        assert results == SweepExecutor(1).run(tasks)
 
     def test_worker_exception_propagates(self, b200):
         bad = _task(b200, 128, strategy=())
