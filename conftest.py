@@ -5,6 +5,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Auto-tier: anything not in the `sim` tier is tier-1.
+
+    Makes ``pytest -m tier1`` equivalent to the default ``-m "not sim"``
+    run without every test having to carry an explicit marker.
+    """
+    for item in items:
+        if item.get_closest_marker("sim") is None:
+            item.add_marker(pytest.mark.tier1)
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-goldens",

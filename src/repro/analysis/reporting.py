@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.configurations import ConfigurationStudy
+from repro.analysis.differential import DifferentialResult
 from repro.analysis.speedups import SpeedupPoint, speedups_by_system
 from repro.analysis.sweeps import HardwareHeatmap, ScalingSweep, SystemScalingSeries
 from repro.analysis.validation import ValidationComparison
@@ -47,6 +48,7 @@ def render_plan_phases(plan: ExecutionPlan) -> str:
         f"execution plan: schedule={plan.schedule}"
         + (f" (v={plan.virtual_stages})" if plan.virtual_stages > 1 else "")
         + f", {plan.num_stages} stages x {plan.num_microbatches} microbatches"
+        + (f", backend={plan.backend}" if plan.backend != "analytic" else "")
     )
     return title + "\n" + format_table(headers, rows)
 
@@ -203,6 +205,51 @@ def render_speedups(points: Sequence[SpeedupPoint]) -> str:
         rows.append(row)
     sample = points[0]
     title = f"relative speed-up of {sample.variant_strategy} w.r.t. {sample.baseline_strategy}"
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_differential(results: Sequence[DifferentialResult], system_name: str = "") -> str:
+    """Render the analytic-vs-simulated differential grid as a table.
+
+    One row per grid case: both backends' iteration times, the largest
+    per-term relative error, the term it occurred in, and the verdict.
+    The per-term detail of failing rows is printed separately by
+    :func:`repro.analysis.differential.format_failure_diff`.
+    """
+    headers = [
+        "Case",
+        "schedule",
+        "analytic(s)",
+        "simulated(s)",
+        "worst term",
+        "max rel err",
+        "within band",
+    ]
+    rows = []
+    for result in results:
+        worst = max(result.deltas, key=lambda d: d.rel_error, default=None)
+        rows.append(
+            [
+                result.case.name,
+                result.case.schedule
+                + (
+                    f"(v={result.case.config.virtual_stages})"
+                    if result.case.config.virtual_stages > 1
+                    else ""
+                ),
+                result.analytic.total_time,
+                result.simulated.total_time,
+                worst.term if worst else "-",
+                f"{result.max_rel_error:.2%}",
+                result.ok,
+            ]
+        )
+    n_ok = sum(1 for r in results if r.ok)
+    title = (
+        "differential validation: analytic model vs message-level simulation"
+        + (f" on {system_name}" if system_name else "")
+        + f" ({n_ok}/{len(results)} cases within tolerance)"
+    )
     return title + "\n" + format_table(headers, rows)
 
 

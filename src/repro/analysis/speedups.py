@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
-from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
+from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
 from repro.core.system import make_system
 from repro.runtime import ProgressCallback, SearchCache, SearchTask, SweepExecutor
@@ -53,6 +53,7 @@ def speedup_sweep(
     global_batch_size: int = 4096,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -78,6 +79,7 @@ def speedup_sweep(
             strategy=strat,
             space=space,
             options=options,
+            backend=backend,
         )
         for system, n in grid
         for strat in (baseline_strategy, variant_strategy)

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
-from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
+from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
 from repro.core.search import SearchResult
 from repro.core.system import NVS_DOMAIN_SIZES, SystemSpec, make_system
@@ -105,6 +105,7 @@ def scaling_sweep(
     global_batch_size: int = PAPER_GLOBAL_BATCH,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -125,6 +126,7 @@ def scaling_sweep(
             strategy=strategy,
             space=space,
             options=options,
+            backend=backend,
         )
         for n in n_gpus_list
     ]
@@ -157,6 +159,7 @@ def system_grid_sweep(
     regime: Optional[TrainingRegime] = None,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -184,6 +187,7 @@ def system_grid_sweep(
                     strategy=strategy,
                     space=space,
                     options=options,
+                    backend=backend,
                 )
                 for n in n_gpus_list
             )
@@ -242,6 +246,7 @@ def hardware_heatmap(
     regime: Optional[TrainingRegime] = None,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -305,6 +310,7 @@ def hardware_heatmap(
                     strategy=strategy,
                     space=space,
                     options=options,
+                    backend=backend,
                 )
             )
 

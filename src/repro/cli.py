@@ -41,7 +41,13 @@ import sys
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from repro.analysis.differential import (
+    build_default_grid,
+    format_failure_diff,
+    run_differential_grid,
+)
 from repro.analysis.reporting import (
+    render_differential,
     render_plan_phases,
     render_scaling_sweep,
     render_speedups,
@@ -51,6 +57,8 @@ from repro.analysis.reporting import (
 from repro.analysis.speedups import speedup_sweep
 from repro.analysis.sweeps import scaling_sweep, system_grid_sweep
 from repro.analysis.validation import run_validation
+from repro.core.backends import DEFAULT_BACKEND as DEFAULT_EVAL_BACKEND
+from repro.core.backends import available_backends
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
 from repro.core.search import find_optimal_config
@@ -108,6 +116,13 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="virtual-stage degree for interleaving schedules (requires a "
         "schedule that supports it, e.g. --schedule interleaved)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=available_backends(),
+        help="evaluation backend: 'analytic' (paper's closed forms, default) "
+        "or 'sim' (message-level ring/schedule replay oracle)",
     )
     parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
 
@@ -259,12 +274,15 @@ def cmd_search(args: argparse.Namespace) -> int:
         space=_scenario_space(args),
         options=_scenario_options(args),
         top_k=args.top_k,
+        backend=args.backend,
     )
     if not result.found:
         print(f"No feasible configuration for {model.name} on {system.name} with {args.gpus} GPUs")
         return 1
     best = result.best
     print(f"Best configuration for {model.name} on {system.name} with {args.gpus} GPUs:")
+    if args.backend != DEFAULT_EVAL_BACKEND:
+        print(f"  backend     : {args.backend}")
     print(f"  config      : {best.config.describe()}")
     print(f"  assignment  : nNVS(tp1,tp2,pp,dp) = {best.assignment.as_tuple()}")
     print(f"  iteration   : {best.total_time:.3f} s")
@@ -307,6 +325,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         global_batch_size=args.global_batch,
         space=_scenario_space(args),
         options=_scenario_options(args),
+        backend=args.backend,
         jobs=args.jobs,
         cache=cache,
     )
@@ -330,6 +349,7 @@ def cmd_systems(args: argparse.Namespace) -> int:
         global_batch_size=args.global_batch,
         space=_scenario_space(args),
         options=_scenario_options(args),
+        backend=args.backend,
         jobs=args.jobs,
         cache=cache,
     )
@@ -354,6 +374,7 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         global_batch_size=args.global_batch,
         space=_scenario_space(args),
         options=_scenario_options(args),
+        backend=args.backend,
         jobs=args.jobs,
         cache=cache,
     )
@@ -365,12 +386,71 @@ def cmd_speedup(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    """Comparison with the paper's Megatron-LM validation, §IV (``repro-perf validate``)."""
-    comparisons = run_validation(jobs=args.jobs)
-    print(render_validation(comparisons))
+    """Model validation (``repro-perf validate``).
+
+    Two modes, selected by ``--backend``:
+
+    * ``--backend analytic`` (default) — compare against the paper's
+      Megatron-LM validation numbers (§IV), exactly as before;
+    * ``--backend sim`` — differential validation: sweep the dense/MoE/GQA
+      x schedule x TP-strategy grid, evaluate every candidate under both
+      backends, and report the per-term analytic-vs-simulated deltas.
+      Exits non-zero (with a per-term diff for each failure) when any term
+      falls outside its documented tolerance band.
+    """
+    if args.backend != "sim":
+        # The grid knobs only parameterize the differential mode; silently
+        # dropping them would let `validate --workload moe-1t` (without
+        # `--backend sim`) masquerade as a passed differential run.
+        for flag, value in (("--workload", args.workload), ("--gpu", args.gpu), ("--nvs", args.nvs)):
+            if value is not None:
+                print(
+                    f"repro-perf: error: {flag} only applies to the differential "
+                    f"grid; add --backend sim",
+                    file=sys.stderr,
+                )
+                return 2
+        comparisons = run_validation(jobs=args.jobs)
+        print(render_validation(comparisons))
+        if args.json:
+            dump_json(comparisons, args.json)
+        return 0
+
+    if args.workload:
+        try:
+            get_workload(args.workload)
+        except KeyError as exc:
+            print(f"repro-perf: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    workloads = [args.workload] if args.workload else None
+    cases = build_default_grid(workloads)
+    if not cases:
+        print(f"repro-perf: error: no differential cases for workload {args.workload!r}")
+        return 2
+    system = make_system(args.gpu or "B200", args.nvs or 8)
+    results = run_differential_grid(cases, system, jobs=args.jobs)
+    print(render_differential(results, system.name))
     if args.json:
-        dump_json(comparisons, args.json)
-    return 0
+        dump_json(
+            [
+                {
+                    "case": r.case.name,
+                    "config": r.case.config.describe(),
+                    "ok": r.ok,
+                    "max_rel_error": r.max_rel_error,
+                    "terms": {
+                        d.term: {"analytic": d.analytic, "simulated": d.simulated}
+                        for d in r.deltas
+                    },
+                }
+                for r in results
+            ],
+            args.json,
+        )
+    failures = [r for r in results if not r.ok]
+    for failure in failures:
+        print(format_failure_diff(failure), file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_collectives(args: argparse.Namespace) -> int:
@@ -494,13 +574,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nvs-sizes", default="8,64")
     p.set_defaults(func=cmd_speedup)
 
-    p = sub.add_parser("validate", help="compare against the paper's Megatron-LM validation (§IV)")
+    p = sub.add_parser(
+        "validate",
+        help="validate the model: against the paper's Megatron-LM numbers "
+        "(default) or against the message-level sim oracle (--backend sim)",
+    )
     p.add_argument("--json", default=None)
     p.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for the case evaluations (1 = serial)",
+    )
+    p.add_argument(
+        "--backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=available_backends(),
+        help="'analytic': reproduce the paper's §IV comparison; 'sim': run "
+        "the analytic-vs-simulated differential grid",
+    )
+    p.add_argument(
+        "--workload",
+        default=None,
+        help="restrict the differential grid to one workload "
+        "(e.g. --workload moe-1t; sim backend only)",
+    )
+    p.add_argument(
+        "--gpu",
+        default=None,
+        help="GPU generation for the differential grid (sim backend only; "
+        "default B200)",
+    )
+    p.add_argument(
+        "--nvs",
+        type=int,
+        default=None,
+        help="NVSwitch domain size for the grid (sim backend only; default 8)",
     )
     p.set_defaults(func=cmd_validate)
 

@@ -1,0 +1,139 @@
+"""Evaluation-backend registry: analytic closed forms vs message-level sim.
+
+Every cost the execution model charges falls into one of three families:
+collective times, point-to-point transfers, and the pipeline-schedule
+bubble.  A :class:`CostPricer` prices exactly those three families; the
+plan assembly in :mod:`repro.core.execution` is written against the pricer
+interface, so the *same* phase-level plan can be costed by different
+backends:
+
+* ``"analytic"`` (the default) — the paper's closed-form §III-A collective
+  model and per-schedule bubble formulas.  This is the backend every
+  reproduced figure uses; it is bit-exact with the pre-backend code.
+* ``"sim"`` — the message-level oracle of :mod:`repro.simulate.backend`:
+  ring collectives are stepped hop by hop over an explicit cluster
+  topology (NVSwitch domains, NIC multiplexing) and the pipeline schedule
+  is replayed event by event.  It exists to *cross-check* the analytic
+  path; the differential harness (:mod:`repro.analysis.differential`)
+  asserts the two agree within a documented tolerance band.
+
+Backends register like tensor-parallel strategies and pipeline schedules:
+by name, through :func:`register_backend`.  The ``"sim"`` backend lives in
+:mod:`repro.simulate` (which imports :mod:`repro.core`), so it cannot be
+imported here; it is registered lazily the first time it is requested.
+"""
+
+from __future__ import annotations
+
+import importlib
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Tuple
+
+from repro.core.collectives import GroupPlacement, collective_time, point_to_point_time
+from repro.core.schedules.base import PipelineSchedule
+from repro.core.system import SystemSpec
+
+#: Name of the backend every reproduced paper figure uses.  Pinned by a
+#: golden-harness test: the simulation backend must always be opt-in so it
+#: can never silently change a reported number.
+DEFAULT_BACKEND = "analytic"
+
+
+class CostPricer(ABC):
+    """Prices the communication and schedule costs of one candidate.
+
+    A pricer is constructed per ``(backend, system)`` pair and consulted by
+    :func:`repro.core.execution.evaluate_config`'s plan assembly for every
+    cost that is not a pure roofline quantity (compute and HBM times are
+    backend-independent).
+    """
+
+    #: Registry key, e.g. ``"analytic"``.
+    name: str = "abstract"
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+
+    @abstractmethod
+    def collective(
+        self, collective: str, volume_bytes: float, placement: GroupPlacement
+    ) -> float:
+        """Time of one collective of ``volume_bytes`` under ``placement``."""
+
+    @abstractmethod
+    def p2p(self, volume_bytes: float, placement: GroupPlacement) -> float:
+        """Time of one pipeline point-to-point transfer."""
+
+    @abstractmethod
+    def bubble(
+        self,
+        schedule: PipelineSchedule,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int,
+    ) -> float:
+        """Fill/drain overhead of one iteration under ``schedule``."""
+
+
+class AnalyticPricer(CostPricer):
+    """The paper's closed-form cost model (§III-A) — the default backend."""
+
+    name = "analytic"
+
+    def collective(
+        self, collective: str, volume_bytes: float, placement: GroupPlacement
+    ) -> float:
+        return collective_time(collective, volume_bytes, placement, self.system.network)
+
+    def p2p(self, volume_bytes: float, placement: GroupPlacement) -> float:
+        return point_to_point_time(volume_bytes, placement, self.system.network)
+
+    def bubble(
+        self,
+        schedule: PipelineSchedule,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int,
+    ) -> float:
+        return schedule.bubble_time(
+            num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+        )
+
+
+#: Registered pricer factories keyed by backend name.
+BACKEND_REGISTRY: Dict[str, Callable[[SystemSpec], CostPricer]] = {}
+
+#: Backends that register themselves on first use: name -> providing module.
+_LAZY_PROVIDERS: Dict[str, str] = {"sim": "repro.simulate.backend"}
+
+
+def register_backend(
+    name: str, factory: Callable[[SystemSpec], CostPricer]
+) -> Callable[[SystemSpec], CostPricer]:
+    """Register a pricer factory under ``name`` (returns the factory)."""
+    BACKEND_REGISTRY[name] = factory
+    return factory
+
+
+def get_backend(name: str) -> Callable[[SystemSpec], CostPricer]:
+    """Look up a backend's pricer factory, importing lazy providers on demand."""
+    key = name.strip().lower()
+    if key not in BACKEND_REGISTRY and key in _LAZY_PROVIDERS:
+        importlib.import_module(_LAZY_PROVIDERS[key])
+    if key not in BACKEND_REGISTRY:
+        raise KeyError(
+            f"unknown evaluation backend {name!r}; available: {available_backends()}"
+        )
+    return BACKEND_REGISTRY[key]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered (or lazily registrable) backend."""
+    return tuple(sorted(set(BACKEND_REGISTRY) | set(_LAZY_PROVIDERS)))
+
+
+register_backend(AnalyticPricer.name, AnalyticPricer)

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.collectives import GroupPlacement, collective_time, point_to_point_time
+from repro.core.backends import DEFAULT_BACKEND, CostPricer, get_backend
+from repro.core.collectives import GroupPlacement
 from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.model import TransformerConfig
 from repro.core.operations import CommOp
@@ -61,6 +62,7 @@ from repro.core.system import GpuSpec, SystemSpec
 from repro.utils import factorization
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "DEFAULT_OPTIONS",
     "ModelingOptions",
     "TimeBreakdown",
@@ -71,6 +73,7 @@ __all__ = [
     "estimate_config_memory",
     "cache_stats",
     "clear_caches",
+    "register_cache",
 ]
 
 
@@ -125,6 +128,9 @@ class IterationEstimate:
     infeasible_reason: Optional[str] = None
     #: The phase-level cost plan the breakdown was reduced from.
     plan: Optional[ExecutionPlan] = None
+    #: Evaluation backend that produced the estimate (see
+    #: :mod:`repro.core.backends`).
+    backend: str = DEFAULT_BACKEND
 
     @property
     def total_time(self) -> float:
@@ -147,6 +153,7 @@ class IterationEstimate:
             "memory_gb": self.memory_gb,
             "num_microbatches": self.num_microbatches,
             "feasible": self.feasible,
+            "backend": self.backend,
         }
         out.update({f"t_{k}": v for k, v in self.breakdown.as_dict().items()})
         return out
@@ -174,8 +181,14 @@ STAGE_TIMES_CACHE_SIZE = 8192
 _CACHE_REGISTRY: Dict[str, object] = {}
 
 
-def _register_cache(name: str):
-    """Track an ``lru_cache``-wrapped function under ``name``."""
+def register_cache(name: str):
+    """Track an ``lru_cache``-wrapped function under ``name``.
+
+    Public registration hook: other model layers (e.g. the simulation
+    backend's memoized collective replays) register their ``lru_cache``
+    functions here so that :func:`clear_caches` and :func:`cache_stats`
+    cover them too — one registry, one cold-start story for every backend.
+    """
 
     def wrap(fn):
         _CACHE_REGISTRY[name] = fn
@@ -198,7 +211,7 @@ class _StageTimes:
     bwd_summa: Tuple[_SummaRecord, ...]
 
 
-@_register_cache("workload")
+@register_cache("workload")
 @lru_cache(maxsize=WORKLOAD_CACHE_SIZE)
 def _cached_workload(
     strategy_name: str,
@@ -269,7 +282,7 @@ def _summa_records(
     return tuple(records)
 
 
-@_register_cache("stage_times")
+@register_cache("stage_times")
 @lru_cache(maxsize=STAGE_TIMES_CACHE_SIZE)
 def _cached_stage_times(
     strategy_name: str,
@@ -380,7 +393,7 @@ def _comm_time(
     comms: Tuple[CommOp, ...],
     config: ParallelConfig,
     assignment: GpuAssignment,
-    system: SystemSpec,
+    pricer: CostPricer,
 ) -> float:
     """Total exposed time of a list of collectives."""
     total = 0.0
@@ -388,7 +401,7 @@ def _comm_time(
         if comm.overlapped:
             continue
         placement = _group_placement(comm.group, config, assignment)
-        total += collective_time(comm.collective, comm.volume_bytes, placement, system.network)
+        total += pricer.collective(comm.collective, comm.volume_bytes, placement)
     return total
 
 
@@ -396,7 +409,7 @@ def _summa_comm_time(
     records: Tuple[_SummaRecord, ...],
     config: ParallelConfig,
     assignment: GpuAssignment,
-    system: SystemSpec,
+    pricer: CostPricer,
 ) -> float:
     """Exposed communication time of SUMMA matmuls (prologue + spill-over).
 
@@ -408,8 +421,8 @@ def _summa_comm_time(
     for act_bytes, act_group, w_bytes, w_group, panel_compute, nb in records:
         act_place = _group_placement(act_group, config, assignment)
         w_place = _group_placement(w_group, config, assignment)
-        panel_act = collective_time("broadcast", act_bytes / nb, act_place, system.network)
-        panel_w = collective_time("broadcast", w_bytes / nb, w_place, system.network)
+        panel_act = pricer.collective("broadcast", act_bytes / nb, act_place)
+        panel_w = pricer.collective("broadcast", w_bytes / nb, w_place)
         panel_comm = panel_act + panel_w
         prologue = panel_comm
         exposed_per_panel = max(0.0, panel_comm - panel_compute)
@@ -425,13 +438,15 @@ def _assemble_plan(
     *,
     global_batch_size: int,
     options: ModelingOptions,
+    pricer: CostPricer,
 ) -> Tuple[ExecutionPlan, MemoryEstimate, int]:
     """Build the phase-level cost plan of one validated candidate.
 
-    Returns ``(plan, memory, num_microbatches)``.  The phase values are
-    computed with exactly the arithmetic the legacy inline evaluation used,
-    so reducing the plan reproduces the pre-IR totals bit-for-bit under the
-    default 1F1B schedule.
+    Returns ``(plan, memory, num_microbatches)``.  Every communication and
+    bubble cost is priced through ``pricer``; with the analytic pricer the
+    phase values are computed with exactly the arithmetic the legacy inline
+    evaluation used, so reducing the plan reproduces the pre-IR totals
+    bit-for-bit under the default 1F1B schedule.
     """
     schedule = get_schedule(config.schedule)
     num_microbatches = config.num_microbatches(global_batch_size)
@@ -463,11 +478,11 @@ def _assemble_plan(
     )
 
     # --- per-microbatch, per-stage times -------------------------------
-    fwd_tp_comm = _comm_time(stage.fwd_comms, config, assignment, system) + _summa_comm_time(
-        stage.fwd_summa, config, assignment, system
+    fwd_tp_comm = _comm_time(stage.fwd_comms, config, assignment, pricer) + _summa_comm_time(
+        stage.fwd_summa, config, assignment, pricer
     )
-    bwd_tp_comm = _comm_time(stage.bwd_comms, config, assignment, system) + _summa_comm_time(
-        stage.bwd_summa, config, assignment, system
+    bwd_tp_comm = _comm_time(stage.bwd_comms, config, assignment, pricer) + _summa_comm_time(
+        stage.bwd_summa, config, assignment, pricer
     )
 
     fwd_compute = stage.fwd_flop * stage_layers
@@ -522,8 +537,8 @@ def _assemble_plan(
         CostPhase(
             name="pipeline.bubble",
             category=CATEGORY_PP_BUBBLE,
-            seconds=schedule.bubble_time(
-                config.pipeline_parallel, m, tf, tb, config.virtual_stages
+            seconds=pricer.bubble(
+                schedule, config.pipeline_parallel, m, tf, tb, config.virtual_stages
             ),
         ),
     ]
@@ -540,7 +555,7 @@ def _assemble_plan(
                 name="pipeline.p2p",
                 category=CATEGORY_PP_COMM,
                 seconds=schedule.p2p_volume_factor(config.virtual_stages)
-                * point_to_point_time(p2p_bytes, placement, system.network),
+                * pricer.p2p(p2p_bytes, placement),
                 count=m,
                 overlapped=options.overlap_pp,
                 memory_bytes=memory.pipeline_buffer_bytes,
@@ -576,11 +591,11 @@ def _assemble_plan(
         if plan.total_bytes <= 0:
             continue
         placement = _group_placement(plan.sync_group, config, assignment)
-        rs_total += collective_time(
-            "reduce_scatter", plan.grad_reduce_scatter_bytes, placement, system.network
+        rs_total += pricer.collective(
+            "reduce_scatter", plan.grad_reduce_scatter_bytes, placement
         )
-        ag_total += collective_time(
-            "all_gather", plan.weight_all_gather_bytes, placement, system.network
+        ag_total += pricer.collective(
+            "all_gather", plan.weight_all_gather_bytes, placement
         )
     if rs_total > 0 or ag_total > 0:
         # The gradient ReduceScatter can hide under the last microbatch's
@@ -626,6 +641,7 @@ def _assemble_plan(
         num_stages=config.pipeline_parallel,
         num_microbatches=m,
         phases=tuple(phases),
+        backend=pricer.name,
     )
     return plan, memory, m
 
@@ -658,6 +674,7 @@ def build_execution_plan(
     *,
     global_batch_size: int,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
 ) -> ExecutionPlan:
     """Build (but do not reduce) the cost plan of one candidate.
 
@@ -669,6 +686,7 @@ def build_execution_plan(
     plan, _, _ = _assemble_plan(
         model, system, config, assignment,
         global_batch_size=global_batch_size, options=options,
+        pricer=get_backend(backend)(system),
     )
     return plan
 
@@ -681,6 +699,7 @@ def evaluate_config(
     *,
     global_batch_size: int,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
 ) -> IterationEstimate:
     """Estimate the iteration time and memory of one configuration.
 
@@ -689,12 +708,19 @@ def evaluate_config(
     structurally invalid configurations (bad divisibility); returns an
     estimate flagged infeasible when the configuration is valid but does not
     fit in HBM.
+
+    ``backend`` selects the cost model: ``"analytic"`` (default — the
+    paper's closed forms, bit-exact with every reproduced figure) or
+    ``"sim"`` (the message-level oracle of :mod:`repro.simulate.backend`).
+    The memory model and the feasibility check are backend-independent.
     """
     assignment = assignment or GpuAssignment()
     _validate_candidate(model, system, config, assignment)
+    pricer = get_backend(backend)(system)
     plan, memory, m = _assemble_plan(
         model, system, config, assignment,
         global_batch_size=global_batch_size, options=options,
+        pricer=pricer,
     )
 
     breakdown = plan.reduce()
@@ -717,6 +743,7 @@ def evaluate_config(
         feasible=feasible,
         infeasible_reason=reason,
         plan=plan,
+        backend=pricer.name,
     )
 
 

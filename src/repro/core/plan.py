@@ -161,6 +161,10 @@ class ExecutionPlan:
     num_stages: int
     num_microbatches: int
     phases: Tuple[CostPhase, ...]
+    #: Evaluation backend that priced the phases (``"analytic"`` closed
+    #: forms or the ``"sim"`` message-level oracle — see
+    #: :mod:`repro.core.backends`).
+    backend: str = "analytic"
 
     def reduce(self) -> TimeBreakdown:
         """Fold the phases into the per-category time breakdown.

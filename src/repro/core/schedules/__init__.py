@@ -10,9 +10,12 @@ built-in schedules.
 from repro.core.schedules.base import (
     DEFAULT_SCHEDULE,
     SCHEDULE_REGISTRY,
+    NoExecutableOrder,
     PipelineSchedule,
+    WorkItem,
     available_schedules,
     get_schedule,
+    one_f_one_b_order,
     register_schedule,
 )
 from repro.core.schedules.gpipe import GPipeSchedule
@@ -26,7 +29,10 @@ __all__ = [
     "OneFOneBSchedule",
     "GPipeSchedule",
     "InterleavedSchedule",
+    "NoExecutableOrder",
+    "WorkItem",
     "available_schedules",
     "get_schedule",
+    "one_f_one_b_order",
     "register_schedule",
 ]

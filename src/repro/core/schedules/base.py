@@ -22,13 +22,59 @@ touching the execution model, the search, or the CLI.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.model import TransformerConfig
 from repro.core.parallelism.base import ParallelConfig
 
 #: Name of the paper's default schedule (non-interleaved 1F1B).
 DEFAULT_SCHEDULE = "1f1b"
+
+#: One unit of simulated pipeline work on one GPU: ``(kind, chunk, mb)``
+#: where ``kind`` is ``"forward"``/``"backward"``, ``chunk`` indexes the
+#: GPU's virtual stage (always 0 without interleaving) and ``mb`` is the
+#: microbatch.  Consumed by the event-driven replay in
+#: :mod:`repro.simulate.pipeline_sim`.
+WorkItem = Tuple[str, int, int]
+
+
+class NoExecutableOrder(ValueError):
+    """A schedule has no executable order for the requested parameters.
+
+    Raised by :meth:`PipelineSchedule.execution_order` when the schedule is
+    well-defined analytically but cannot be replayed (e.g. interleaving
+    requires ``m % np == 0``, as in Megatron-LM).  The simulation backend
+    catches exactly this (and ``NotImplementedError``) to fall back to the
+    closed-form bubble; any other exception from an order builder is a real
+    bug and propagates.
+    """
+
+
+def one_f_one_b_order(stage: int, num_stages: int, num_microbatches: int) -> List[WorkItem]:
+    """Canonical per-stage 1F1B order: warm-up, steady state, cool-down.
+
+    Stage ``s`` first runs ``min(np - s - 1, m)`` warm-up forwards, then
+    alternates one-forward-one-backward until every microbatch is done, then
+    drains the remaining backwards.  Shared by the 1F1B schedule and the
+    interleaved schedule's degenerate ``v = 1`` case (which is defined to be
+    *exactly* non-interleaved 1F1B).
+    """
+    if num_stages < 1 or num_microbatches < 1:
+        raise ValueError("num_stages and num_microbatches must be >= 1")
+    if not (0 <= stage < num_stages):
+        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+    warmup = min(num_stages - stage - 1, num_microbatches)
+    order: List[WorkItem] = [("forward", 0, mb) for mb in range(warmup)]
+    next_fwd = warmup
+    next_bwd = 0
+    while next_fwd < num_microbatches or next_bwd < num_microbatches:
+        if next_fwd < num_microbatches:
+            order.append(("forward", 0, next_fwd))
+            next_fwd += 1
+        if next_bwd < num_microbatches:
+            order.append(("backward", 0, next_bwd))
+            next_bwd += 1
+    return order
 
 
 class PipelineSchedule(ABC):
@@ -75,6 +121,28 @@ class PipelineSchedule(ABC):
         the in-flight buffer bytes of the memory model.
         """
         return 1.0
+
+    def execution_order(
+        self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> List[WorkItem]:
+        """Static per-GPU work order executed by the simulation backend.
+
+        Returns the sequence of :data:`WorkItem` tuples GPU ``stage`` runs
+        in one iteration.  The event-driven replay
+        (:func:`repro.simulate.pipeline_sim.simulate_schedule`) executes the
+        order head-first, delaying each item until its cross-stage
+        dependencies complete — so the order must be the schedule's real
+        execution order (as a synchronous-communication runtime would run
+        it), not merely any topological order.
+
+        Schedules that model a bubble analytically but have no executable
+        order — at all (``NotImplementedError``) or for these specific
+        parameters (:class:`NoExecutableOrder`) — make the simulation
+        backend fall back to the closed-form :meth:`bubble_time`.
+        """
+        raise NotImplementedError(
+            f"schedule {self.name!r} does not define an executable order"
+        )
 
     def summary(self) -> Dict[str, object]:
         """Flat description used by the CLI listing."""

@@ -11,8 +11,10 @@ in practice at large microbatch counts.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.parallelism.pipeline import pipeline_bubble_time
-from repro.core.schedules.base import PipelineSchedule, register_schedule
+from repro.core.schedules.base import PipelineSchedule, WorkItem, register_schedule
 
 
 class GPipeSchedule(PipelineSchedule):
@@ -38,6 +40,15 @@ class GPipeSchedule(PipelineSchedule):
         if num_stages < 1 or num_microbatches < 1:
             raise ValueError("num_stages and num_microbatches must be >= 1")
         return num_microbatches
+
+    def execution_order(
+        self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> List[WorkItem]:
+        if num_stages < 1 or num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        order: List[WorkItem] = [("forward", 0, mb) for mb in range(num_microbatches)]
+        order.extend(("backward", 0, mb) for mb in range(num_microbatches))
+        return order
 
 
 register_schedule(GPipeSchedule())

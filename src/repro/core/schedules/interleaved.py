@@ -16,12 +16,39 @@ floating-point identities), which is pinned by a hypothesis property test.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.model import TransformerConfig
 from repro.core.parallelism.base import ParallelConfig
 from repro.core.parallelism.pipeline import pipeline_bubble_time
-from repro.core.schedules.base import PipelineSchedule, register_schedule
+from repro.core.schedules.base import (
+    NoExecutableOrder,
+    PipelineSchedule,
+    WorkItem,
+    one_f_one_b_order,
+    register_schedule,
+)
+
+
+def _virtual_sequence(
+    num_stages: int, num_microbatches: int, virtual_stages: int, *, forward: bool
+) -> List[Tuple[int, int]]:
+    """Megatron's interleaved traversal order as ``(chunk, microbatch)`` pairs.
+
+    Microbatches are consumed in groups of (at most) ``np``; each group
+    cycles through all ``v`` chunks before the next group starts.  The
+    backward traversal visits the chunks in reverse (``v - 1 - c``), since
+    gradients flow from the last virtual stage back to the first.
+    """
+    seq: List[Tuple[int, int]] = []
+    start = 0
+    while start < num_microbatches:
+        group = range(start, min(start + num_stages, num_microbatches))
+        for c in range(virtual_stages):
+            chunk = c if forward else virtual_stages - 1 - c
+            seq.extend((chunk, mb) for mb in group)
+        start += num_stages
+    return seq
 
 
 class InterleavedSchedule(PipelineSchedule):
@@ -60,6 +87,52 @@ class InterleavedSchedule(PipelineSchedule):
         if virtual_stages < 1:
             raise ValueError("virtual_stages must be >= 1")
         return float(virtual_stages)
+
+    def execution_order(
+        self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> List[WorkItem]:
+        """Megatron-LM's interleaved 1F1B order for one GPU.
+
+        With ``v = 1`` this is *exactly* the non-interleaved 1F1B order (a
+        pinned property test relies on the equivalence).  With ``v > 1``
+        the GPU warms up ``2 * (np - stage - 1) + (v - 1) * np`` virtual
+        microbatches (all of them when ``m == np``), then alternates
+        one-forward-one-backward over the virtual sequence, then drains.
+        """
+        v = virtual_stages
+        if v < 1:
+            raise ValueError("virtual_stages must be >= 1")
+        if v == 1:
+            return one_f_one_b_order(stage, num_stages, num_microbatches)
+        if num_stages < 2:
+            raise ValueError("interleaving (v > 1) requires num_stages >= 2")
+        if not (0 <= stage < num_stages):
+            raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+        if num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        if num_microbatches % num_stages != 0:
+            # Megatron-LM imposes the same constraint on the real schedule;
+            # the analytic bubble formula needs no such restriction, so the
+            # simulation backend falls back to it for non-multiple m.
+            raise NoExecutableOrder(
+                f"interleaved execution requires num_microbatches ({num_microbatches}) "
+                f"to be a multiple of num_stages ({num_stages})"
+            )
+
+        total = num_microbatches * v
+        if num_microbatches == num_stages:
+            warmup = total  # Megatron's all-warm-up special case
+        else:
+            warmup = min(total, 2 * (num_stages - stage - 1) + (v - 1) * num_stages)
+        fwd = _virtual_sequence(num_stages, num_microbatches, v, forward=True)
+        bwd = _virtual_sequence(num_stages, num_microbatches, v, forward=False)
+
+        order: List[WorkItem] = [("forward",) + fwd[k] for k in range(warmup)]
+        for i in range(total - warmup):
+            order.append(("forward",) + fwd[warmup + i])
+            order.append(("backward",) + bwd[i])
+        order.extend(("backward",) + bwd[i] for i in range(total - warmup, total))
+        return order
 
 
 register_schedule(InterleavedSchedule())

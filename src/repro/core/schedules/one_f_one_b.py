@@ -9,8 +9,15 @@ flight per stage (which bounds the retained activation memory — the reason
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.parallelism.pipeline import pipeline_bubble_time
-from repro.core.schedules.base import PipelineSchedule, register_schedule
+from repro.core.schedules.base import (
+    PipelineSchedule,
+    WorkItem,
+    one_f_one_b_order,
+    register_schedule,
+)
 
 
 class OneFOneBSchedule(PipelineSchedule):
@@ -29,6 +36,11 @@ class OneFOneBSchedule(PipelineSchedule):
         virtual_stages: int = 1,
     ) -> float:
         return pipeline_bubble_time(num_stages, forward_time, backward_time)
+
+    def execution_order(
+        self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> List[WorkItem]:
+        return one_f_one_b_order(stage, num_stages, num_microbatches)
 
 
 register_schedule(OneFOneBSchedule())

@@ -35,6 +35,7 @@ from repro.core.config_space import (
     parallel_configs,
 )
 from repro.core.execution import (
+    DEFAULT_BACKEND,
     DEFAULT_OPTIONS,
     IterationEstimate,
     ModelingOptions,
@@ -153,6 +154,7 @@ def evaluate_candidates(
     *,
     global_batch_size: int,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[IterationEstimate]:
     """Evaluate one parallelization under every NVS assignment."""
     estimates = []
@@ -165,6 +167,7 @@ def evaluate_candidates(
                 assignment,
                 global_batch_size=global_batch_size,
                 options=options,
+                backend=backend,
             )
         )
     return estimates
@@ -179,6 +182,7 @@ def _search_single_strategy(
     space: SearchSpace,
     options: ModelingOptions,
     top_k: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> SearchResult:
     best: Optional[IterationEstimate] = None
     n_parallel = 0
@@ -188,6 +192,10 @@ def _search_single_strategy(
     n_bounds = 0
     n_pruned = 0
     caches_before = cache_stats()
+    # The compute-only lower bound is provably admissible for the analytic
+    # evaluation; a simulated bubble may legitimately undercut the closed
+    # form, so pruning is disabled for any non-default backend.
+    prune = space.prune_with_lower_bound and backend == DEFAULT_BACKEND
 
     # Pass 1: memory pre-filter (assignment-independent), then compute the
     # cheap compute-only lower bound of every surviving parallelization so
@@ -210,13 +218,13 @@ def _search_single_strategy(
             n_mem += 1
             continue
         bound = 0.0
-        if space.prune_with_lower_bound:
+        if prune:
             bound = config_time_lower_bound(
                 model, system, config, global_batch_size=global_batch_size, options=options
             )
             n_bounds += 1
         survivors.append((bound, len(survivors), config))
-    if space.prune_with_lower_bound:
+    if prune:
         survivors.sort(key=lambda item: item[0])
 
     # Pass 2: evaluate assignments, skipping every parallelization whose
@@ -231,7 +239,7 @@ def _search_single_strategy(
     topk_heap: List[Tuple[float, int, int, IterationEstimate]] = []
     best_key: Tuple[float, int, int] = (math.inf, -1, -1)
     for idx, (bound, rank, config) in enumerate(survivors):
-        if space.prune_with_lower_bound:
+        if prune:
             if top_k > 0:
                 threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
             else:
@@ -252,6 +260,7 @@ def _search_single_strategy(
                 assignment,
                 global_batch_size=global_batch_size,
                 options=options,
+                backend=backend,
             )
             if not estimate.feasible:
                 n_mem += 1
@@ -315,12 +324,18 @@ def find_optimal_config(
     options: ModelingOptions = DEFAULT_OPTIONS,
     top_k: int = 0,
     fallback_activation_checkpointing: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> SearchResult:
     """Brute-force search for the fastest feasible configuration.
 
     ``strategy`` may be a single strategy name, a sequence of names, or
     ``"all"`` to search 1D TP, 2D TP and SUMMA together (the overall best is
     returned and the per-strategy statistics are merged).
+
+    ``backend`` selects the evaluation backend per candidate
+    (:mod:`repro.core.backends`); with a non-default backend the
+    branch-and-bound pruning is disabled, since the analytic lower bound is
+    only provably admissible for the analytic evaluation.
 
     When no configuration fits in HBM and ``fallback_activation_checkpointing``
     is set (the default), the search is repeated once with full activation
@@ -337,7 +352,7 @@ def find_optimal_config(
 
     results = [
         _search_single_strategy(
-            model, system, n_gpus, global_batch_size, strat, space, options, top_k
+            model, system, n_gpus, global_batch_size, strat, space, options, top_k, backend
         )
         for strat in strategies
     ]
@@ -352,7 +367,8 @@ def find_optimal_config(
         checkpointed = _replace(options, activation_checkpointing=True)
         results = [
             _search_single_strategy(
-                model, system, n_gpus, global_batch_size, strat, space, checkpointed, top_k
+                model, system, n_gpus, global_batch_size, strat, space, checkpointed,
+                top_k, backend,
             )
             for strat in strategies
         ]
@@ -394,6 +410,7 @@ def best_assignment_for(
     global_batch_size: int,
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
+    backend: str = DEFAULT_BACKEND,
 ) -> IterationEstimate:
     """Evaluate ``config`` under its best NVS assignment.
 
@@ -409,6 +426,7 @@ def best_assignment_for(
         assignments,
         global_batch_size=global_batch_size,
         options=options,
+        backend=backend,
     )
     feasible = [est for est in estimates if est.feasible]
     pool = feasible if feasible else estimates

@@ -39,7 +39,10 @@ from repro.utils.serialization import (
 #: v3: the cost-plan IR — ParallelConfig gained ``schedule``/``virtual_stages``,
 #: SearchSpace gained the schedule axes, IterationEstimate carries its
 #: ExecutionPlan, and SearchStatistics gained the memoization counters.
-CACHE_FORMAT_VERSION = 3
+#: v4: pluggable evaluation backends — the fingerprint includes the task's
+#: ``backend`` (an analytic and a simulated solve of the same point must
+#: never collide) and IterationEstimate/ExecutionPlan record theirs.
+CACHE_FORMAT_VERSION = 4
 
 
 class SearchCache:
@@ -79,6 +82,7 @@ class SearchCache:
                 "space": to_jsonable(task.space),
                 "options": to_jsonable(task.options),
                 "top_k": task.top_k,
+                "backend": task.backend,
             }
         )
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_configurations
-from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions, clear_caches
+from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions, clear_caches
 from repro.core.model import TransformerConfig
 from repro.core.search import ALL_STRATEGIES, SearchResult, find_optimal_config
 from repro.core.system import SystemSpec
@@ -56,6 +56,8 @@ class SearchTask:
     space: SearchSpace = DEFAULT_SEARCH_SPACE
     options: ModelingOptions = DEFAULT_OPTIONS
     top_k: int = 0
+    #: Evaluation backend per candidate (see :mod:`repro.core.backends`).
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         # Normalise strategy sequences to tuples so tasks stay hashable
@@ -111,6 +113,7 @@ def solve_search_task(task: SearchTask) -> SearchResult:
         space=task.space,
         options=task.options,
         top_k=task.top_k,
+        backend=task.backend,
     )
 
 

@@ -10,8 +10,13 @@ simulators of the same mechanisms:
   NVSwitch domains, NICs, GPU placement);
 * :mod:`repro.simulate.ring` — a step-by-step simulation of ring
   AllGather / ReduceScatter / AllReduce / Broadcast over that topology;
-* :mod:`repro.simulate.pipeline_sim` — an event-driven replay of the 1F1B
-  pipeline schedule;
+* :mod:`repro.simulate.pipeline_sim` — an event-driven replay of every
+  registered pipeline schedule (1F1B, GPipe, interleaved);
+* :mod:`repro.simulate.backend` — the ``"sim"`` evaluation backend: a
+  :class:`~repro.core.backends.CostPricer` that prices collectives and
+  bubbles by running these simulators (imported lazily by
+  :func:`repro.core.backends.get_backend`, so simply importing this
+  package stays cheap);
 * :mod:`repro.simulate.nccl_bench` — a synthetic "nccl-tests" harness that
   adds realistic measurement noise and protocol overheads on top of the ring
   simulator, playing the role of the empirical data in Fig. A1.
@@ -19,7 +24,11 @@ simulators of the same mechanisms:
 
 from repro.simulate.cluster import ClusterTopology, GpuPlacementInfo
 from repro.simulate.ring import RingSimulationResult, simulate_collective
-from repro.simulate.pipeline_sim import PipelineSimulationResult, simulate_1f1b
+from repro.simulate.pipeline_sim import (
+    PipelineSimulationResult,
+    simulate_1f1b,
+    simulate_schedule,
+)
 from repro.simulate.nccl_bench import NcclBenchResult, run_nccl_style_benchmark
 
 __all__ = [
@@ -31,4 +40,5 @@ __all__ = [
     "run_nccl_style_benchmark",
     "simulate_1f1b",
     "simulate_collective",
+    "simulate_schedule",
 ]

@@ -1,0 +1,186 @@
+"""The message-level simulation backend (``backend="sim"``).
+
+This module turns the discrete simulators of :mod:`repro.simulate` into a
+complete second evaluation backend for
+:func:`repro.core.execution.evaluate_config`: a :class:`SimPricer` that
+prices every cost family by *executing* the underlying mechanism instead of
+evaluating the paper's closed form —
+
+* **collectives** are replayed hop by hop over an explicit
+  :class:`~repro.simulate.cluster.ClusterTopology` built from the system's
+  NVSwitch-domain size and NIC count (:mod:`repro.simulate.ring`), so
+  intra-/inter-node hops and NIC multiplexing are simulated, not priced;
+* **pipeline bubbles** come from an event-driven replay of the
+  configuration's schedule (:mod:`repro.simulate.pipeline_sim`) — warm-up,
+  steady state and cool-down are executed microbatch by microbatch and the
+  bubble is the measured makespan overhead, not ``(np - 1)(tf + tb)``;
+* **point-to-point transfers** cross a single simulated link.
+
+Compute and HBM times are roofline quantities with no message-level
+structure; they are shared with the analytic backend (which is what makes
+the per-term differential comparison meaningful).
+
+The pricer's collective and pipeline replays are memoized in
+``lru_cache``-backed functions registered in the execution module's cache
+registry, so ``clear_caches()`` and ``cache_stats()`` cover the simulation
+backend exactly like the analytic one, and switching backends mid-process
+can never serve a stale entry: the analytic model's caches hold only
+backend-independent quantities (workloads, roofline stage times), while
+every simulated time lives in the separately keyed caches below.
+
+Importing this module registers the backend under the name ``"sim"``
+(:func:`repro.core.backends.get_backend` imports it lazily on first use).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.backends import CostPricer, register_backend
+from repro.core.collectives import GroupPlacement
+from repro.core.execution import register_cache
+from repro.core.schedules.base import PipelineSchedule
+from repro.core.system import NetworkSpec, SystemSpec
+from repro.simulate.cluster import ClusterTopology
+from repro.simulate.pipeline_sim import simulate_schedule
+from repro.simulate.ring import simulate_collective
+
+#: Cache bounds: one entry per distinct (collective, volume, placement) /
+#: (schedule, np, m, tf, tb, v) tuple seen by a search — a few hundred in a
+#: full sweep; the bound caps growth in long-lived worker processes.
+SIM_COLLECTIVE_CACHE_SIZE = 16384
+SIM_PIPELINE_CACHE_SIZE = 4096
+
+
+def _largest_divisor_at_most(n: int, limit: int) -> int:
+    """Largest divisor of ``n`` that is <= ``limit`` (>= 1)."""
+    best = 1
+    for d in range(1, n + 1):
+        if d > limit:
+            break
+        if n % d == 0:
+            best = d
+    return best
+
+
+@register_cache("sim_collective")
+@lru_cache(maxsize=SIM_COLLECTIVE_CACHE_SIZE)
+def _simulated_collective_time(
+    collective: str,
+    volume_bytes: float,
+    group_size: int,
+    gpus_per_nvs_domain: int,
+    network: NetworkSpec,
+) -> float:
+    """Replay one collective over the placement's implied topology.
+
+    The topology holds exactly the nodes the group occupies (groups are
+    placed from rank 0, ``g`` consecutive GPUs per NVSwitch domain — the
+    same placement the analytic :class:`GroupPlacement` abstracts), so the
+    replay sees the same intra-/inter-node structure the closed form prices.
+    """
+    if group_size == 1 or volume_bytes <= 0:
+        return 0.0
+    g = _largest_divisor_at_most(
+        group_size, max(1, min(gpus_per_nvs_domain, network.nvs_domain_size))
+    )
+    topology = ClusterTopology(
+        num_gpus=(group_size // g) * network.nvs_domain_size,
+        nvs_domain_size=network.nvs_domain_size,
+        nics_per_node=network.nics_per_node,
+    )
+    return simulate_collective(
+        collective,
+        volume_bytes,
+        topology,
+        network,
+        group_size=group_size,
+        gpus_per_nvs_domain=g,
+    ).simulated_time
+
+
+@register_cache("sim_pipeline")
+@lru_cache(maxsize=SIM_PIPELINE_CACHE_SIZE)
+def _simulated_bubble_time(
+    schedule_name: str,
+    num_stages: int,
+    num_microbatches: int,
+    forward_time: float,
+    backward_time: float,
+    virtual_stages: int,
+) -> float:
+    """Event-driven bubble: replayed makespan minus the busy time.
+
+    Falls back to the schedule's closed-form bubble only on the documented
+    no-executable-order signals — :class:`~repro.core.schedules.NoExecutableOrder`
+    (e.g. interleaving requires ``m % np == 0``, exactly as Megatron-LM
+    does) or ``NotImplementedError``.  Any other exception is a real bug in
+    an order builder and propagates, so the oracle can never silently
+    degrade into comparing the closed form against itself.
+    """
+    from repro.core.schedules import NoExecutableOrder, get_schedule
+
+    try:
+        result = simulate_schedule(
+            schedule_name,
+            num_stages,
+            num_microbatches,
+            forward_time,
+            backward_time,
+            virtual_stages=virtual_stages,
+        )
+    except (NotImplementedError, NoExecutableOrder):
+        return get_schedule(schedule_name).bubble_time(
+            num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+        )
+    return result.overhead_time
+
+
+class SimPricer(CostPricer):
+    """Cost pricer backed by the message-level simulators."""
+
+    name = "sim"
+
+    def __init__(self, system: SystemSpec):
+        super().__init__(system)
+        self._network = system.network
+
+    def collective(
+        self, collective: str, volume_bytes: float, placement: GroupPlacement
+    ) -> float:
+        return _simulated_collective_time(
+            collective,
+            volume_bytes,
+            placement.size,
+            placement.gpus_per_nvs_domain,
+            self._network,
+        )
+
+    def p2p(self, volume_bytes: float, placement: GroupPlacement) -> float:
+        if volume_bytes <= 0:
+            return 0.0
+        # Adjacent pipeline stages share a domain when the PP group keeps
+        # more than one GPU per domain; otherwise the hop crosses a NIC.
+        g = 2 if placement.gpus_per_nvs_domain > 1 else 1
+        return _simulated_collective_time("p2p", volume_bytes, 2, g, self._network)
+
+    def bubble(
+        self,
+        schedule: PipelineSchedule,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int,
+    ) -> float:
+        return _simulated_bubble_time(
+            schedule.name,
+            num_stages,
+            num_microbatches,
+            forward_time,
+            backward_time,
+            virtual_stages,
+        )
+
+
+register_backend(SimPricer.name, SimPricer)

@@ -1,19 +1,26 @@
-"""Event-driven replay of the 1F1B (one-forward-one-backward) pipeline schedule.
+"""Event-driven replay of the registered pipeline schedules.
 
-The analytic model charges ``(np - 1) * (tf + tb)`` of bubble time per
-iteration.  This simulator executes the actual 1F1B schedule — warm-up
-forwards, steady-state 1F1B interleaving, cool-down backwards — stage by
-stage and microbatch by microbatch, and reports the makespan, the per-stage
-idle time and the peak number of in-flight microbatches.  It is used by the
-tests to verify the analytic bubble formula and the ``min(m, np)``
-activation-retention bound, and by the ablation benchmarks to quantify what
-an interleaved schedule could recover (a paper "limitations" item).
+The analytic model charges a closed-form bubble per schedule — e.g.
+``(np - 1) * (tf + tb)`` for 1F1B and GPipe, divided by the virtual-stage
+degree ``v`` for interleaved 1F1B.  This simulator instead *executes* the
+schedule: every GPU runs its schedule-supplied static work order
+(:meth:`repro.core.schedules.PipelineSchedule.execution_order`) — warm-up
+forwards, steady state, cool-down backwards — stage by stage, chunk by
+chunk and microbatch by microbatch, delaying each work item until its
+cross-stage dependencies have completed.  It reports the makespan, the
+per-stage idle time and the peak number of in-flight microbatches.
+
+The simulator is the *oracle* side of the differential-testing harness
+(:mod:`repro.analysis.differential`): the analytic bubble formulas are
+pinned against it for every registered schedule, and the simulation
+backend (:mod:`repro.simulate.backend`) uses it to replace the closed-form
+bubble with an executed one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -25,11 +32,13 @@ class PipelineEvent:
     kind: str  # "forward" or "backward"
     start: float
     end: float
+    #: Virtual-stage chunk the item ran in (0 without interleaving).
+    chunk: int = 0
 
 
 @dataclass
 class PipelineSimulationResult:
-    """Outcome of simulating one iteration of the 1F1B schedule."""
+    """Outcome of simulating one iteration of a pipeline schedule."""
 
     num_stages: int
     num_microbatches: int
@@ -43,6 +52,9 @@ class PipelineSimulationResult:
     #: Peak number of microbatches whose forward has run but whose backward
     #: has not yet completed, per stage (activation-retention bound).
     peak_in_flight: Dict[int, int] = field(default_factory=dict)
+    #: Schedule that was replayed and its virtual-stage degree.
+    schedule: str = "1f1b"
+    virtual_stages: int = 1
 
     @property
     def bubble_time(self) -> float:
@@ -54,52 +66,80 @@ class PipelineSimulationResult:
         """Maximum in-flight microbatches over all stages."""
         return max(self.peak_in_flight.values(), default=0)
 
+    @property
+    def total_idle_time(self) -> float:
+        """Idle time summed over all stages (schedule-efficiency metric)."""
+        return sum(self.idle_per_stage.values())
 
-def simulate_1f1b(
+    @property
+    def overhead_time(self) -> float:
+        """Makespan in excess of one stage's busy time ``m * (tf + tb)``.
+
+        For a perfectly pipelined schedule with zero fill/drain ramp this is
+        0; for 1F1B/GPipe on uniform stage times it equals the analytic
+        ``(np - 1) * (tf + tb)`` bubble.  The simulation backend reports it
+        as the schedule's simulated bubble.
+        """
+        busy = self.num_microbatches * (self.forward_time + self.backward_time)
+        return max(0.0, self.makespan - busy)
+
+
+def simulate_schedule(
+    schedule: str,
     num_stages: int,
     num_microbatches: int,
     forward_time: float,
     backward_time: float,
     *,
     p2p_time: float = 0.0,
+    virtual_stages: int = 1,
 ) -> PipelineSimulationResult:
-    """Simulate one iteration of the non-interleaved 1F1B schedule.
+    """Replay one iteration of a registered schedule event by event.
 
-    Every stage processes microbatches in the canonical 1F1B order: stage
-    ``s`` first runs ``min(num_stages - s, num_microbatches)`` warm-up
-    forwards, then alternates backward/forward until all microbatches are
-    done, then drains the remaining backwards.  Dependencies are enforced
-    through the completion times of the upstream (forward) and downstream
-    (backward) stages, with an optional point-to-point transfer time between
-    stages.
+    ``forward_time``/``backward_time`` are the *per-GPU* per-microbatch
+    stage times (summed over the GPU's virtual stages); with interleaving
+    each of the ``v`` chunks therefore costs ``tf / v`` (``tb / v``).
+    ``p2p_time`` is charged on every chunk-boundary crossing between two
+    different GPUs, in both directions.
+
+    Dependencies are enforced through completion times: chunk ``c`` of
+    microbatch ``mb`` cannot start its forward before chunk ``c - 1``
+    finished it (plus the transfer), nor its backward before chunk
+    ``c + 1`` finished the backward.  Each GPU executes its
+    schedule-supplied order head-first; a deadlock (the order demanding an
+    item whose dependency can never complete) raises ``RuntimeError``.
     """
+    from repro.core.schedules import get_schedule
+
     if num_stages < 1 or num_microbatches < 1:
         raise ValueError("num_stages and num_microbatches must be >= 1")
     if forward_time < 0 or backward_time < 0 or p2p_time < 0:
         raise ValueError("times must be non-negative")
+    if virtual_stages < 1:
+        raise ValueError("virtual_stages must be >= 1")
 
-    # Completion times of each (stage, microbatch) forward / backward.
+    sched = get_schedule(schedule)
+    v = virtual_stages
+    if v > 1 and not sched.supports_virtual_stages:
+        raise ValueError(
+            f"schedule {sched.name!r} does not support virtual stages (got v={v})"
+        )
+
+    orders = {
+        stage: sched.execution_order(stage, num_stages, num_microbatches, v)
+        for stage in range(num_stages)
+    }
+    tf_chunk = forward_time / v
+    tb_chunk = backward_time / v
+    last_global = num_stages * v - 1
+
+    # Completion times of each (global stage, microbatch) forward/backward,
+    # where the global stage of (gpu, chunk) is ``chunk * np + gpu`` — the
+    # position of the chunk along the model depth.
     fwd_done: Dict[Tuple[int, int], float] = {}
     bwd_done: Dict[Tuple[int, int], float] = {}
     events: List[PipelineEvent] = []
 
-    def build_order(stage: int) -> List[Tuple[str, int]]:
-        """1F1B execution order of one stage: warm-up, steady state, cool-down."""
-        warmup = min(num_stages - stage - 1, num_microbatches)
-        order: List[Tuple[str, int]] = [("forward", mb) for mb in range(warmup)]
-        next_fwd = warmup
-        next_bwd = 0
-        # Steady state: alternate one-forward-one-backward.
-        while next_fwd < num_microbatches or next_bwd < num_microbatches:
-            if next_fwd < num_microbatches:
-                order.append(("forward", next_fwd))
-                next_fwd += 1
-            if next_bwd < num_microbatches:
-                order.append(("backward", next_bwd))
-                next_bwd += 1
-        return order
-
-    orders = {stage: build_order(stage) for stage in range(num_stages)}
     cursors = {stage: 0 for stage in range(num_stages)}
     stage_free_at = {stage: 0.0 for stage in range(num_stages)}
 
@@ -107,32 +147,39 @@ def simulate_1f1b(
     progressed = True
     while remaining > 0:
         if not progressed:
-            raise RuntimeError("1F1B schedule deadlocked (internal error)")
+            raise RuntimeError(
+                f"schedule {sched.name!r} deadlocked "
+                f"(np={num_stages}, m={num_microbatches}, v={v})"
+            )
         progressed = False
         for stage in range(num_stages):
             while cursors[stage] < len(orders[stage]):
-                kind, mb = orders[stage][cursors[stage]]
+                kind, chunk, mb = orders[stage][cursors[stage]]
+                s = chunk * num_stages + stage
+                # A transfer is only paid when the adjacent chunk lives on a
+                # different GPU (always, unless the pipeline is trivial).
+                hop = p2p_time if num_stages > 1 else 0.0
                 if kind == "forward":
-                    if stage > 0 and (stage - 1, mb) not in fwd_done:
+                    if s > 0 and (s - 1, mb) not in fwd_done:
                         break
-                    ready = 0.0 if stage == 0 else fwd_done[(stage - 1, mb)] + p2p_time
+                    ready = 0.0 if s == 0 else fwd_done[(s - 1, mb)] + hop
                     start = max(stage_free_at[stage], ready)
-                    end = start + forward_time
-                    fwd_done[(stage, mb)] = end
+                    end = start + tf_chunk
+                    fwd_done[(s, mb)] = end
                 else:
-                    if (stage, mb) not in fwd_done:
+                    if (s, mb) not in fwd_done:
                         break
-                    if stage < num_stages - 1 and (stage + 1, mb) not in bwd_done:
+                    if s < last_global and (s + 1, mb) not in bwd_done:
                         break
                     ready = (
-                        fwd_done[(stage, mb)]
-                        if stage == num_stages - 1
-                        else max(fwd_done[(stage, mb)], bwd_done[(stage + 1, mb)] + p2p_time)
+                        fwd_done[(s, mb)]
+                        if s == last_global
+                        else max(fwd_done[(s, mb)], bwd_done[(s + 1, mb)] + hop)
                     )
                     start = max(stage_free_at[stage], ready)
-                    end = start + backward_time
-                    bwd_done[(stage, mb)] = end
-                events.append(PipelineEvent(stage, mb, kind, start, end))
+                    end = start + tb_chunk
+                    bwd_done[(s, mb)] = end
+                events.append(PipelineEvent(stage, mb, kind, start, end, chunk))
                 stage_free_at[stage] = end
                 cursors[stage] += 1
                 remaining -= 1
@@ -145,7 +192,9 @@ def simulate_1f1b(
     for stage in range(num_stages):
         busy = sum(ev.end - ev.start for ev in events if ev.stage == stage)
         idle_per_stage[stage] = makespan - busy
-        # In-flight accounting: +1 at each forward end, -1 at each backward end.
+        # In-flight accounting: +1 at each forward end, -1 at each backward
+        # end.  A microbatch counts once per chunk whose backward has not
+        # completed — matching the schedule-aware retention bound.
         marks: List[Tuple[float, int]] = []
         for ev in events:
             if ev.stage != stage:
@@ -168,6 +217,31 @@ def simulate_1f1b(
         events=events,
         idle_per_stage=idle_per_stage,
         peak_in_flight=peak_in_flight,
+        schedule=sched.name,
+        virtual_stages=v,
+    )
+
+
+def simulate_1f1b(
+    num_stages: int,
+    num_microbatches: int,
+    forward_time: float,
+    backward_time: float,
+    *,
+    p2p_time: float = 0.0,
+) -> PipelineSimulationResult:
+    """Simulate one iteration of the non-interleaved 1F1B schedule.
+
+    Kept as a named entry point (the schedule the paper models); equivalent
+    to ``simulate_schedule("1f1b", ...)``.
+    """
+    return simulate_schedule(
+        "1f1b",
+        num_stages,
+        num_microbatches,
+        forward_time,
+        backward_time,
+        p2p_time=p2p_time,
     )
 
 

@@ -12,7 +12,10 @@ collective to one latency term plus one bandwidth term.  This module instead
   domain and the node-boundary hops share the node's NICs across the
   ``r`` rings NCCL opens (one per NIC);
 * AllGather/ReduceScatter perform one pass over the ring, AllReduce two,
-  Broadcast/Reduce pipeline the full buffer around the ring.
+  Broadcast/Reduce pipeline the full buffer around the ring, and AllToAll
+  (MoE expert dispatch/combine) runs the pairwise-exchange algorithm —
+  ``n - 1`` rounds in which rank ``i`` sends ``V / n`` to rank
+  ``(i + t) mod n``.
 
 The result exposes both the simulated time and the analytic prediction for
 the identical placement, which is what the Fig. A1 style validation plots.
@@ -21,11 +24,12 @@ the identical placement, which is what the Fig. A1 style validation plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.core.collectives import (
     ALL_GATHER,
     ALL_REDUCE,
+    ALL_TO_ALL,
     BROADCAST,
     POINT_TO_POINT,
     REDUCE,
@@ -51,6 +55,11 @@ class RingSimulationResult:
     analytic_time: float
     #: Number of ring steps executed.
     steps: int
+    #: Hop census of the ring path (open chain, excluding the wrap-around
+    #: link): ``slow_hops`` crossings of a node boundary — the §III-A
+    #: formula's ``n/g - 1`` term — and ``fast_hops`` intra-node links.
+    slow_hops: int = 0
+    fast_hops: int = 0
 
     @property
     def relative_error(self) -> float:
@@ -74,26 +83,50 @@ def _step_time(
     network: NetworkSpec,
     *,
     rings: int,
+    offset: int = 1,
 ) -> float:
-    """Duration of one bulk-synchronous ring step.
+    """Duration of one bulk-synchronous communication step.
 
-    Every rank sends ``chunk_bytes`` to its successor; the step finishes when
-    the slowest transfer finishes.  Transfers that cross a node boundary
-    share the node's NICs across the ``rings`` parallel rings, i.e. each ring
-    sees ``1/rings`` of a NIC's bandwidth only if more rings than NICs are
-    active; with one ring per NIC (the NCCL default we model) each crossing
-    uses a full NIC.
+    Every rank sends ``chunk_bytes`` to the rank ``offset`` positions ahead
+    of it — its ring successor for ring collectives (``offset=1``, the
+    default), or its round-``offset`` partner for the pairwise AllToAll
+    exchange — and the step finishes when the slowest transfer finishes.
+    Transfers that cross a node boundary share the node's NICs across the
+    ``rings`` parallel rings, i.e. each ring sees ``1/rings`` of a NIC's
+    bandwidth only if more rings than NICs are active; with one ring per
+    NIC (the NCCL default we model) each crossing uses a full NIC.
     """
     n = len(ranks)
     worst = 0.0
     for i in range(n):
         src = ranks[i]
-        dst = ranks[(i + 1) % n]
+        dst = ranks[(i + offset) % n]
         latency, bandwidth = topology.link_parameters(src, dst, network)
         transfer = latency + chunk_bytes / bandwidth
         if transfer > worst:
             worst = transfer
     return worst
+
+
+def _hop_census(
+    ranks: Sequence[int], topology: ClusterTopology
+) -> Tuple[int, int]:
+    """(slow, fast) hop counts along the open ring chain.
+
+    Walks the ``n - 1`` links between consecutive ranks of the node-ordered
+    ring (the wrap-around link is excluded, matching the open-chain latency
+    term of the analytic model): a link between two nodes is a *slow* hop,
+    a link inside an NVSwitch domain a *fast* hop.  For the analytic
+    placement of ``n`` ranks with ``g`` per domain this reproduces exactly
+    the §III-A counts ``n/g - 1`` (slow) and ``n - n/g`` (fast).
+    """
+    slow = fast = 0
+    for a, b in zip(ranks, ranks[1:]):
+        if topology.same_fast_domain(a, b):
+            fast += 1
+        else:
+            slow += 1
+    return slow, fast
 
 
 def simulate_collective(
@@ -130,6 +163,7 @@ def simulate_collective(
     ranks = topology.ring_order(
         topology.group_ranks(group_size, gpus_per_nvs_domain, start_rank=start_rank)
     )
+    slow_hops, fast_hops = _hop_census(ranks, topology)
     # One ring per NIC serving this group's GPUs on each node; the chunks of
     # the buffer are split across the rings, so each ring moves 1/rings of
     # every chunk.  With a single NIC this degenerates to the classic ring.
@@ -148,7 +182,15 @@ def simulate_collective(
         latency, bandwidth = topology.link_parameters(ranks[0], ranks[1], network)
         simulated = latency + volume_bytes / bandwidth
         return RingSimulationResult(
-            collective, volume_bytes, group_size, gpus_per_nvs_domain, simulated, analytic, 1
+            collective,
+            volume_bytes,
+            group_size,
+            gpus_per_nvs_domain,
+            simulated,
+            analytic,
+            1,
+            slow_hops=slow_hops,
+            fast_hops=fast_hops,
         )
 
     spans_nodes = gpus_per_nvs_domain < group_size
@@ -161,13 +203,27 @@ def simulate_collective(
         simulated = sum(
             _step_time(ranks, chunk, topology, network, rings=rings) for _ in range(steps)
         )
+    elif collective == ALL_TO_ALL:
+        # Pairwise exchange: every rank owns V worth of tokens of which the
+        # (n-1)/n destined for other ranks leave in n - 1 rounds of V/n each;
+        # round t pairs rank i with rank (i + t) mod n, so most rounds cross
+        # node boundaries as soon as the group spans several domains.
+        chunk = per_ring_volume / n
+        steps = n - 1
+        simulated = sum(
+            _step_time(ranks, chunk, topology, network, rings=rings, offset=offset)
+            for offset in range(1, n)
+        )
     elif collective in (BROADCAST, REDUCE):
-        # Pipelined ring broadcast: the buffer is cut into as many chunks as
-        # ring steps so the pipeline stays full; total steps = n - 1 + extra
-        # drain steps which we fold into the same per-step accounting.
-        chunks = max(n - 1, 1)
-        chunk = per_ring_volume / chunks
-        steps = chunks + (n - 2 if n > 2 else 0)
+        # Broadcast/Reduce are replayed as the dominant ring phase of their
+        # scatter-allgather decomposition (NCCL's large-message algorithm):
+        # the buffer is cut into n chunks that rotate around the ring for
+        # n - 1 steps — the same single-ring-pass convention the closed
+        # form prices, so what the replay independently validates is the
+        # topology traversal (hop structure, NIC multiplexing, per-step
+        # latency), not an alternative chunking constant.
+        chunk = per_ring_volume / n
+        steps = n - 1
         simulated = sum(
             _step_time(ranks, chunk, topology, network, rings=rings) for _ in range(steps)
         )
@@ -182,6 +238,8 @@ def simulate_collective(
         simulated_time=simulated,
         analytic_time=analytic,
         steps=steps,
+        slow_hops=slow_hops,
+        fast_hops=fast_hops,
     )
 
 

@@ -1,0 +1,126 @@
+"""Tier-2 differential grid: the sim oracle pins every analytic path.
+
+Runs the full dense/MoE/GQA x {1f1b, gpipe, interleaved(v in {2,4})} x
+{tp1d, tp2d, summa} grid and asserts the simulated breakdown agrees with
+the analytic :class:`~repro.core.plan.TimeBreakdown` term by term within
+the documented tolerance bands (:data:`repro.analysis.differential.TOLERANCES`).
+
+These tests are marked ``sim`` and excluded from the default (tier-1) run
+— execute them with ``pytest -m sim`` (the tier-2 CI job does).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.differential import (
+    GRID_SCHEDULES,
+    GRID_STRATEGIES,
+    GRID_WORKLOADS,
+    DifferentialCase,
+    TermDelta,
+    ToleranceBand,
+    build_default_grid,
+    format_failure_diff,
+    run_case,
+    run_differential_grid,
+)
+from repro.analysis.reporting import render_differential
+from repro.cli import main as cli_main
+
+pytestmark = pytest.mark.sim
+
+GRID = build_default_grid()
+
+
+def _case_ids():
+    return [case.name for case in GRID]
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("case", GRID, ids=_case_ids())
+    def test_case_within_tolerance(self, case: DifferentialCase, b200_nvs8):
+        result = run_case(case, b200_nvs8)
+        assert result.ok, "\n" + format_failure_diff(result)
+
+    def test_grid_covers_every_axis(self):
+        names = {case.name for case in GRID}
+        # every workload x schedule pair appears (SUMMA x MoE legitimately absent)
+        for workload in GRID_WORKLOADS:
+            for schedule, v in GRID_SCHEDULES:
+                assert any(
+                    case.workload == workload
+                    and case.schedule == schedule
+                    and case.config.virtual_stages == v
+                    for case in GRID
+                ), f"missing {workload} x {schedule}(v={v})"
+        for strategy in GRID_STRATEGIES:
+            assert any(case.strategy == strategy for case in GRID)
+        assert any("moe" in n for n in names) and any("gqa" in n for n in names)
+
+    def test_moe_summa_cell_is_skipped(self):
+        assert not any(
+            case.workload == "moe-1t" and case.strategy == "summa" for case in GRID
+        ), "SUMMA has no MoE support; the grid must skip that cell"
+
+    def test_interleaved_cells_replay_the_real_schedule(self):
+        """Grid m must be a multiple of np so interleaved cells never fall
+        back to the closed form (which would make the comparison vacuous)."""
+        for case in GRID:
+            m = case.config.num_microbatches(case.global_batch_size)
+            assert m % case.config.pipeline_parallel == 0, case.name
+
+    def test_parallel_grid_matches_serial(self, b200_nvs8):
+        subset = GRID[:4]
+        serial = run_differential_grid(subset, b200_nvs8)
+        parallel = run_differential_grid(subset, b200_nvs8, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.case == b.case
+            assert a.deltas == b.deltas
+
+
+class TestHarnessMechanics:
+    def test_tolerance_band(self):
+        band = ToleranceBand(rel=0.1, abs=1e-6)
+        assert band.allows(1.0, 1.05)
+        assert not band.allows(1.0, 1.2)
+        assert band.allows(0.0, 5e-7)  # absolute floor for tiny terms
+
+    def test_failure_diff_is_human_readable(self, b200_nvs8):
+        result = run_case(GRID[0], b200_nvs8)
+        # Force a synthetic failure to exercise the formatting.
+        result.deltas.append(
+            TermDelta(term="total", analytic=1.0, simulated=2.0, within=False)
+        )
+        text = format_failure_diff(result)
+        assert "OUT OF BAND" in text
+        assert GRID[0].name in text
+        for term in ("compute", "tp_comm", "pp_bubble", "total"):
+            assert term in text
+
+    def test_render_differential(self, b200_nvs8):
+        results = run_differential_grid(GRID[:2], b200_nvs8)
+        text = render_differential(results, b200_nvs8.name)
+        assert "2/2 cases within tolerance" in text
+        assert GRID[0].name in text
+
+
+class TestValidateCli:
+    def test_validate_sim_single_workload(self, capsys):
+        rc = cli_main(["validate", "--backend", "sim", "--workload", "gpt3-1t-gqa"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "differential validation" in out
+        assert "gpt3-1t-gqa/tp1d/1f1b" in out
+
+    def test_validate_sim_unknown_workload_errors(self, capsys):
+        rc = cli_main(["validate", "--backend", "sim", "--workload", "no-such-workload"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_validate_rejects_grid_flags_without_sim_backend(self, capsys):
+        """--workload without --backend sim must not masquerade as a passed
+        differential run (the analytic mode would silently drop it)."""
+        rc = cli_main(["validate", "--workload", "moe-1t"])
+        assert rc == 2
+        assert "--backend sim" in capsys.readouterr().err

@@ -71,6 +71,26 @@ def test_figure_matches_golden(name, update_goldens):
     )
 
 
+def test_default_backend_is_analytic():
+    """The sim backend can never silently change a reported figure.
+
+    Every golden report is produced through :func:`evaluate_config`'s
+    default backend; pin that default (and the registry's) to the analytic
+    closed forms so switching the default — which would drift every figure
+    — requires touching this test together with the goldens.
+    """
+    import inspect
+
+    from repro.core.backends import DEFAULT_BACKEND
+    from repro.core.execution import build_execution_plan, evaluate_config
+    from repro.runtime import SearchTask
+
+    assert DEFAULT_BACKEND == "analytic"
+    for fn in (evaluate_config, build_execution_plan):
+        assert inspect.signature(fn).parameters["backend"].default == "analytic"
+    assert SearchTask.__dataclass_fields__["backend"].default == "analytic"
+
+
 def test_every_result_has_a_golden(update_goldens):
     """New figures must be pinned too: results/ and goldens/ track the same set."""
     results = {p.name for p in RESULTS_DIR.glob("*.txt")}

@@ -27,6 +27,7 @@ from repro.core.execution import (
     _summa_comm_time,
     evaluate_config,
 )
+from repro.core.backends import AnalyticPricer
 from repro.core.collectives import collective_time, point_to_point_time
 from repro.core.model import GPT3_1T
 from repro.core.parallelism.base import GROUP_PP, GpuAssignment, ParallelConfig
@@ -235,11 +236,12 @@ def _legacy_breakdown(model, system, config, assignment, global_batch_size, opti
         options.flash_attention, options.include_dropout, config.expert_parallel,
     )
 
-    fwd_tp = _comm_time(stage.fwd_comms, config, assignment, system) + _summa_comm_time(
-        stage.fwd_summa, config, assignment, system
+    pricer = AnalyticPricer(system)
+    fwd_tp = _comm_time(stage.fwd_comms, config, assignment, pricer) + _summa_comm_time(
+        stage.fwd_summa, config, assignment, pricer
     )
-    bwd_tp = _comm_time(stage.bwd_comms, config, assignment, system) + _summa_comm_time(
-        stage.bwd_summa, config, assignment, system
+    bwd_tp = _comm_time(stage.bwd_comms, config, assignment, pricer) + _summa_comm_time(
+        stage.bwd_summa, config, assignment, pricer
     )
     fwd_compute = stage.fwd_flop * stage_layers
     fwd_memory = stage.fwd_mem_exposed * stage_layers

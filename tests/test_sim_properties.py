@@ -1,0 +1,110 @@
+"""Property-based invariants of the schedule simulator (the sim oracle).
+
+These pin the event-driven replay to the paper's closed forms on the
+domains where they must agree *exactly*:
+
+* the simulated 1F1B makespan on uniform stage times is the analytic
+  ``(m + np - 1)(tf + tb)`` — equivalently, the bubble is
+  ``(np - 1)(tf + tb)``;
+* the interleaved schedule with ``v = 1`` degenerates to non-interleaved
+  1F1B, event for event;
+* GPipe can never idle less than 1F1B on the same grid (it is the
+  memory-hungry, not the faster, schedule).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.pipeline_sim import (
+    analytic_1f1b_makespan,
+    simulate_1f1b,
+    simulate_schedule,
+)
+
+STAGES = st.integers(min_value=1, max_value=8)
+MICROBATCHES = st.integers(min_value=1, max_value=24)
+TIMES = st.floats(
+    min_value=1e-4, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOneFOneBExactness:
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_matches_closed_form(self, np_, m, tf, tb):
+        sim = simulate_1f1b(np_, m, tf, tb)
+        assert math.isclose(
+            sim.makespan, analytic_1f1b_makespan(np_, m, tf, tb), rel_tol=1e-9
+        )
+
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_bubble_matches_paper_formula(self, np_, m, tf, tb):
+        sim = simulate_1f1b(np_, m, tf, tb)
+        assert math.isclose(
+            sim.overhead_time, (np_ - 1) * (tf + tb), rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=40, deadline=None)
+    def test_in_flight_bound(self, np_, m, tf, tb):
+        sim = simulate_1f1b(np_, m, tf, tb)
+        assert sim.max_in_flight == min(np_, m)
+
+
+class TestInterleavedDegeneratesToOneFOneB:
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_v1_is_exactly_1f1b(self, np_, m, tf, tb):
+        one_f = simulate_1f1b(np_, m, tf, tb)
+        inter = simulate_schedule(
+            "interleaved", np_, m, tf, tb, virtual_stages=1
+        )
+        assert inter.makespan == one_f.makespan
+        assert inter.events == one_f.events
+        assert inter.idle_per_stage == one_f.idle_per_stage
+        assert inter.peak_in_flight == one_f.peak_in_flight
+
+    @given(np_=st.integers(min_value=2, max_value=6), k=st.integers(min_value=2, max_value=5),
+           v=st.sampled_from([2, 4]), tf=TIMES, tb=TIMES)
+    @settings(max_examples=40, deadline=None)
+    def test_interleaving_never_slower_than_1f1b(self, np_, k, v, tf, tb):
+        m = k * np_  # Megatron divisibility
+        one_f = simulate_1f1b(np_, m, tf, tb)
+        inter = simulate_schedule("interleaved", np_, m, tf, tb, virtual_stages=v)
+        assert inter.makespan <= one_f.makespan * (1 + 1e-9)
+
+
+class TestGPipeIdleDominates:
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_gpipe_idle_at_least_1f1b_idle(self, np_, m, tf, tb):
+        gpipe = simulate_schedule("gpipe", np_, m, tf, tb)
+        one_f = simulate_schedule("1f1b", np_, m, tf, tb)
+        assert gpipe.total_idle_time >= one_f.total_idle_time * (1 - 1e-9)
+
+    @given(np_=STAGES, m=MICROBATCHES, tf=TIMES, tb=TIMES)
+    @settings(max_examples=40, deadline=None)
+    def test_gpipe_retention_at_least_1f1b(self, np_, m, tf, tb):
+        gpipe = simulate_schedule("gpipe", np_, m, tf, tb)
+        one_f = simulate_schedule("1f1b", np_, m, tf, tb)
+        assert gpipe.max_in_flight >= one_f.max_in_flight
+        assert gpipe.max_in_flight == m
+
+
+class TestSimBubbleAgreesWithScheduleFormula:
+    """The sim oracle vs the registry's closed forms (uniform stage times)."""
+
+    @pytest.mark.parametrize("schedule,v", [("1f1b", 1), ("gpipe", 1), ("interleaved", 2), ("interleaved", 4)])
+    def test_overhead_matches_bubble_time(self, schedule, v):
+        from repro.core.schedules import get_schedule
+
+        np_, m, tf, tb = 4, 16, 0.8, 1.7
+        sim = simulate_schedule(schedule, np_, m, tf, tb, virtual_stages=v)
+        analytic = get_schedule(schedule).bubble_time(np_, m, tf, tb, v)
+        assert sim.overhead_time == pytest.approx(analytic, rel=1e-9)

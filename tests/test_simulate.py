@@ -6,7 +6,11 @@ from repro.core.collectives import GroupPlacement, collective_time
 from repro.core.system import make_perlmutter, make_system
 from repro.simulate.cluster import ClusterTopology
 from repro.simulate.nccl_bench import median_relative_error, run_nccl_style_benchmark
-from repro.simulate.pipeline_sim import analytic_1f1b_makespan, simulate_1f1b
+from repro.simulate.pipeline_sim import (
+    analytic_1f1b_makespan,
+    simulate_1f1b,
+    simulate_schedule,
+)
 from repro.simulate.ring import simulate_collective, sweep_volumes
 
 
@@ -120,11 +124,54 @@ class TestRingSimulation:
         result = simulate_collective(
             "all_gather", 1e9, topo, b200.network, group_size=8, gpus_per_nvs_domain=8
         )
-        # Time must equal the pure-NVSwitch analytic value.
+        # With the slow network absent, the step-by-step replay and the
+        # closed form describe the identical n-1 fast hops: they agree to
+        # floating-point noise, not merely to a few percent.
         analytic = collective_time(
             "all_gather", 1e9, GroupPlacement(8, 8), b200.network
         )
-        assert result.simulated_time == pytest.approx(analytic, rel=0.05)
+        assert result.simulated_time == pytest.approx(analytic, rel=1e-12)
+        assert result.slow_hops == 0
+        assert result.fast_hops == 7
+
+    def test_multi_node_replay_reproduces_slow_hop_count(self, topology, perlmutter):
+        """§III-A: a ring of n ranks with g per domain takes n/g - 1 slow hops."""
+        for n, g in ((32, 4), (16, 2), (8, 4), (8, 1)):
+            result = simulate_collective(
+                "all_gather", 1e8, topology, perlmutter.network,
+                group_size=n, gpus_per_nvs_domain=g,
+            )
+            assert result.slow_hops == n // g - 1, (n, g)
+            assert result.fast_hops == n - n // g, (n, g)
+
+    def test_all_to_all_replay(self, topology, perlmutter):
+        """MoE dispatch/combine: pairwise exchange tracks the closed form."""
+        result = simulate_collective(
+            "all_to_all", 1e9, topology, perlmutter.network,
+            group_size=32, gpus_per_nvs_domain=4,
+        )
+        assert result.steps == 31
+        assert result.relative_error < 0.25
+
+    def test_all_to_all_single_domain_is_fast(self):
+        b200 = make_system("B200", 8)
+        topo = ClusterTopology.from_system(b200, 16)
+        single = simulate_collective(
+            "all_to_all", 1e9, topo, b200.network, group_size=8, gpus_per_nvs_domain=8
+        )
+        spanning = simulate_collective(
+            "all_to_all", 1e9, topo, b200.network, group_size=8, gpus_per_nvs_domain=4
+        )
+        assert single.simulated_time < spanning.simulated_time
+
+    def test_broadcast_matches_closed_form_in_single_domain(self):
+        b200 = make_system("B200", 8)
+        topo = ClusterTopology.from_system(b200, 8)
+        result = simulate_collective(
+            "broadcast", 1e8, topo, b200.network, group_size=2, gpus_per_nvs_domain=2
+        )
+        analytic = collective_time("broadcast", 1e8, GroupPlacement(2, 2), b200.network)
+        assert result.simulated_time == pytest.approx(analytic, rel=1e-12)
 
 
 class TestPipelineSimulation:
@@ -164,6 +211,48 @@ class TestPipelineSimulation:
             simulate_1f1b(0, 4, 1.0, 1.0)
         with pytest.raises(ValueError):
             simulate_1f1b(4, 4, -1.0, 1.0)
+
+
+class TestScheduleSimulation:
+    """The generalized engine replaying every registered schedule."""
+
+    def test_gpipe_retains_all_microbatches(self):
+        sim = simulate_schedule("gpipe", 4, 16, 1.0, 2.0)
+        assert sim.max_in_flight == 16
+        assert sim.schedule == "gpipe"
+
+    def test_gpipe_makespan_matches_1f1b_on_uniform_times(self):
+        gpipe = simulate_schedule("gpipe", 4, 16, 1.0, 2.0)
+        one_f = simulate_schedule("1f1b", 4, 16, 1.0, 2.0)
+        assert gpipe.makespan == pytest.approx(one_f.makespan)
+
+    def test_interleaved_bubble_shrinks_by_v(self):
+        base = simulate_schedule("1f1b", 4, 16, 1.0, 2.0)
+        for v in (2, 4):
+            inter = simulate_schedule("interleaved", 4, 16, 1.0, 2.0, virtual_stages=v)
+            assert inter.overhead_time == pytest.approx(base.overhead_time / v)
+
+    def test_interleaved_executes_all_chunk_work(self):
+        sim = simulate_schedule("interleaved", 4, 8, 1.0, 2.0, virtual_stages=2)
+        forwards = [e for e in sim.events if e.kind == "forward"]
+        assert len(forwards) == 4 * 8 * 2  # np * m * v chunk-forwards
+        assert {e.chunk for e in sim.events} == {0, 1}
+
+    def test_interleaved_requires_megatron_divisibility(self):
+        with pytest.raises(ValueError, match="multiple of num_stages"):
+            simulate_schedule("interleaved", 8, 20, 1.0, 1.0, virtual_stages=2)
+
+    def test_virtual_stages_rejected_for_non_interleaving_schedules(self):
+        with pytest.raises(ValueError, match="virtual stages"):
+            simulate_schedule("gpipe", 4, 8, 1.0, 1.0, virtual_stages=2)
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(KeyError):
+            simulate_schedule("zb-h1", 4, 8, 1.0, 1.0)
+
+    def test_overhead_time_equals_first_stage_idle_for_1f1b(self):
+        sim = simulate_schedule("1f1b", 8, 32, 0.7, 1.3)
+        assert sim.overhead_time == pytest.approx(sim.bubble_time)
 
 
 class TestNcclBench:
