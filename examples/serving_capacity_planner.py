@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Serving capacity planner: size a Llama-70B inference deployment.
+
+This example walks the serving side of the performance model
+(`repro.core.inference`, `repro-perf serve`):
+
+1. find the best EP/TP/PP/DP split of a small GPU budget for peak
+   sustainable decode throughput (tokens/s/GPU);
+2. see how the Little's-law effective batch, TPOT and KV-cache footprint
+   react as the offered arrival rate climbs toward saturation;
+3. answer the capacity question planners actually ask: how many GPUs does
+   a target traffic level need under a TTFT service-level objective?
+
+Run with:  python examples/serving_capacity_planner.py
+(set REPRO_SMOKE=1 for the CI-sized grid)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import ServingSpec, find_serving_config, get_workload, make_system
+
+# CI smoke mode shrinks the swept grids; the numbers stay meaningful.
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+WORKLOAD = get_workload("llama70b-serve")
+SYSTEM = make_system("B200", nvs_domain_size=8)
+N_GPUS = 8
+
+
+def best_throughput_deployment() -> None:
+    """Part 1: the throughput-optimal parallelization of an 8-GPU box."""
+    spec = WORKLOAD.serving
+    result = find_serving_config(
+        WORKLOAD.model, SYSTEM, N_GPUS, serving=spec, objective="throughput", top_k=3
+    )
+    if not result.found:
+        print(f"No feasible deployment of {WORKLOAD.model.name} on "
+              f"{N_GPUS} x {SYSTEM.gpu.name} at {spec.arrival_rate:g} req/s")
+        return
+    best = result.best
+    print(f"Throughput-optimal deployment of {WORKLOAD.model.name} on "
+          f"{N_GPUS} x {SYSTEM.gpu.name}:")
+    print(f"  config                 = {best.config.describe()}")
+    print(f"  sustainable throughput = {best.tokens_per_s_per_gpu:.0f} tokens/s/GPU")
+    print(f"  TTFT / TPOT            = {best.ttft * 1e3:.1f} ms / {best.tpot * 1e3:.2f} ms")
+    print(f"  KV cache + weights     = {best.kv_cache_gb:.1f} + {best.weight_gb:.1f} GB/GPU")
+    print("  runners-up:")
+    for est in result.top_k[1:]:
+        print(f"    {est.config.describe():34s} {est.tokens_per_s_per_gpu:8.0f} tok/s/GPU")
+
+
+def arrival_rate_sweep() -> None:
+    """Part 2: continuous batching under rising load."""
+    rates = [2.0, 8.0, 32.0] if SMOKE else [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+    base = WORKLOAD.serving
+    print(f"\nLoad sweep at the fixed best config ({N_GPUS} GPUs):")
+    print(f"  {'req/s':>7} {'eff.batch':>10} {'TPOT(ms)':>9} {'KV(GB)':>7} {'feasible':>9}")
+    for rate in rates:
+        spec = ServingSpec(
+            arrival_rate=rate,
+            prompt_tokens=base.prompt_tokens,
+            output_tokens=base.output_tokens,
+        )
+        result = find_serving_config(
+            WORKLOAD.model, SYSTEM, N_GPUS, serving=spec, objective="tpot"
+        )
+        if result.found:
+            b = result.best
+            print(f"  {rate:7g} {b.effective_batch:10.1f} {b.tpot * 1e3:9.2f} "
+                  f"{b.kv_cache_gb:7.2f} {'yes':>9}")
+        else:
+            print(f"  {rate:7g} {'-':>10} {'-':>9} {'-':>7} {'overload':>9}")
+
+
+def gpus_for_target_traffic() -> None:
+    """Part 3: smallest GPU count serving the target under a TTFT SLO."""
+    target_rate = 64.0
+    budgets = [8, 16] if SMOKE else [8, 16, 32, 64]
+    base = WORKLOAD.serving
+    spec = ServingSpec(
+        arrival_rate=target_rate,
+        prompt_tokens=base.prompt_tokens,
+        output_tokens=base.output_tokens,
+        target_ttft=0.5,
+    )
+    print(f"\nGPUs needed for {target_rate:g} req/s with TTFT <= 500 ms:")
+    for n in budgets:
+        result = find_serving_config(
+            WORKLOAD.model, SYSTEM, n, serving=spec, objective="tpot"
+        )
+        if result.found:
+            b = result.best
+            print(f"  {n:4d} GPUs: OK with {b.config.describe()} "
+                  f"(TTFT {b.ttft * 1e3:.0f} ms, TPOT {b.tpot * 1e3:.2f} ms)"
+                  "   <-- first budget meeting the target")
+            break
+        print(f"  {n:4d} GPUs: cannot sustain the load within the SLO")
+    else:
+        print("  none of the examined budgets meets the target")
+
+
+def main() -> None:
+    """Run all three planning studies."""
+    best_throughput_deployment()
+    arrival_rate_sweep()
+    gpus_for_target_traffic()
+
+
+if __name__ == "__main__":
+    main()

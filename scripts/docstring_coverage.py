@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (an ``interrogate --fail-under N PATH`` stand-in).
+
+Counts every documentable object — modules, classes, functions and methods
+(nested ones included) — under the given paths with a pure-AST walk, and
+fails when the documented fraction falls below ``--fail-under``.  No
+third-party dependency, so the gate runs identically in CI and in a bare
+checkout; the flags mirror interrogate's so the two are interchangeable
+where interrogate is available.
+
+Usage:
+    python scripts/docstring_coverage.py --fail-under 85 src/repro/core
+    python scripts/docstring_coverage.py -v --fail-under 85 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def _documentables(tree: ast.Module) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified name, has_docstring)`` for every documentable node."""
+    yield "<module>", ast.get_docstring(tree) is not None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node.name, ast.get_docstring(node) is not None
+
+
+def scan_file(path: Path) -> List[Tuple[str, bool]]:
+    """Documentable objects of one Python file (empty on syntax errors)."""
+    try:
+        tree = ast.parse(path.read_text())
+    except SyntaxError as exc:  # a broken file should fail loudly, not pass
+        raise SystemExit(f"{path}: cannot parse: {exc}") from exc
+    return list(_documentables(tree))
+
+
+def iter_python_files(paths: List[str]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            raise SystemExit(f"no such file or directory: {raw}")
+
+
+def main(argv=None) -> int:
+    """Entry point: report per-file coverage and enforce the floor."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="files or directories to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=85.0,
+        help="minimum documented percentage (default: 85)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list every undocumented object"
+    )
+    args = parser.parse_args(argv)
+
+    total = 0
+    documented = 0
+    worst: List[Tuple[float, Path]] = []
+    for path in iter_python_files(args.paths):
+        objects = scan_file(path)
+        if not objects:
+            continue
+        n_doc = sum(1 for _, has in objects if has)
+        total += len(objects)
+        documented += n_doc
+        coverage = 100.0 * n_doc / len(objects)
+        worst.append((coverage, path))
+        if args.verbose:
+            for name, has in objects:
+                if not has:
+                    print(f"  MISSING {path}:{name}")
+
+    if total == 0:
+        raise SystemExit("no Python objects found under the given paths")
+
+    overall = 100.0 * documented / total
+    worst.sort()
+    for coverage, path in worst:
+        if coverage < 100.0:
+            print(f"{coverage:6.1f}%  {path}")
+    print(f"docstring coverage: {documented}/{total} = {overall:.1f}% "
+          f"(floor {args.fail_under:.1f}%)")
+    if overall < args.fail_under:
+        print("FAILED: coverage below the floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

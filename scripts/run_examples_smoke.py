@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Smoke-run every script under ``examples/`` so examples cannot rot silently.
+
+Discovers ``examples/*.py`` dynamically (a new example is covered the day
+it lands, a renamed one cannot be skipped by a stale list) and runs each
+in a subprocess with:
+
+* ``REPRO_SMOKE=1`` — examples that sweep grids shrink them to CI size;
+* ``--jobs``-free serial execution — examples must not assume a pool;
+* the repo's ``src/`` on ``PYTHONPATH`` so no install step is needed.
+
+Exits non-zero on the first failure, printing the failing example's
+output.  Run locally with:  python scripts/run_examples_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+#: Per-example wall-clock budget (seconds) — generous: the whole suite
+#: currently runs in well under a minute.
+TIMEOUT = 300
+
+
+def main() -> int:
+    """Run every example; return non-zero if any fails or none exist."""
+    examples = sorted(EXAMPLES_DIR.glob("*.py"))
+    if not examples:
+        print("no examples found under examples/ — refusing to pass vacuously",
+              file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failures = 0
+    for example in examples:
+        start = time.monotonic()
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(example)],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=TIMEOUT,
+                cwd=REPO_ROOT,
+            )
+            returncode, out, err = proc.returncode, proc.stdout, proc.stderr
+        except subprocess.TimeoutExpired as exc:
+            returncode = -1
+            out = (exc.stdout or b"").decode() if isinstance(exc.stdout, bytes) else (exc.stdout or "")
+            err = (exc.stderr or b"").decode() if isinstance(exc.stderr, bytes) else (exc.stderr or "")
+            err += f"\ntimed out after {TIMEOUT}s\n"
+        elapsed = time.monotonic() - start
+        status = "ok" if returncode == 0 else f"FAILED (rc={returncode})"
+        print(f"{example.relative_to(REPO_ROOT)}: {status} [{elapsed:.1f}s]")
+        if returncode != 0:
+            failures += 1
+            sys.stderr.write(out)
+            sys.stderr.write(err)
+    if failures:
+        print(f"{failures}/{len(examples)} examples failed", file=sys.stderr)
+        return 1
+    print(f"all {len(examples)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

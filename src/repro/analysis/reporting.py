@@ -16,6 +16,7 @@ from repro.analysis.differential import DifferentialResult
 from repro.analysis.speedups import SpeedupPoint, speedups_by_system
 from repro.analysis.sweeps import HardwareHeatmap, ScalingSweep, SystemScalingSeries
 from repro.analysis.validation import ValidationComparison
+from repro.core.inference import ServingSearchResult
 from repro.core.plan import ExecutionPlan
 from repro.utils.tables import format_table
 from repro.utils.units import GB
@@ -51,6 +52,74 @@ def render_plan_phases(plan: ExecutionPlan) -> str:
         + (f", backend={plan.backend}" if plan.backend != "analytic" else "")
     )
     return title + "\n" + format_table(headers, rows)
+
+
+def render_serving_report(result: ServingSearchResult) -> str:
+    """Render a serving-search outcome (``repro-perf serve``) as text.
+
+    A headline block for the winning configuration (TTFT/TPOT/capacity,
+    effective batch, KV-cache and weight footprints, prefill utilisation)
+    followed by one table row per reported candidate — the winner plus the
+    ``--top-k`` runners-up, ranked by the search objective.
+    """
+    spec = result.serving
+    title = (
+        f"serving search: {result.model_name} on {result.system_name}, "
+        f"{result.n_gpus} GPUs, objective={result.objective}\n"
+        f"traffic: {spec.arrival_rate:g} req/s, prompt {spec.prompt_tokens}, "
+        f"output {spec.output_tokens} tokens "
+        f"(paged KV, {spec.kv_block_tokens}-token blocks)"
+    )
+    if not result.found:
+        return (
+            title
+            + "\nno feasible serving configuration "
+            + f"({result.statistics.parallel_configs} parallelizations examined)"
+        )
+
+    best = result.best
+    headline = [
+        f"  config      : {best.config.describe()}",
+        f"  assignment  : nNVS(tp1,tp2,pp,dp) = {best.assignment.as_tuple()}",
+        f"  TTFT        : {best.ttft:.4f} s    TPOT: {best.tpot * 1e3:.2f} ms    "
+        f"request latency: {best.request_latency:.2f} s",
+        f"  capacity    : {best.tokens_per_s_per_gpu:.0f} tokens/s/GPU "
+        f"(effective batch {best.effective_batch:.1f} of {best.capacity_batch:.0f} "
+        f"per replica)",
+        f"  memory      : KV cache {best.kv_cache_gb:.1f} GB + weights "
+        f"{best.weight_gb:.1f} GB per GPU",
+        f"  prefill util: {100 * best.prefill_utilization:.1f}% of stage time",
+        f"  search      : {result.statistics.parallel_configs} parallelizations, "
+        f"{result.statistics.candidates_evaluated} candidates evaluated, "
+        f"{result.statistics.pruned_configs} pruned by bound",
+    ]
+
+    # Only feasible candidates can reach the winner/top-k set, so the
+    # table needs no feasibility column.
+    candidates = result.top_k if result.top_k else [best]
+    headers = [
+        "config",
+        "assignment",
+        "TTFT(s)",
+        "TPOT(ms)",
+        "tok/s/GPU",
+        "batch",
+        "kv(GB)",
+    ]
+    rows = []
+    for est in candidates:
+        rows.append(
+            [
+                est.config.describe(),
+                str(est.assignment.as_tuple()),
+                est.ttft,
+                est.tpot * 1e3,
+                est.tokens_per_s_per_gpu,
+                est.effective_batch,
+                est.kv_cache_gb,
+            ]
+        )
+    return title + "\n" + "\n".join(headline) + "\n" + format_table(headers, rows)
 
 
 def render_configuration_study(study: ConfigurationStudy) -> str:

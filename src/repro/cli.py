@@ -3,6 +3,9 @@
 Sub-commands map onto the paper's experiments:
 
 * ``repro-perf search`` — optimal-configuration search at one scale;
+* ``repro-perf serve`` — inference-serving search: prefill/decode latency
+  (TTFT/TPOT), paged KV-cache capacity and continuous-batching throughput
+  over the same EP/TP/PP/DP space (:mod:`repro.core.inference`);
 * ``repro-perf scaling`` — strong-scaling sweep (Fig. 4 / A3);
 * ``repro-perf systems`` — GPU-generation x NVS-domain grid in training days
   (Fig. 5);
@@ -50,6 +53,7 @@ from repro.analysis.reporting import (
     render_differential,
     render_plan_phases,
     render_scaling_sweep,
+    render_serving_report,
     render_speedups,
     render_system_grid,
     render_validation,
@@ -61,6 +65,11 @@ from repro.core.backends import DEFAULT_BACKEND as DEFAULT_EVAL_BACKEND
 from repro.core.backends import available_backends
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions
+from repro.core.inference import (
+    SERVING_OBJECTIVES,
+    ServingSpec,
+    find_serving_config,
+)
 from repro.core.search import find_optimal_config
 from repro.core.schedules import (
     DEFAULT_SCHEDULE,
@@ -223,6 +232,13 @@ def _scenario_space(args: argparse.Namespace) -> SearchSpace:
             f"repro-perf: error: unknown schedule {schedule_name!r}; "
             f"available: {', '.join(available_schedules())}"
         ) from None
+    if not schedule.supports_training:
+        raise SystemExit(
+            f"repro-perf: error: schedule {schedule.name!r} is serving-only; "
+            f"use `repro-perf serve` (training schedules: "
+            + ", ".join(s for s in available_schedules() if get_schedule(s).supports_training)
+            + ")"
+        )
     if virtual < 1:
         raise SystemExit("repro-perf: error: --virtual-stages must be >= 1")
     if virtual > 1 and not schedule.supports_virtual_stages:
@@ -453,6 +469,69 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _resolve_serving_spec(args: argparse.Namespace) -> ServingSpec:
+    """Serving spec of the workload preset with CLI overrides applied.
+
+    Starts from the workload's ``serving`` preset (or library defaults for
+    training-only workloads) and replaces exactly the fields the user set,
+    so ``--arrival-rate`` alone keeps the preset's prompt/output mix.
+    """
+    spec = get_workload(args.workload or args.model).serving or ServingSpec()
+    overrides = {}
+    for flag, field in (
+        ("arrival_rate", "arrival_rate"),
+        ("prompt_tokens", "prompt_tokens"),
+        ("output_tokens", "output_tokens"),
+        ("kv_block", "kv_block_tokens"),
+        ("max_batch", "max_batch_per_replica"),
+        ("target_ttft", "target_ttft"),
+        ("target_tpot", "target_tpot"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    try:
+        return replace(spec, **overrides) if overrides else spec
+    except ValueError as exc:
+        raise SystemExit(f"repro-perf: error: {exc}") from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serving-configuration search (``repro-perf serve``).
+
+    Prices prefill (TTFT), continuous-batching decode (TPOT, tokens/s/GPU)
+    and the paged KV cache for every EP/TP/PP/DP split of the GPU budget,
+    and reports the best configuration under ``--objective``.
+    """
+    try:
+        model = _resolve_model(args)
+        serving = _resolve_serving_spec(args)
+    except KeyError as exc:
+        print(f"repro-perf: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    system = make_system(args.gpu, args.nvs)
+    try:
+        result = find_serving_config(
+            model,
+            system,
+            n_gpus=args.gpus,
+            serving=serving,
+            objective=args.objective,
+            options=_scenario_options(args),
+            top_k=args.top_k,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        print(f"repro-perf: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_serving_report(result))
+    if result.found and getattr(args, "explain_plan", False) and result.best.plan is not None:
+        print(render_plan_phases(result.best.plan))
+    if args.json:
+        dump_json(result.summary(), args.json)
+    return 0 if result.found else 1
+
+
 def cmd_collectives(args: argparse.Namespace) -> int:
     """Analytic vs simulated collective times, Fig. A1 (``repro-perf collectives``)."""
     system = make_perlmutter(args.nvlink)
@@ -548,6 +627,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the winning configuration's phase-level cost plan",
     )
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "serve",
+        help="inference-serving search: prefill/decode latency, KV-cache "
+        "capacity and continuous-batching throughput",
+    )
+    p.add_argument(
+        "--workload",
+        default=None,
+        help="workload scenario (serving presets: llama70b-serve, "
+        "moe-mixtral-serve); takes precedence over --model",
+    )
+    p.add_argument("--model", default="llama70b-serve", help="model preset name (legacy alias)")
+    p.add_argument("--gpu", default="B200", help="GPU generation (A100/H200/B200)")
+    p.add_argument("--nvs", type=int, default=8, help="NVSwitch domain size")
+    p.add_argument("--gpus", type=int, default=8, help="number of GPUs")
+    p.add_argument(
+        "--objective",
+        default="throughput",
+        choices=SERVING_OBJECTIVES,
+        help="what to optimise: sustainable tokens/s/GPU (throughput, "
+        "default), time-to-first-token (ttft) or time-per-output-token (tpot)",
+    )
+    p.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="cluster-wide request arrival rate in req/s (default: the "
+        "workload preset's)",
+    )
+    p.add_argument(
+        "--prompt-tokens", type=int, default=None, help="prompt length per request (tokens)"
+    )
+    p.add_argument(
+        "--output-tokens", type=int, default=None, help="generated tokens per request"
+    )
+    p.add_argument(
+        "--kv-block",
+        type=int,
+        default=None,
+        help="paged-KV block granularity in tokens (default: preset, usually 16)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="scheduler cap on concurrently decoding sequences per replica",
+    )
+    p.add_argument(
+        "--target-ttft",
+        type=float,
+        default=None,
+        help="TTFT service-level objective in seconds (configurations above "
+        "it are infeasible)",
+    )
+    p.add_argument(
+        "--target-tpot",
+        type=float,
+        default=None,
+        help="TPOT service-level objective in seconds",
+    )
+    p.add_argument("--top-k", type=int, default=1, help="also print the k best configurations")
+    p.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the winning configuration's phase-level cost plan "
+        "(prefill + decode phases of one request)",
+    )
+    p.add_argument(
+        "--backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=available_backends(),
+        help="evaluation backend for the comm terms (analytic default)",
+    )
+    p.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("scaling", help="strong-scaling sweep (Fig. 4 / A3)")
     _add_common_model_args(p)

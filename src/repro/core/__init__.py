@@ -61,6 +61,15 @@ from repro.core.schedules import (
     get_schedule,
     register_schedule,
 )
+from repro.core.inference import (
+    SERVING_OBJECTIVES,
+    ServingEstimate,
+    ServingSearchResult,
+    ServingSpec,
+    evaluate_serving_config,
+    find_serving_config,
+    kv_cache_bytes_per_sequence,
+)
 from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.parallelism.base import GpuAssignment, ParallelConfig
 from repro.core.config_space import SearchSpace, parallel_configs, gpu_assignments
@@ -95,8 +104,12 @@ __all__ = [
     "NVS_DOMAIN_SIZES",
     "NetworkSpec",
     "ParallelConfig",
+    "SERVING_OBJECTIVES",
     "SearchResult",
     "SearchSpace",
+    "ServingEstimate",
+    "ServingSearchResult",
+    "ServingSpec",
     "SystemSpec",
     "TimeBreakdown",
     "TrainingRegime",
@@ -112,6 +125,9 @@ __all__ = [
     "default_regime",
     "estimate_memory",
     "evaluate_config",
+    "evaluate_serving_config",
+    "find_serving_config",
+    "kv_cache_bytes_per_sequence",
     "get_schedule",
     "register_schedule",
     "find_optimal_config",

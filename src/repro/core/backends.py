@@ -52,6 +52,7 @@ class CostPricer(ABC):
     name: str = "abstract"
 
     def __init__(self, system: SystemSpec):
+        """Bind the pricer to the system whose network it prices."""
         self.system = system
 
     @abstractmethod
@@ -85,9 +86,11 @@ class AnalyticPricer(CostPricer):
     def collective(
         self, collective: str, volume_bytes: float, placement: GroupPlacement
     ) -> float:
+        """Closed-form dual-network collective time (§III-A)."""
         return collective_time(collective, volume_bytes, placement, self.system.network)
 
     def p2p(self, volume_bytes: float, placement: GroupPlacement) -> float:
+        """Closed-form point-to-point transfer time."""
         return point_to_point_time(volume_bytes, placement, self.system.network)
 
     def bubble(
@@ -99,6 +102,7 @@ class AnalyticPricer(CostPricer):
         backward_time: float,
         virtual_stages: int,
     ) -> float:
+        """The schedule's own closed-form bubble (no replay)."""
         return schedule.bubble_time(
             num_stages, num_microbatches, forward_time, backward_time, virtual_stages
         )

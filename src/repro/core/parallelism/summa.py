@@ -123,6 +123,7 @@ class TensorParallelSUMMA(TensorParallelStrategy):
 
     # ------------------------------------------------------------------
     def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """2D-grid divisibility, panel rules, and the no-MoE restriction."""
         if model.num_experts > 1 or config.expert_parallel > 1:
             return (
                 "summa does not support mixture-of-experts layers "
@@ -157,6 +158,7 @@ class TensorParallelSUMMA(TensorParallelStrategy):
         flash_attention: bool = True,
         include_dropout: bool = False,
     ) -> LayerWorkload:
+        """Per-layer workload with blocked-SUMMA matmuls (Table A2)."""
         err = self.validate_config(model, config)
         if err is not None:
             raise ValueError(err)

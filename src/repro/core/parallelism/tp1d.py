@@ -54,6 +54,7 @@ class TensorParallel1D(TensorParallelStrategy):
 
     # ------------------------------------------------------------------
     def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """Divisibility of heads/KV-heads/sequence/hidden/embed by ``n1``."""
         if config.tensor_parallel_2 != 1:
             return "tp1d requires n2 == 1 (use tp2d or summa for a 2D grid)"
         nt = config.tensor_parallel_1
@@ -79,6 +80,7 @@ class TensorParallel1D(TensorParallelStrategy):
         flash_attention: bool = True,
         include_dropout: bool = False,
     ) -> LayerWorkload:
+        """Per-layer ops/collectives of Table I (plus the MoE transform)."""
         err = self.validate_config(model, config)
         if err is not None:
             raise ValueError(err)

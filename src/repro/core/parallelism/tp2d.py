@@ -57,6 +57,7 @@ class TensorParallel2D(TensorParallelStrategy):
 
     # ------------------------------------------------------------------
     def validate_config(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """Heads/hidden divisible by ``n1``, sequence by ``n2`` and ``n1*n2``."""
         n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
         for check in (
             self._check_divisible(model.num_heads, n1, "num_heads vs n1"),
@@ -81,6 +82,7 @@ class TensorParallel2D(TensorParallelStrategy):
         flash_attention: bool = True,
         include_dropout: bool = False,
     ) -> LayerWorkload:
+        """Per-layer ops/collectives of Table II (plus the MoE transform)."""
         err = self.validate_config(model, config)
         if err is not None:
             raise ValueError(err)

@@ -21,6 +21,7 @@ from repro.core.schedules.base import (
 from repro.core.schedules.gpipe import GPipeSchedule
 from repro.core.schedules.interleaved import InterleavedSchedule
 from repro.core.schedules.one_f_one_b import OneFOneBSchedule
+from repro.core.schedules.serve import ServeRoundRobinSchedule
 
 __all__ = [
     "DEFAULT_SCHEDULE",
@@ -29,6 +30,7 @@ __all__ = [
     "OneFOneBSchedule",
     "GPipeSchedule",
     "InterleavedSchedule",
+    "ServeRoundRobinSchedule",
     "NoExecutableOrder",
     "WorkItem",
     "available_schedules",

@@ -86,9 +86,19 @@ class PipelineSchedule(ABC):
     description: str = ""
     #: Whether the schedule understands ``virtual_stages > 1``.
     supports_virtual_stages: bool = False
+    #: Whether the schedule describes a *training* iteration.  Serving-only
+    #: schedules (forward-only round-robin) set this to ``False`` and are
+    #: rejected by the training validation — their bubble/in-flight numbers
+    #: would silently understate a training iteration's time and memory.
+    supports_training: bool = True
 
     def validate(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
         """Return ``None`` when ``config`` is admissible, else a reason string."""
+        if not self.supports_training:
+            return (
+                f"schedule {self.name!r} is serving-only (forward-only round-robin); "
+                f"it cannot schedule a training iteration"
+            )
         v = config.virtual_stages
         if v > 1 and not self.supports_virtual_stages:
             return f"schedule {self.name!r} does not support virtual stages (got v={v})"

@@ -32,11 +32,13 @@ class GPipeSchedule(PipelineSchedule):
         backward_time: float,
         virtual_stages: int = 1,
     ) -> float:
+        """Same ``(np - 1) * (tf + tb)`` fill/drain ramp as 1F1B."""
         return pipeline_bubble_time(num_stages, forward_time, backward_time)
 
     def in_flight_microbatches(
         self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> int:
+        """All ``m`` microbatches' activations are retained (GPipe's cost)."""
         if num_stages < 1 or num_microbatches < 1:
             raise ValueError("num_stages and num_microbatches must be >= 1")
         return num_microbatches
@@ -44,6 +46,7 @@ class GPipeSchedule(PipelineSchedule):
     def execution_order(
         self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> List[WorkItem]:
+        """All forwards first, then all backwards, in microbatch order."""
         if num_stages < 1 or num_microbatches < 1:
             raise ValueError("num_stages and num_microbatches must be >= 1")
         order: List[WorkItem] = [("forward", 0, mb) for mb in range(num_microbatches)]

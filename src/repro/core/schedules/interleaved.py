@@ -59,6 +59,7 @@ class InterleavedSchedule(PipelineSchedule):
     supports_virtual_stages = True
 
     def validate(self, model: TransformerConfig, config: ParallelConfig) -> Optional[str]:
+        """Interleaving needs ``np > 1`` and ``np * v`` dividing the depth."""
         v = config.virtual_stages
         if v == 1:
             return None
@@ -79,11 +80,13 @@ class InterleavedSchedule(PipelineSchedule):
         backward_time: float,
         virtual_stages: int = 1,
     ) -> float:
+        """The 1F1B ramp shrunk by the virtual-stage degree ``v``."""
         if virtual_stages < 1:
             raise ValueError("virtual_stages must be >= 1")
         return pipeline_bubble_time(num_stages, forward_time, backward_time) / virtual_stages
 
     def p2p_volume_factor(self, virtual_stages: int = 1) -> float:
+        """Each microbatch crosses ``v`` chunk boundaries per GPU."""
         if virtual_stages < 1:
             raise ValueError("virtual_stages must be >= 1")
         return float(virtual_stages)

@@ -35,11 +35,13 @@ class OneFOneBSchedule(PipelineSchedule):
         backward_time: float,
         virtual_stages: int = 1,
     ) -> float:
+        """The paper's ``(np - 1) * (tf + tb)`` fill/drain bubble."""
         return pipeline_bubble_time(num_stages, forward_time, backward_time)
 
     def execution_order(
         self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> List[WorkItem]:
+        """Warm-up forwards, one-forward-one-backward steady state, drain."""
         return one_f_one_b_order(stage, num_stages, num_microbatches)
 
 

@@ -1,0 +1,76 @@
+"""Serving round-robin "schedule": continuous-batching decode over a pipeline.
+
+At inference there is no backward pass and no fill/drain bubble to
+amortise: the per-replica decode batch splits into ``np`` groups that
+round-robin through the pipeline stages, keeping every stage busy once the
+rotation is primed.  This module registers that execution pattern as a
+:class:`~repro.core.schedules.base.PipelineSchedule` so the serving plans
+built by :mod:`repro.core.inference` carry a real registry name and — more
+usefully — so the event-driven simulator
+(:func:`repro.simulate.pipeline_sim.simulate_schedule`) can *replay* a
+decode step stream through the same ``execution_order`` machinery every
+training schedule uses: ``m`` forward-only items per stage, whose replayed
+makespan is pinned against the closed form
+``m * tf + (np - 1) * (tf + p2p)`` by the serving tests.
+
+The schedule is not meant for the training search (its "bubble" is the
+one-off forward fill ramp, not a per-iteration cost); the default
+:class:`~repro.core.config_space.SearchSpace` never enumerates it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.schedules.base import (
+    PipelineSchedule,
+    WorkItem,
+    register_schedule,
+)
+
+
+class ServeRoundRobinSchedule(PipelineSchedule):
+    """Forward-only round-robin used by continuous-batching decode."""
+
+    name = "serve-rr"
+    description = (
+        "serving decode round-robin: forward-only groups keep every stage "
+        "busy; fill ramp (np-1)*tf is paid once per stream, not per token"
+    )
+    supports_virtual_stages = False
+    # Forward-only: no backward drain, one in-flight group — those numbers
+    # would badly understate a training iteration, so the training search
+    # must reject this schedule (base.validate enforces it).
+    supports_training = False
+
+    def bubble_time(
+        self,
+        num_stages: int,
+        num_microbatches: int,
+        forward_time: float,
+        backward_time: float,
+        virtual_stages: int = 1,
+    ) -> float:
+        """Forward-only fill ramp of the rotation (no drain, no backward)."""
+        return (num_stages - 1) * forward_time
+
+    def in_flight_microbatches(
+        self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> int:
+        """Decode retains no backward activations; one group is live per stage."""
+        if num_stages < 1 or num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        return 1
+
+    def execution_order(
+        self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
+    ) -> List[WorkItem]:
+        """Forward-only order: every stage runs the groups in arrival order."""
+        if num_stages < 1 or num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        if not (0 <= stage < num_stages):
+            raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+        return [("forward", 0, mb) for mb in range(num_microbatches)]
+
+
+register_schedule(ServeRoundRobinSchedule())

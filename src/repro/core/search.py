@@ -51,6 +51,10 @@ from repro.core.system import SystemSpec
 #: Strategies searched when the caller asks for "all".
 ALL_STRATEGIES = ("tp1d", "tp2d", "summa")
 
+#: Objective name of the classic training search (minimise iteration time).
+#: The serving objectives live in :data:`repro.core.inference.SERVING_OBJECTIVES`.
+TRAINING_OBJECTIVE = "iteration"
+
 
 @dataclass(frozen=True)
 class SearchStatistics:
@@ -325,7 +329,9 @@ def find_optimal_config(
     top_k: int = 0,
     fallback_activation_checkpointing: bool = True,
     backend: str = DEFAULT_BACKEND,
-) -> SearchResult:
+    objective: str = TRAINING_OBJECTIVE,
+    serving=None,
+):
     """Brute-force search for the fastest feasible configuration.
 
     ``strategy`` may be a single strategy name, a sequence of names, or
@@ -337,12 +343,39 @@ def find_optimal_config(
     branch-and-bound pruning is disabled, since the analytic lower bound is
     only provably admissible for the analytic evaluation.
 
+    ``objective`` selects the execution regime.  The default
+    (:data:`TRAINING_OBJECTIVE`) minimises the training iteration time and
+    returns a :class:`SearchResult`.  The serving objectives
+    (``"throughput"``, ``"ttft"``, ``"tpot"`` — see
+    :mod:`repro.core.inference`) evaluate the same EP/TP/PP/DP space in
+    inference mode against the ``serving`` traffic description
+    (a :class:`~repro.core.inference.ServingSpec`, defaulted when omitted)
+    and return a :class:`~repro.core.inference.ServingSearchResult`;
+    ``global_batch_size``, ``strategy`` and the training-only knobs are
+    ignored there (serving models 1D TP with round-robin decode).
+
     When no configuration fits in HBM and ``fallback_activation_checkpointing``
     is set (the default), the search is repeated once with full activation
     checkpointing enabled — recomputing each block during the backward pass —
     which is how capacity-limited systems (e.g. A100 + the long-sequence ViT)
     are handled in practice.
     """
+    if objective != TRAINING_OBJECTIVE:
+        # Local import: repro.core.inference imports this module for the
+        # shared SearchStatistics, so the dependency must stay one-way.
+        from repro.core.inference import ServingSpec, find_serving_config
+
+        return find_serving_config(
+            model,
+            system,
+            n_gpus,
+            serving=serving if serving is not None else ServingSpec(),
+            objective=objective,
+            space=space,
+            options=options,
+            top_k=top_k,
+            backend=backend,
+        )
     if isinstance(strategy, str):
         strategies: Tuple[str, ...] = ALL_STRATEGIES if strategy == "all" else (strategy,)
     else:

@@ -25,8 +25,9 @@ original presets from :mod:`repro.core.model` are registered on import.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.inference import ServingSpec
 from repro.core.model import MODEL_CATALOG, TransformerConfig
 
 
@@ -43,8 +44,8 @@ class WorkloadSpec:
     description:
         One-line summary shown by ``repro-perf workloads``.
     tags:
-        Free-form labels (``"paper"``, ``"moe"``, ``"gqa"``, ...) used for
-        filtering in reports.
+        Free-form labels (``"paper"``, ``"moe"``, ``"gqa"``, ``"serve"``,
+        ...) used for filtering in reports.
     default_global_batch:
         Global batch size typical for the workload (the paper uses 4096).
     pipeline_schedule:
@@ -53,6 +54,11 @@ class WorkloadSpec:
         overrides it.
     virtual_stages:
         Default virtual-stage degree for interleaving schedules.
+    serving:
+        Default serving scenario (traffic mix, KV paging, SLO targets) for
+        ``repro-perf serve``; ``None`` for training-only workloads (the
+        serve command then starts from :class:`~repro.core.inference.ServingSpec`
+        defaults).  CLI flags override individual fields.
     """
 
     name: str
@@ -62,6 +68,7 @@ class WorkloadSpec:
     default_global_batch: int = 4096
     pipeline_schedule: str = "1f1b"
     virtual_stages: int = 1
+    serving: Optional[ServingSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name.strip():
@@ -83,6 +90,8 @@ class WorkloadSpec:
             + (f"(v={self.virtual_stages})" if self.virtual_stages > 1 else ""),
         }
         out.update(self.model.describe())
+        if self.serving is not None:
+            out.update({f"serving_{k}": v for k, v in self.serving.describe().items()})
         return out
 
 
@@ -225,5 +234,61 @@ register_workload(
         model=GPT3_1T_GQA,
         description="GPT3-1T with grouped-query attention (8 KV heads)",
         tags=("gqa",),
+    )
+)
+
+# ----------------------------------------------------------------------
+# Inference-serving scenarios (repro-perf serve)
+# ----------------------------------------------------------------------
+
+#: Llama-2-70B-shaped dense LLM with grouped-query attention — the
+#: canonical open-weights serving workload (80 layers, 8 KV heads).  The
+#: model's MLP is a 2-matmul GeLU block, so Llama's 3-matrix SwiGLU
+#: (gate/up/down, 28672 wide) is folded into an equivalent hidden width of
+#: ``1.5 * 28672 = 43008`` — same parameter count (~69B) and same weight
+#: bytes per decode step, which is what the serving model prices.
+#: ``seq_len`` is the training context; serving prompt/output lengths come
+#: from the :class:`~repro.core.inference.ServingSpec`.
+LLAMA_70B = TransformerConfig(
+    name="Llama-70B",
+    seq_len=4096,
+    embed_dim=8192,
+    num_heads=64,
+    kv_heads=8,
+    depth=80,
+    hidden_dim=43008,
+)
+register_workload(
+    WorkloadSpec(
+        name="llama70b-serve",
+        model=LLAMA_70B,
+        description="Llama-70B chat serving (2K prompt, 256 out, GQA 8 KV heads)",
+        tags=("serve", "gqa", "dense"),
+        serving=ServingSpec(
+            arrival_rate=16.0,
+            prompt_tokens=2048,
+            output_tokens=256,
+            kv_block_tokens=16,
+            max_batch_per_replica=256,
+        ),
+    )
+)
+
+#: Mixtral-8x7B serving: the MoE twin of ``llama70b-serve`` — decode reads
+#: only the routed top-2 experts' weights but must hold all 8 per EP shard,
+#: making the expert-parallel degree a live serving trade-off.
+register_workload(
+    WorkloadSpec(
+        name="moe-mixtral-serve",
+        model=MOE_MIXTRAL,
+        description="Mixtral-8x7B MoE serving (2K prompt, 512 out, top-2 routing)",
+        tags=("serve", "moe", "gqa"),
+        serving=ServingSpec(
+            arrival_rate=16.0,
+            prompt_tokens=2048,
+            output_tokens=512,
+            kv_block_tokens=16,
+            max_batch_per_replica=256,
+        ),
     )
 )

@@ -23,7 +23,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.core.search import SearchResult
+from repro.core.search import TRAINING_OBJECTIVE, SearchResult
 from repro.utils.serialization import (
     canonical_fingerprint,
     dataclass_from_jsonable,
@@ -42,7 +42,10 @@ from repro.utils.serialization import (
 #: v4: pluggable evaluation backends — the fingerprint includes the task's
 #: ``backend`` (an analytic and a simulated solve of the same point must
 #: never collide) and IterationEstimate/ExecutionPlan record theirs.
-CACHE_FORMAT_VERSION = 4
+#: v5: the inference-serving mode — the fingerprint includes the task's
+#: ``objective`` and ``serving`` spec, and serving-objective entries rebuild
+#: into :class:`~repro.core.inference.ServingSearchResult` trees.
+CACHE_FORMAT_VERSION = 5
 
 
 class SearchCache:
@@ -83,19 +86,42 @@ class SearchCache:
                 "options": to_jsonable(task.options),
                 "top_k": task.top_k,
                 "backend": task.backend,
+                "objective": getattr(task, "objective", TRAINING_OBJECTIVE),
+                "serving": to_jsonable(getattr(task, "serving", None)),
             }
         )
+
+    @staticmethod
+    def _result_type(task) -> type:
+        """Dataclass a cached entry of ``task`` rebuilds into.
+
+        Training tasks store :class:`~repro.core.search.SearchResult` trees;
+        serving-objective tasks store
+        :class:`~repro.core.inference.ServingSearchResult` trees.  The
+        fingerprint includes the objective, so the two can never collide.
+        """
+        if getattr(task, "objective", TRAINING_OBJECTIVE) != TRAINING_OBJECTIVE:
+            from repro.core.inference import ServingSearchResult
+
+            return ServingSearchResult
+        return SearchResult
 
     # ------------------------------------------------------------------
     # Read/write
     # ------------------------------------------------------------------
-    def get(self, task) -> Optional[SearchResult]:
-        """Return the cached :class:`SearchResult` for ``task``, or ``None``."""
+    def get(self, task):
+        """Return the cached result for ``task``, or ``None`` on a miss.
+
+        Training tasks yield a :class:`~repro.core.search.SearchResult`,
+        serving-objective tasks a
+        :class:`~repro.core.inference.ServingSearchResult` (see
+        :meth:`_result_type`).
+        """
         fp = self.fingerprint(task)
         entry = self._entries.get(fp)
         if entry is not None:
             try:
-                result = dataclass_from_jsonable(SearchResult, entry)
+                result = dataclass_from_jsonable(self._result_type(task), entry)
             except (TypeError, KeyError, ValueError, AttributeError):
                 # Hand-edited / schema-drifted / corrupted entry: drop it and
                 # recompute rather than aborting the whole sweep.

@@ -31,8 +31,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_configurations
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions, clear_caches
+from repro.core.inference import ServingSpec
 from repro.core.model import TransformerConfig
-from repro.core.search import ALL_STRATEGIES, SearchResult, find_optimal_config
+from repro.core.search import ALL_STRATEGIES, TRAINING_OBJECTIVE, SearchResult, find_optimal_config
 from repro.core.system import SystemSpec
 from repro.runtime.cache import SearchCache
 
@@ -58,6 +59,13 @@ class SearchTask:
     top_k: int = 0
     #: Evaluation backend per candidate (see :mod:`repro.core.backends`).
     backend: str = DEFAULT_BACKEND
+    #: Search objective: the training iteration time by default, or one of
+    #: the serving objectives (``throughput``/``ttft``/``tpot``), in which
+    #: case the task solves in inference mode against ``serving`` and its
+    #: result is a :class:`~repro.core.inference.ServingSearchResult`.
+    objective: str = TRAINING_OBJECTIVE
+    #: Traffic description for serving-objective tasks (``None`` -> defaults).
+    serving: Optional[ServingSpec] = None
 
     def __post_init__(self) -> None:
         # Normalise strategy sequences to tuples so tasks stay hashable
@@ -99,10 +107,13 @@ def estimate_task_cost(task: SearchTask) -> float:
     return float(total)
 
 
-def solve_search_task(task: SearchTask) -> SearchResult:
+def solve_search_task(task: SearchTask):
     """Run the optimal-configuration search described by ``task``.
 
-    Module-level (not a method) so :class:`ProcessPoolExecutor` can pickle it.
+    Module-level (not a method) so :class:`ProcessPoolExecutor` can pickle
+    it.  Returns a :class:`~repro.core.search.SearchResult` for training
+    tasks and a :class:`~repro.core.inference.ServingSearchResult` for
+    serving-objective tasks.
     """
     return find_optimal_config(
         task.model,
@@ -114,6 +125,8 @@ def solve_search_task(task: SearchTask) -> SearchResult:
         options=task.options,
         top_k=task.top_k,
         backend=task.backend,
+        objective=task.objective,
+        serving=task.serving,
     )
 
 

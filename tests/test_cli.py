@@ -14,8 +14,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("search", "scaling", "systems", "speedup", "validate", "collectives"):
-            args = parser.parse_args([cmd] if cmd in ("validate", "collectives") else [cmd])
+        for cmd in ("search", "serve", "scaling", "systems", "speedup", "validate", "collectives"):
+            args = parser.parse_args([cmd])
             assert hasattr(args, "func")
 
 
@@ -139,6 +139,82 @@ class TestScenarioFlags:
     def test_invalid_zero_stage_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["search", "--zero-stage", "7", "--gpus", "64"])
+
+
+class TestServeCommand:
+    def test_default_serve_finds_config(self, capsys):
+        rc = main(["serve", "--workload", "llama70b-serve", "--objective", "throughput"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving search: Llama-70B" in out
+        assert "TTFT" in out and "TPOT" in out and "tokens/s/GPU" in out
+
+    def test_objective_changes_winner_metric(self, capsys):
+        rc = main(["serve", "--workload", "llama70b-serve", "--objective", "ttft"])
+        assert rc == 0
+        assert "objective=ttft" in capsys.readouterr().out
+
+    def test_traffic_overrides(self, capsys):
+        rc = main(
+            ["serve", "--workload", "llama70b-serve", "--arrival-rate", "4",
+             "--prompt-tokens", "1024", "--output-tokens", "64"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 req/s" in out and "prompt 1024" in out and "output 64 tokens" in out
+
+    def test_overload_returns_nonzero(self, capsys):
+        rc = main(["serve", "--workload", "llama70b-serve", "--arrival-rate", "1000000"])
+        assert rc == 1
+        assert "no feasible serving configuration" in capsys.readouterr().out
+
+    def test_explain_plan_prints_prefill_and_decode_phases(self, capsys):
+        rc = main(["serve", "--workload", "llama70b-serve", "--explain-plan"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "execution plan" in out
+        assert "prefill.compute" in out and "decode.hbm" in out
+        assert "state.kv_cache" in out
+
+    def test_moe_serving_preset(self, capsys):
+        rc = main(["serve", "--workload", "moe-mixtral-serve", "--top-k", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MoE-Mixtral" in out
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        rc = main(["serve", "--workload", "llama70b-serve", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["objective"] == "throughput"
+        assert data["found"] is True
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--objective", "mfu"])
+
+    def test_bad_traffic_override_reports_clean_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workload", "llama70b-serve", "--arrival-rate", "-1"])
+
+    def test_serving_presets_listed_in_workloads(self, capsys):
+        rc = main(["workloads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "llama70b-serve" in out and "moe-mixtral-serve" in out
+
+    def test_unknown_workload_reports_clean_error(self, capsys):
+        rc = main(["serve", "--workload", "no-such-workload"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro-perf: error:" in err and "no-such-workload" in err
+
+    def test_training_search_rejects_serving_schedule(self, capsys):
+        # serve-rr is forward-only: its bubble/in-flight numbers would
+        # silently understate a training iteration, so `search` refuses it.
+        with pytest.raises(SystemExit):
+            main(["search", "--schedule", "serve-rr", "--gpus", "64"])
 
 
 class TestScheduleFlags:

@@ -1,0 +1,42 @@
+"""The auto-generated CLI reference must not drift from the argparse tree."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCliDocs:
+    def test_docs_cli_md_is_current(self):
+        """`docs/cli.md` matches `scripts/gen_cli_docs.py` output exactly.
+
+        This is the same check CI runs; a parser change without a
+        regenerated reference fails here with the fix command in the
+        message.
+        """
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "gen_cli_docs.py"), "--check"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, (
+            "docs/cli.md is stale — regenerate with "
+            "`python scripts/gen_cli_docs.py`\n" + proc.stderr
+        )
+
+    def test_reference_covers_every_subcommand(self):
+        text = (REPO_ROOT / "docs" / "cli.md").read_text()
+        import os
+
+        os.environ.setdefault("COLUMNS", "88")
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        import argparse
+
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name in action.choices:
+                    assert f"## repro-perf {name}" in text

@@ -1,0 +1,324 @@
+"""Inference-serving execution mode (``repro.core.inference``)."""
+
+import math
+
+import pytest
+
+from repro.core.inference import (
+    SERVING_SCHEDULE,
+    ServingSpec,
+    _FreeCommPricer,
+    decode_step_time,
+    evaluate_serving_config,
+    kv_cache_bytes_per_sequence,
+    kv_cache_bytes_per_token_per_layer,
+    serving_objective_bound,
+)
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import GpuAssignment, ParallelConfig
+from repro.core.system import make_system
+from repro.simulate.pipeline_sim import simulate_schedule
+from repro.utils.serialization import dataclass_from_jsonable, to_jsonable
+
+TINY = TransformerConfig(
+    name="tiny", seq_len=1024, embed_dim=2048, num_heads=16, kv_heads=4, depth=16
+)
+TINY_MHA = TransformerConfig(
+    name="tiny-mha", seq_len=1024, embed_dim=2048, num_heads=16, depth=16
+)
+TINY_MOE = TransformerConfig(
+    name="tiny-moe",
+    seq_len=1024,
+    embed_dim=2048,
+    num_heads=16,
+    kv_heads=4,
+    depth=16,
+    num_experts=8,
+    moe_top_k=2,
+)
+SYSTEM = make_system("A100", 4)
+SPEC = ServingSpec(arrival_rate=32.0, prompt_tokens=512, output_tokens=128)
+
+
+def config(n1=2, np_=2, nd=2, ep=1, strategy="tp1d"):
+    return ParallelConfig(
+        strategy=strategy,
+        tensor_parallel_1=n1,
+        tensor_parallel_2=1,
+        pipeline_parallel=np_,
+        data_parallel=nd,
+        microbatch_size=1,
+        expert_parallel=ep,
+    )
+
+
+class TestKvCacheAccounting:
+    def test_gqa_shrinks_cache_by_head_ratio(self):
+        dense = kv_cache_bytes_per_token_per_layer(TINY_MHA, 1)
+        gqa = kv_cache_bytes_per_token_per_layer(TINY, 1)
+        assert gqa == pytest.approx(dense * TINY.kv_heads / TINY.num_heads)
+
+    def test_per_token_bytes_shard_over_tp(self):
+        assert kv_cache_bytes_per_token_per_layer(TINY, 4) == pytest.approx(
+            kv_cache_bytes_per_token_per_layer(TINY, 1) / 4
+        )
+
+    def test_tp_must_divide_kv_heads(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes_per_token_per_layer(TINY, 8)  # 4 kv heads
+
+    def test_paged_rounding_to_whole_blocks(self):
+        cfg = config(n1=1, np_=1, nd=1)
+        per_block = kv_cache_bytes_per_sequence(TINY, cfg, 16, kv_block_tokens=16)
+        # 17 tokens need two 16-token blocks.
+        assert kv_cache_bytes_per_sequence(TINY, cfg, 17, kv_block_tokens=16) == pytest.approx(
+            2 * per_block
+        )
+        # Exact multiples pay no rounding.
+        assert kv_cache_bytes_per_sequence(TINY, cfg, 32, kv_block_tokens=16) == pytest.approx(
+            2 * per_block
+        )
+
+    def test_pipeline_stages_split_the_layers(self):
+        whole = kv_cache_bytes_per_sequence(TINY, config(np_=1, nd=4), 256)
+        split = kv_cache_bytes_per_sequence(TINY, config(np_=4, nd=1), 256)
+        assert split == pytest.approx(whole / 4)
+
+
+class TestDecodeStep:
+    def test_monotone_in_batch_and_context(self):
+        t_small = decode_step_time(
+            TINY, SYSTEM, config(), batch_per_replica=4, context_tokens=512
+        )
+        t_big_batch = decode_step_time(
+            TINY, SYSTEM, config(), batch_per_replica=64, context_tokens=512
+        )
+        t_long_ctx = decode_step_time(
+            TINY, SYSTEM, config(), batch_per_replica=4, context_tokens=4096
+        )
+        assert t_big_batch > t_small
+        assert t_long_ctx > t_small
+
+    def test_weight_reads_amortise_with_batch(self):
+        # Bandwidth-bound decode: doubling the batch must not double the
+        # step time (the weight reads are shared across the group).
+        t1 = decode_step_time(TINY, SYSTEM, config(), batch_per_replica=8, context_tokens=512)
+        t2 = decode_step_time(TINY, SYSTEM, config(), batch_per_replica=16, context_tokens=512)
+        assert t2 < 2 * t1
+
+
+class TestEvaluateServing:
+    def test_feasible_estimate_structure(self):
+        est = evaluate_serving_config(TINY, SYSTEM, config(), serving=SPEC)
+        assert est.feasible
+        assert est.ttft > 0 and est.tpot > 0
+        assert est.tokens_per_s_per_gpu > 0
+        assert 1.0 <= est.effective_batch <= est.capacity_batch
+        assert est.weight_bytes > 0 and est.kv_cache_bytes > 0
+        assert est.request_latency == pytest.approx(
+            est.ttft + SPEC.output_tokens * est.tpot
+        )
+
+    def test_plan_reduces_to_request_latency(self):
+        est = evaluate_serving_config(TINY, SYSTEM, config(), serving=SPEC)
+        assert est.plan is not None
+        assert est.plan.schedule == SERVING_SCHEDULE
+        assert est.plan.reduce().total == pytest.approx(est.request_latency)
+        # Prefill and decode both contribute named phases.
+        assert est.plan.phase("prefill.compute").exposed_seconds > 0
+        assert est.plan.phase("decode.hbm").count == SPEC.output_tokens
+        assert est.plan.phase("state.weights").memory_bytes == pytest.approx(est.weight_bytes)
+        assert est.plan.phase("state.kv_cache").memory_bytes == pytest.approx(
+            est.kv_cache_bytes
+        )
+
+    def test_ttft_is_prefill_dominated_and_pp_adds_latency(self):
+        est1 = evaluate_serving_config(TINY, SYSTEM, config(np_=1, nd=4), serving=SPEC)
+        est2 = evaluate_serving_config(TINY, SYSTEM, config(np_=4, nd=1), serving=SPEC)
+        # The prompt still traverses every layer: TTFT cannot shrink below
+        # the single-replica prefill by adding pipeline hops.
+        assert est2.ttft >= est1.ttft
+
+    def test_overload_is_infeasible_with_reason(self):
+        overload = ServingSpec(arrival_rate=1e6, prompt_tokens=512, output_tokens=128)
+        est = evaluate_serving_config(TINY, SYSTEM, config(), serving=overload)
+        assert not est.feasible
+        assert est.infeasible_reason is not None
+
+    def test_weights_exceeding_hbm_are_infeasible(self):
+        huge = TransformerConfig(
+            name="huge", seq_len=2048, embed_dim=25600, num_heads=160, depth=128
+        )
+        est = evaluate_serving_config(
+            huge, SYSTEM, config(n1=1, np_=1, nd=1),
+            serving=ServingSpec(arrival_rate=1.0, prompt_tokens=2048, output_tokens=16),
+        )
+        assert not est.feasible
+        assert "HBM capacity" in est.infeasible_reason
+
+    def test_single_sequence_kv_overflow_is_infeasible(self):
+        # A deep MHA model at extreme context: the weights and the prefill
+        # working set fit, but one sequence's paged KV cache does not.
+        deep = TransformerConfig(
+            name="deep", seq_len=1024, embed_dim=2048, num_heads=16, depth=64
+        )
+        est = evaluate_serving_config(
+            deep, make_system("B200", 8), config(n1=1, np_=1, nd=1),
+            serving=ServingSpec(
+                arrival_rate=0.001, prompt_tokens=400_000, output_tokens=16
+            ),
+        )
+        assert not est.feasible
+        assert "KV cache for one sequence" in est.infeasible_reason
+        assert est.capacity_batch < 1.0
+
+    def test_slo_targets_flag_infeasibility(self):
+        est = evaluate_serving_config(TINY, SYSTEM, config(), serving=SPEC)
+        tight = ServingSpec(
+            arrival_rate=SPEC.arrival_rate,
+            prompt_tokens=SPEC.prompt_tokens,
+            output_tokens=SPEC.output_tokens,
+            target_ttft=est.ttft / 2,
+        )
+        est2 = evaluate_serving_config(TINY, SYSTEM, config(), serving=tight)
+        assert not est2.feasible and "TTFT" in est2.infeasible_reason
+
+    def test_moe_decode_prices_alltoall_and_expert_sharding(self):
+        dense = evaluate_serving_config(TINY, SYSTEM, config(), serving=SPEC)
+        moe = evaluate_serving_config(TINY_MOE, SYSTEM, config(ep=2), serving=SPEC)
+        assert moe.feasible
+        # 8 experts vs a dense MLP: far more resident weight bytes even
+        # with 2-way expert parallelism.
+        assert moe.weight_bytes > 2 * dense.weight_bytes
+
+    def test_non_tp1d_strategies_rejected(self):
+        with pytest.raises(ValueError, match="1D tensor parallelism"):
+            evaluate_serving_config(
+                TINY, SYSTEM, config(strategy="tp2d"), serving=SPEC
+            )
+
+    def test_higher_arrival_rate_grows_effective_batch(self):
+        low = evaluate_serving_config(
+            TINY, SYSTEM, config(),
+            serving=ServingSpec(arrival_rate=8.0, prompt_tokens=512, output_tokens=128),
+        )
+        high = evaluate_serving_config(
+            TINY, SYSTEM, config(),
+            serving=ServingSpec(arrival_rate=64.0, prompt_tokens=512, output_tokens=128),
+        )
+        assert high.effective_batch > low.effective_batch
+        assert high.tpot >= low.tpot
+
+    def test_serialization_round_trip(self):
+        est = evaluate_serving_config(TINY, SYSTEM, config(), serving=SPEC)
+        from repro.core.inference import ServingEstimate
+
+        rebuilt = dataclass_from_jsonable(ServingEstimate, to_jsonable(est))
+        assert rebuilt.config == est.config
+        assert rebuilt.serving == est.serving
+        assert rebuilt.tpot == est.tpot
+        assert rebuilt.plan.reduce().total == pytest.approx(est.plan.reduce().total)
+
+
+class TestAdmissibleBound:
+    """The zero-communication bound can never be beaten by any assignment."""
+
+    @pytest.mark.parametrize("objective", ["throughput", "ttft", "tpot"])
+    def test_bound_dominates_every_assignment(self, objective):
+        from repro.core.config_space import gpu_assignments
+
+        for cfg in (config(n1=2, np_=2, nd=2), config(n1=4, np_=1, nd=4), config(n1=1, np_=4, nd=4, strategy="tp1d")):
+            if TINY.kv_heads % cfg.tensor_parallel_1 != 0:
+                continue
+            bound, bound_feasible = serving_objective_bound(
+                TINY, SYSTEM, cfg, serving=SPEC, objective=objective
+            )
+            for assignment in gpu_assignments(cfg, SYSTEM.nvs_domain_size):
+                est = evaluate_serving_config(
+                    TINY, SYSTEM, cfg, assignment, serving=SPEC
+                )
+                if not est.feasible:
+                    continue
+                assert bound_feasible
+                value = est.objective_value(objective)
+                if objective == "throughput":
+                    assert bound >= value - 1e-12
+                else:
+                    assert bound <= value + 1e-12
+
+
+class TestServeRoundRobinReplay:
+    """The serving round-robin order replays through the event simulator."""
+
+    @pytest.mark.parametrize("np_,m", [(1, 4), (2, 6), (4, 8)])
+    def test_forward_only_makespan_closed_form(self, np_, m):
+        tf, p2p = 0.003, 0.0005
+        result = simulate_schedule(SERVING_SCHEDULE, np_, m, tf, 0.0, p2p_time=p2p)
+        hop = p2p if np_ > 1 else 0.0
+        # Forward-only pipeline: the fill ramp plus a full-rate stream.
+        assert result.makespan == pytest.approx((np_ - 1) * (tf + hop) + m * tf)
+        # Everything beyond the busy stream is the one-off fill ramp.
+        assert result.overhead_time == pytest.approx((np_ - 1) * (tf + hop), abs=1e-12)
+
+    def test_bubble_matches_schedule_closed_form(self):
+        from repro.core.schedules import get_schedule
+
+        sched = get_schedule(SERVING_SCHEDULE)
+        assert sched.bubble_time(4, 8, 0.003, 0.0) == pytest.approx(3 * 0.003)
+        assert sched.in_flight_microbatches(4, 8) == 1
+
+    def test_order_is_forward_only_in_arrival_order(self):
+        from repro.core.schedules import get_schedule
+
+        order = get_schedule(SERVING_SCHEDULE).execution_order(1, 4, 6)
+        assert order == [("forward", 0, mb) for mb in range(6)]
+
+    def test_training_evaluation_rejects_serving_schedule(self):
+        from dataclasses import replace
+
+        from repro.core.execution import evaluate_config
+
+        cfg = replace(config(), schedule=SERVING_SCHEDULE)
+        with pytest.raises(ValueError, match="serving-only"):
+            evaluate_config(TINY, SYSTEM, cfg, global_batch_size=64)
+
+    def test_training_enumeration_skips_serving_schedule(self):
+        from dataclasses import replace as _replace
+
+        from repro.core.config_space import DEFAULT_SEARCH_SPACE, parallel_configs
+
+        space = _replace(DEFAULT_SEARCH_SPACE, schedules=(SERVING_SCHEDULE,))
+        assert list(parallel_configs(TINY, 16, 64, "tp1d", space)) == []
+
+
+class TestFreeCommPricerContract:
+    def test_prices_everything_at_zero(self):
+        pricer = _FreeCommPricer(SYSTEM)
+        from repro.core.collectives import GroupPlacement
+
+        placement = GroupPlacement(size=4, gpus_per_nvs_domain=4)
+        assert pricer.collective("all_gather", 1e9, placement) == 0.0
+        assert pricer.p2p(1e9, placement) == 0.0
+
+
+class TestServingSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": 0.0},
+            {"prompt_tokens": 0},
+            {"output_tokens": 0},
+            {"kv_block_tokens": 0},
+            {"max_batch_per_replica": 0},
+            {"target_ttft": -1.0},
+            {"target_tpot": 0.0},
+        ],
+    )
+    def test_rejects_non_positive_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingSpec(**kwargs)
+
+    def test_context_helpers(self):
+        spec = ServingSpec(prompt_tokens=100, output_tokens=50)
+        assert spec.max_context_tokens == 150
+        assert spec.mean_context_tokens == pytest.approx(125.0)

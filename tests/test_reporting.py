@@ -1,0 +1,147 @@
+"""Structural tests of the ``repro.analysis.reporting`` render functions.
+
+These assert on *structure* — titles, one row per input, the columns that
+must be present, and the invariants that make the tables trustworthy — not
+on exact formatted strings, so cosmetic table tweaks never break them.
+"""
+
+import pytest
+
+from repro.analysis.differential import DifferentialCase, DifferentialResult, TermDelta
+from repro.analysis.reporting import (
+    render_differential,
+    render_plan_phases,
+    render_serving_report,
+)
+from repro.core.execution import evaluate_config
+from repro.core.inference import ServingSpec, find_serving_config
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+from repro.core.system import make_system
+
+TINY = TransformerConfig(
+    name="tiny", seq_len=1024, embed_dim=2048, num_heads=16, kv_heads=4, depth=16
+)
+SYSTEM = make_system("A100", 4)
+CONFIG = ParallelConfig(
+    strategy="tp1d",
+    tensor_parallel_1=2,
+    tensor_parallel_2=1,
+    pipeline_parallel=2,
+    data_parallel=2,
+    microbatch_size=1,
+)
+
+
+@pytest.fixture(scope="module")
+def training_estimate():
+    return evaluate_config(TINY, SYSTEM, CONFIG, global_batch_size=64)
+
+
+@pytest.fixture(scope="module")
+def serving_result():
+    return find_serving_config(
+        TINY,
+        SYSTEM,
+        16,
+        serving=ServingSpec(arrival_rate=32.0, prompt_tokens=512, output_tokens=128),
+        top_k=3,
+    )
+
+
+class TestRenderPlanPhases:
+    def test_one_row_per_phase_plus_header(self, training_estimate):
+        plan = training_estimate.plan
+        text = render_plan_phases(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("execution plan:")
+        # Title + header + separator + one row per phase.
+        assert len(lines) == 3 + len(plan.phases)
+        for phase in plan.phases:
+            assert any(line.startswith(phase.name) for line in lines[3:])
+
+    def test_header_names_every_reported_column(self, training_estimate):
+        text = render_plan_phases(training_estimate.plan)
+        header = text.splitlines()[1]
+        for column in ("phase", "category", "count", "each(s)", "exposed(s)", "mem(GB)"):
+            assert column in header
+
+    def test_title_reflects_schedule_and_shape(self, training_estimate):
+        plan = training_estimate.plan
+        title = render_plan_phases(plan).splitlines()[0]
+        assert plan.schedule in title
+        assert f"{plan.num_stages} stages" in title
+        assert f"{plan.num_microbatches} microbatches" in title
+
+    def test_non_default_backend_is_called_out(self, training_estimate):
+        from dataclasses import replace
+
+        plan = replace(training_estimate.plan, backend="sim")
+        assert "backend=sim" in render_plan_phases(plan).splitlines()[0]
+
+
+class TestRenderDifferential:
+    def _result(self, ok: bool) -> DifferentialResult:
+        case = DifferentialCase(name="tiny-case", workload="tiny", config=CONFIG)
+        est = evaluate_config(TINY, SYSTEM, CONFIG, global_batch_size=64)
+        deltas = [
+            TermDelta(term="compute", analytic=1.0, simulated=1.0, within=True),
+            TermDelta(term="tp_comm", analytic=1.0, simulated=1.2, within=ok),
+        ]
+        return DifferentialResult(case=case, analytic=est, simulated=est, deltas=deltas)
+
+    def test_one_row_per_case_and_pass_count(self):
+        results = [self._result(True), self._result(False)]
+        text = render_differential(results, "A100-NVS4")
+        lines = text.splitlines()
+        assert "differential validation" in lines[0]
+        assert "A100-NVS4" in lines[0]
+        assert "(1/2 cases within tolerance)" in lines[0]
+        # Title + header + separator + one row per result.
+        assert len(lines) == 3 + len(results)
+
+    def test_worst_term_is_reported(self):
+        text = render_differential([self._result(False)])
+        assert "tp_comm" in text  # the 20% term beats the exact one
+
+    def test_columns_present(self):
+        header = render_differential([self._result(True)]).splitlines()[1]
+        for column in ("Case", "schedule", "analytic(s)", "simulated(s)", "within band"):
+            assert column in header
+
+    def test_empty_results_render(self):
+        text = render_differential([])
+        assert "(0/0 cases within tolerance)" in text
+
+
+class TestRenderServingReport:
+    def test_headline_reports_all_key_metrics(self, serving_result):
+        text = render_serving_report(serving_result)
+        assert "serving search:" in text
+        for label in ("TTFT", "TPOT", "tokens/s/GPU", "KV cache", "prefill util"):
+            assert label in text
+        assert serving_result.best.config.describe() in text
+
+    def test_one_table_row_per_topk_candidate(self, serving_result):
+        text = render_serving_report(serving_result)
+        for est in serving_result.top_k:
+            assert sum(est.config.describe() in line for line in text.splitlines()) >= 1
+        # The table holds exactly the top-k candidates (header + separator + rows).
+        header_idx = next(
+            i for i, line in enumerate(text.splitlines()) if line.startswith("config")
+        )
+        rows = text.splitlines()[header_idx + 2 :]
+        assert len(rows) == len(serving_result.top_k)
+
+    def test_traffic_mix_in_title(self, serving_result):
+        text = render_serving_report(serving_result)
+        spec = serving_result.serving
+        assert f"prompt {spec.prompt_tokens}" in text
+        assert f"output {spec.output_tokens} tokens" in text
+
+    def test_not_found_renders_cleanly(self, serving_result):
+        from dataclasses import replace
+
+        empty = replace(serving_result, best=None, top_k=[])
+        text = render_serving_report(empty)
+        assert "no feasible serving configuration" in text
