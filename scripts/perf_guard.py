@@ -2,19 +2,30 @@
 """Tier-2 wall-clock guard for the optimal-configuration search hot path.
 
 Times ``repro-perf search`` on the gpt3-1t preset (the paper's headline
-workload) and fails when the best-of-N wall-clock regresses more than the
-tolerance over the committed baseline in
-``benchmarks/baselines/search_gpt3_1t.json``.  The guard is deliberately
-end-to-end — it exercises candidate enumeration, the cost-plan build/reduce,
-branch-and-bound pruning and the CLI — so a slowdown anywhere on the search
-path trips it.
+workload) in both evaluation modes and fails when either best-of-N
+wall-clock regresses more than the tolerance over its committed baseline:
+
+* ``benchmarks/baselines/search_gpt3_1t.json`` — the scalar oracle path;
+* ``benchmarks/baselines/search_gpt3_1t_batch.json`` — the vectorized
+  (``--eval-mode batch``) path.
+
+On top of the per-mode baselines the guard asserts the *relative* speedup
+that justifies the batch pricer's existence: the vectorized search must be
+at least :data:`MIN_BATCH_SPEEDUP`x faster than the scalar search measured
+in the same run.  That check compares two measurements from the same
+machine and process, so it needs no calibration and cannot be fooled by
+runner speed.
+
+The guard is deliberately end-to-end — it exercises candidate enumeration,
+the cost-plan build/reduce, branch-and-bound pruning, the NumPy batch
+pricer and the CLI — so a slowdown anywhere on the search path trips it.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_guard.py            # check
-    PYTHONPATH=src python scripts/perf_guard.py --update   # refresh baseline
+    PYTHONPATH=src python scripts/perf_guard.py --update   # refresh baselines
 
-The baseline is portable across machines: alongside the wall-clock it
+The baselines are portable across machines: alongside the wall-clock each
 records a *calibration* time — a fixed pure-Python workload measured on the
 same machine — and the budget scales by the ratio of the checking machine's
 calibration to the baseline's, so a slower CI runner gets a proportionally
@@ -39,6 +50,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "search_gpt3_1t.json"
+DEFAULT_BATCH_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "search_gpt3_1t_batch.json"
+)
 
 #: The guarded command: the gpt3-1t preset across all three strategies at a
 #: figure-scale GPU count — a few seconds of work, so the measurement
@@ -46,6 +60,16 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "search_gpt3_1t.json
 SEARCH_ARGV = [
     "search", "--model", "gpt3-1t", "--gpus", "4096", "--strategy", "all", "--top-k", "5",
 ]
+
+#: The same search through the vectorized pricer.
+BATCH_SEARCH_ARGV = SEARCH_ARGV + ["--eval-mode", "batch"]
+
+#: Minimum end-to-end speedup of the batch path over the scalar path,
+#: measured back-to-back in the same process.  The array programs price the
+#: pinned search roughly 4x faster than the scalar loop; 3x leaves headroom
+#: for CI noise while still failing if vectorization silently degrades to
+#: per-candidate work.
+MIN_BATCH_SPEEDUP = 3.0
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -69,7 +93,7 @@ def calibrate(repeats: int = 3) -> float:
     return best
 
 
-def time_search(repeats: int) -> float:
+def time_search(argv, repeats: int) -> float:
     """Best-of-``repeats`` wall-clock of the guarded search (seconds)."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.cli import main
@@ -81,7 +105,7 @@ def time_search(repeats: int) -> float:
         sink = StringIO()
         start = time.perf_counter()
         with redirect_stdout(sink):
-            rc = main(SEARCH_ARGV)
+            rc = main(argv)
         elapsed = time.perf_counter() - start
         if rc != 0:
             raise SystemExit(f"guarded search failed with exit code {rc}")
@@ -89,9 +113,51 @@ def time_search(repeats: int) -> float:
     return best
 
 
+def _write_baseline(path: Path, argv, measured: float, calibration: float, repeats: int) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "command": "repro-perf " + " ".join(argv),
+                "wall_seconds": round(measured, 4),
+                "calibration_seconds": round(calibration, 5),
+                "repeats": repeats,
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def _check_baseline(
+    label: str, path: Path, measured: float, calibration: float, tolerance: float
+) -> bool:
+    """Print a verdict line for one baseline; True when within budget."""
+    baseline = json.loads(path.read_text())
+    # Normalize for machine speed: a runner whose calibration loop is k×
+    # slower than the baseline machine's gets a k× larger budget.
+    speed_ratio = (
+        calibration / baseline["calibration_seconds"]
+        if baseline.get("calibration_seconds")
+        else 1.0
+    )
+    budget = baseline["wall_seconds"] * speed_ratio * (1.0 + tolerance)
+    ok = measured <= budget
+    print(
+        f"{'OK' if ok else 'REGRESSION'}: {label} search took {measured:.3f}s "
+        f"(baseline {baseline['wall_seconds']:.3f}s, machine-speed ratio "
+        f"{speed_ratio:.2f}x, budget {budget:.3f}s, "
+        f"tolerance {100 * tolerance:.0f}%)"
+    )
+    return ok
+
+
 def main_guard(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--batch-baseline", type=Path, default=DEFAULT_BATCH_BASELINE)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--tolerance",
@@ -100,55 +166,47 @@ def main_guard(argv=None) -> int:
         help="allowed fractional regression over the baseline (default 0.25)",
     )
     parser.add_argument(
-        "--update", action="store_true", help="rewrite the baseline from this run"
+        "--update", action="store_true", help="rewrite the baselines from this run"
     )
     args = parser.parse_args(argv)
 
-    measured = time_search(args.repeats)
+    measured = time_search(SEARCH_ARGV, args.repeats)
+    measured_batch = time_search(BATCH_SEARCH_ARGV, args.repeats)
     calibration = calibrate()
 
-    if args.update or not args.baseline.exists():
-        args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(
-            json.dumps(
-                {
-                    "command": "repro-perf " + " ".join(SEARCH_ARGV),
-                    "wall_seconds": round(measured, 4),
-                    "calibration_seconds": round(calibration, 5),
-                    "repeats": args.repeats,
-                    "platform": platform.platform(),
-                    "python": platform.python_version(),
-                },
-                indent=2,
-            )
-            + "\n"
+    if args.update or not args.baseline.exists() or not args.batch_baseline.exists():
+        _write_baseline(args.baseline, SEARCH_ARGV, measured, calibration, args.repeats)
+        _write_baseline(
+            args.batch_baseline, BATCH_SEARCH_ARGV, measured_batch, calibration, args.repeats
         )
         print(
-            f"baseline written: {measured:.3f}s "
-            f"(calibration {calibration:.4f}s) -> {args.baseline}"
+            f"baselines written: scalar {measured:.3f}s, batch {measured_batch:.3f}s "
+            f"(calibration {calibration:.4f}s) -> {args.baseline.parent}"
         )
         return 0
 
-    baseline = json.loads(args.baseline.read_text())
-    # Normalize for machine speed: a runner whose calibration loop is k×
-    # slower than the baseline machine's gets a k× larger budget.
-    speed_ratio = (
-        calibration / baseline["calibration_seconds"]
-        if baseline.get("calibration_seconds")
-        else 1.0
+    ok = _check_baseline("scalar", args.baseline, measured, calibration, args.tolerance)
+    ok &= _check_baseline(
+        "batch", args.batch_baseline, measured_batch, calibration, args.tolerance
     )
-    budget = baseline["wall_seconds"] * speed_ratio * (1.0 + args.tolerance)
-    verdict = "OK" if measured <= budget else "REGRESSION"
-    print(
-        f"{verdict}: search took {measured:.3f}s "
-        f"(baseline {baseline['wall_seconds']:.3f}s, machine-speed ratio "
-        f"{speed_ratio:.2f}x, budget {budget:.3f}s, "
-        f"tolerance {100 * args.tolerance:.0f}%)"
-    )
-    if measured > budget:
+
+    speedup = measured / measured_batch if measured_batch > 0 else float("inf")
+    if speedup >= MIN_BATCH_SPEEDUP:
+        print(
+            f"OK: vectorized search is {speedup:.1f}x faster than scalar "
+            f"(floor {MIN_BATCH_SPEEDUP:.0f}x)"
+        )
+    else:
+        ok = False
+        print(
+            f"REGRESSION: vectorized search is only {speedup:.1f}x faster than "
+            f"scalar (floor {MIN_BATCH_SPEEDUP:.0f}x)"
+        )
+
+    if not ok:
         print(
             "the search hot path regressed; investigate before merging, or "
-            "refresh the baseline with --update if the slowdown is intentional",
+            "refresh the baselines with --update if the slowdown is intentional",
             file=sys.stderr,
         )
         return 1

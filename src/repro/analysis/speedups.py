@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
+from repro.core.search import DEFAULT_EVAL_MODE
 from repro.core.system import make_system
 from repro.runtime import ProgressCallback, SearchCache, SearchTask, SweepExecutor
 
@@ -54,6 +55,7 @@ def speedup_sweep(
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -80,6 +82,7 @@ def speedup_sweep(
             space=space,
             options=options,
             backend=backend,
+            eval_mode=eval_mode,
         )
         for system, n in grid
         for strat in (baseline_strategy, variant_strategy)

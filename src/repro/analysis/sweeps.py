@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions
 from repro.core.model import TransformerConfig
-from repro.core.search import SearchResult
+from repro.core.search import DEFAULT_EVAL_MODE, SearchResult
 from repro.core.system import NVS_DOMAIN_SIZES, SystemSpec, make_system
 from repro.core.training import TrainingRegime, default_regime
 from repro.runtime import ProgressCallback, SearchCache, SearchTask, SweepExecutor
@@ -106,6 +106,7 @@ def scaling_sweep(
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -127,6 +128,7 @@ def scaling_sweep(
             space=space,
             options=options,
             backend=backend,
+            eval_mode=eval_mode,
         )
         for n in n_gpus_list
     ]
@@ -160,6 +162,7 @@ def system_grid_sweep(
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -188,6 +191,7 @@ def system_grid_sweep(
                     space=space,
                     options=options,
                     backend=backend,
+                    eval_mode=eval_mode,
                 )
                 for n in n_gpus_list
             )
@@ -247,6 +251,7 @@ def hardware_heatmap(
     space: SearchSpace = DEFAULT_SEARCH_SPACE,
     options: ModelingOptions = DEFAULT_OPTIONS,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
     jobs: Optional[int] = None,
     cache: Optional[SearchCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -311,6 +316,7 @@ def hardware_heatmap(
                     space=space,
                     options=options,
                     backend=backend,
+                    eval_mode=eval_mode,
                 )
             )
 

@@ -70,7 +70,7 @@ from repro.core.inference import (
     ServingSpec,
     find_serving_config,
 )
-from repro.core.search import find_optimal_config
+from repro.core.search import DEFAULT_EVAL_MODE, EVAL_MODES, find_optimal_config
 from repro.core.schedules import (
     DEFAULT_SCHEDULE,
     available_schedules,
@@ -132,6 +132,14 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
         choices=available_backends(),
         help="evaluation backend: 'analytic' (paper's closed forms, default) "
         "or 'sim' (message-level ring/schedule replay oracle)",
+    )
+    parser.add_argument(
+        "--eval-mode",
+        default=DEFAULT_EVAL_MODE,
+        choices=EVAL_MODES,
+        help="candidate pricing: 'scalar' (per-candidate oracle, default) or "
+        "'batch' (vectorized NumPy pricer; identical results, several times "
+        "faster; analytic backend only)",
     )
     parser.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
 
@@ -291,6 +299,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         options=_scenario_options(args),
         top_k=args.top_k,
         backend=args.backend,
+        eval_mode=args.eval_mode,
     )
     if not result.found:
         print(f"No feasible configuration for {model.name} on {system.name} with {args.gpus} GPUs")
@@ -342,6 +351,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         space=_scenario_space(args),
         options=_scenario_options(args),
         backend=args.backend,
+        eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
     )
@@ -366,6 +376,7 @@ def cmd_systems(args: argparse.Namespace) -> int:
         space=_scenario_space(args),
         options=_scenario_options(args),
         backend=args.backend,
+        eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
     )
@@ -391,6 +402,7 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         space=_scenario_space(args),
         options=_scenario_options(args),
         backend=args.backend,
+        eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
     )
@@ -520,6 +532,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             options=_scenario_options(args),
             top_k=args.top_k,
             backend=args.backend,
+            eval_mode=args.eval_mode,
         )
     except ValueError as exc:
         print(f"repro-perf: error: {exc}", file=sys.stderr)
@@ -700,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_EVAL_BACKEND,
         choices=available_backends(),
         help="evaluation backend for the comm terms (analytic default)",
+    )
+    p.add_argument(
+        "--eval-mode",
+        default=DEFAULT_EVAL_MODE,
+        choices=EVAL_MODES,
+        help="candidate pricing: 'scalar' (default) or 'batch' (vectorized "
+        "prefill-comm pricing; byte-identical results)",
     )
     p.add_argument("--json", default=None, help="optional path to dump raw results as JSON")
     p.set_defaults(func=cmd_serve)

@@ -616,8 +616,17 @@ def _evaluate_serving(
     serving: ServingSpec,
     options: ModelingOptions,
     pricer: CostPricer,
+    _prefill_comm: Optional[Tuple[float, float]] = None,
 ) -> ServingEstimate:
-    """Price one validated serving candidate through ``pricer``."""
+    """Price one validated serving candidate through ``pricer``.
+
+    ``_prefill_comm`` optionally injects the two assignment-dependent
+    prefill quantities — the per-layer TP-collective time and the
+    stage-boundary P2P time — pre-computed by the vectorized batch pricer
+    (:func:`repro.core.batch_eval.batch_serving_prefill_comm`).  The lanes
+    are bit-exact with the scalar closed forms, so injection changes no
+    result; it only skips re-pricing the collectives per candidate.
+    """
     np_ = config.pipeline_parallel
     nd = config.data_parallel
     stage_layers = layers_per_stage(model, config)
@@ -639,15 +648,22 @@ def _evaluate_serving(
     )
     pf_flop = stage.fwd_flop * stage_layers
     pf_mem = stage.fwd_mem_exposed * stage_layers
-    pf_tp_comm = _comm_time(stage.fwd_comms, config, assignment, pricer) * stage_layers
+    if _prefill_comm is not None:
+        pf_layer_comm = _prefill_comm[0]
+    else:
+        pf_layer_comm = _comm_time(stage.fwd_comms, config, assignment, pricer)
+    pf_tp_comm = pf_layer_comm * stage_layers
     t_pf_stage = pf_flop + pf_mem + pf_tp_comm
 
     pf_p2p = 0.0
     if np_ > 1:
-        placement = _group_placement(GROUP_PP, config, assignment)
-        pf_p2p = pricer.p2p(
-            model.dtype_bytes * serving.prompt_tokens * model.embed_dim, placement
-        )
+        if _prefill_comm is not None:
+            pf_p2p = _prefill_comm[1]
+        else:
+            placement = _group_placement(GROUP_PP, config, assignment)
+            pf_p2p = pricer.p2p(
+                model.dtype_bytes * serving.prompt_tokens * model.embed_dim, placement
+            )
     ttft = np_ * t_pf_stage + (np_ - 1) * pf_p2p
 
     # --- memory: weights + paged KV capacity ------------------------------
@@ -969,6 +985,7 @@ def find_serving_config(
     options: ModelingOptions = DEFAULT_OPTIONS,
     top_k: int = 0,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = "scalar",
 ) -> ServingSearchResult:
     """Search the EP/TP/PP/DP space for the best serving configuration.
 
@@ -984,7 +1001,24 @@ def find_serving_config(
     sustainable tokens/s/GPU; ``"ttft"`` / ``"tpot"`` minimise the latency
     terms.  Infeasible candidates (KV capacity, prefill saturation,
     arrival-rate overload, SLO targets) never win.
+
+    ``eval_mode="batch"`` prices each survivor's assignment-dependent
+    prefill communication as one vectorized array program
+    (:func:`repro.core.batch_eval.batch_serving_prefill_comm`) and injects
+    the lanes into the scalar evaluator; the decode fixed point stays
+    scalar, so every estimate — and therefore the search outcome — is
+    byte-identical to scalar mode.  Analytic backend only.
     """
+    # Local import: batch_eval shares this module's core dependencies but
+    # must not be imported at module load (keeps numpy off the scalar path).
+    from repro.core import batch_eval
+
+    eval_mode = batch_eval.validate_eval_mode(eval_mode)
+    if eval_mode == "batch" and backend != DEFAULT_BACKEND:
+        raise ValueError(
+            f"eval_mode='batch' vectorizes the analytic closed forms and is "
+            f"only exact against backend={DEFAULT_BACKEND!r}; got {backend!r}"
+        )
     if objective not in SERVING_OBJECTIVES:
         raise ValueError(
             f"unknown serving objective {objective!r}; expected one of {SERVING_OBJECTIVES}"
@@ -1045,10 +1079,26 @@ def find_serving_config(
                 n_pruned += len(survivors) - idx
                 break
         assignments = gpu_assignments(config, system.nvs_domain_size, serving_space)
+        prefill_comms: Optional[List[Tuple[float, float]]] = None
+        if eval_mode == "batch":
+            pf_comm, pf_p2p = batch_eval.batch_serving_prefill_comm(
+                model,
+                system,
+                config,
+                assignments,
+                prompt_tokens=serving.prompt_tokens,
+                options=options,
+            )
+            prefill_comms = [
+                (float(c), float(p)) for c, p in zip(pf_comm, pf_p2p)
+            ]
         for assign_idx, assignment in enumerate(assignments):
             n_eval += 1
             est = _evaluate_serving(
-                model, system, config, assignment, serving, options, pricer
+                model, system, config, assignment, serving, options, pricer,
+                _prefill_comm=(
+                    prefill_comms[assign_idx] if prefill_comms is not None else None
+                ),
             )
             if not est.feasible:
                 n_mem += 1

@@ -115,6 +115,36 @@ class PipelineSchedule(ABC):
     ) -> float:
         """Fill/drain idle time of one iteration (seconds)."""
 
+    def bubble_time_batch(
+        self,
+        num_stages,
+        num_microbatches,
+        forward_time,
+        backward_time,
+        virtual_stages,
+    ):
+        """Vectorized :meth:`bubble_time` over aligned candidate arrays.
+
+        The batch evaluator (:mod:`repro.core.batch_eval`) prices whole
+        candidate enumerations as array programs; schedules with a closed
+        form override this with the elementwise NumPy transcription (same
+        operations, same association order, so each lane is bit-exact with
+        the scalar call).  The default falls back to looping the scalar
+        :meth:`bubble_time` per lane — always correct, merely slower — so
+        third-party schedules stay batch-compatible without changes.
+        """
+        import numpy as np
+
+        return np.array(
+            [
+                self.bubble_time(int(n), int(m), float(tf), float(tb), int(v))
+                for n, m, tf, tb, v in zip(
+                    num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+                )
+            ],
+            dtype=np.float64,
+        )
+
     def in_flight_microbatches(
         self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> int:

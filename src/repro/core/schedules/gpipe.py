@@ -35,6 +35,12 @@ class GPipeSchedule(PipelineSchedule):
         """Same ``(np - 1) * (tf + tb)`` fill/drain ramp as 1F1B."""
         return pipeline_bubble_time(num_stages, forward_time, backward_time)
 
+    def bubble_time_batch(
+        self, num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+    ):
+        """Elementwise ``(np - 1) * (tf + tb)`` over candidate arrays."""
+        return (num_stages - 1) * (forward_time + backward_time)
+
     def in_flight_microbatches(
         self, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> int:

@@ -85,6 +85,12 @@ class InterleavedSchedule(PipelineSchedule):
             raise ValueError("virtual_stages must be >= 1")
         return pipeline_bubble_time(num_stages, forward_time, backward_time) / virtual_stages
 
+    def bubble_time_batch(
+        self, num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+    ):
+        """Elementwise ``(np - 1) * (tf + tb) / v`` over candidate arrays."""
+        return (num_stages - 1) * (forward_time + backward_time) / virtual_stages
+
     def p2p_volume_factor(self, virtual_stages: int = 1) -> float:
         """Each microbatch crosses ``v`` chunk boundaries per GPU."""
         if virtual_stages < 1:

@@ -38,6 +38,12 @@ class OneFOneBSchedule(PipelineSchedule):
         """The paper's ``(np - 1) * (tf + tb)`` fill/drain bubble."""
         return pipeline_bubble_time(num_stages, forward_time, backward_time)
 
+    def bubble_time_batch(
+        self, num_stages, num_microbatches, forward_time, backward_time, virtual_stages
+    ):
+        """Elementwise ``(np - 1) * (tf + tb)`` over candidate arrays."""
+        return (num_stages - 1) * (forward_time + backward_time)
+
     def execution_order(
         self, stage: int, num_stages: int, num_microbatches: int, virtual_stages: int = 1
     ) -> List[WorkItem]:

@@ -23,6 +23,7 @@ unchanged; :class:`SearchStatistics` records how much work was avoided.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from dataclasses import dataclass, field
@@ -50,6 +51,16 @@ from repro.core.system import SystemSpec
 
 #: Strategies searched when the caller asks for "all".
 ALL_STRATEGIES = ("tp1d", "tp2d", "summa")
+
+#: Re-exported evaluation modes (see :mod:`repro.core.batch_eval`): the
+#: per-candidate scalar oracle (default) and the vectorized batch pricer.
+DEFAULT_EVAL_MODE = "scalar"
+EVAL_MODES = ("scalar", "batch")
+
+#: Parallelizations priced per vectorized block in batch mode.  Large enough
+#: to amortize the NumPy dispatch, small enough that the incumbent (and the
+#: branch-and-bound threshold derived from it) refreshes frequently.
+_BATCH_CHUNK_CONFIGS = 256
 
 #: Objective name of the classic training search (minimise iteration time).
 #: The serving objectives live in :data:`repro.core.inference.SERVING_OBJECTIVES`.
@@ -79,6 +90,13 @@ class SearchStatistics:
     #: Parallelizations skipped outright because their lower bound met or
     #: exceeded the incumbent optimum; their NVS-assignment loops never ran.
     pruned_configs: int = 0
+    #: Of :attr:`pruned_configs`, how many were pruned only thanks to an
+    #: incumbent *shared from outside this strategy's own search* — a
+    #: previously-searched strategy of the same call, or another
+    #: :class:`~repro.runtime.executor.SweepExecutor` worker's published
+    #: bound (batch eval mode only).  Cross-worker sharing depends on worker
+    #: timing, so the counter is diagnostics-only and excluded from equality.
+    shared_incumbent_prunes: int = field(default=0, compare=False)
     #: Hits/misses of the memoized per-layer workload cache during this
     #: search (``execution._cached_workload``) — hits mean microbatch,
     #: schedule and assignment candidates re-used an already-built workload.
@@ -102,6 +120,9 @@ class SearchStatistics:
             infeasible_other=self.infeasible_other + other.infeasible_other,
             bounds_computed=self.bounds_computed + other.bounds_computed,
             pruned_configs=self.pruned_configs + other.pruned_configs,
+            shared_incumbent_prunes=(
+                self.shared_incumbent_prunes + other.shared_incumbent_prunes
+            ),
             workload_cache_hits=self.workload_cache_hits + other.workload_cache_hits,
             workload_cache_misses=self.workload_cache_misses + other.workload_cache_misses,
             stage_cache_hits=self.stage_cache_hits + other.stage_cache_hits,
@@ -177,6 +198,128 @@ def evaluate_candidates(
     return estimates
 
 
+def _batch_pass_two(
+    model: TransformerConfig,
+    system: SystemSpec,
+    global_batch_size: int,
+    space: SearchSpace,
+    options: ModelingOptions,
+    top_k: int,
+    prune: bool,
+    survivors: List[Tuple[float, int, ParallelConfig]],
+    board,
+    consume_keys: Sequence[str],
+    publish_key: Optional[str],
+) -> Tuple[Optional[IterationEstimate], List[IterationEstimate], int, int, int]:
+    """Vectorized pass 2: price survivors in bound-ordered chunks.
+
+    Chunks of parallelizations are expanded into (config, assignment) rows
+    and priced by :func:`repro.core.batch_eval.batch_candidate_times` — one
+    NumPy array program per chunk instead of one ``evaluate_config`` call
+    per candidate.  The branch-and-bound threshold (the incumbent best, or
+    the k-th best with a leaderboard) refreshes between chunks rather than
+    between candidates, so batch mode may *evaluate* a few more candidates
+    than scalar mode near the pruning frontier — but since pruning remains
+    sound, the selected optimum and the exact top-k set are identical, and
+    the winners are re-priced through the scalar oracle so the returned
+    :class:`IterationEstimate` objects (plans included) are bit-identical
+    to the scalar path's.
+
+    With ``top_k == 0`` the threshold additionally consults the shared
+    :class:`~repro.core.batch_eval.IncumbentBoard` (``consume_keys``) and
+    publishes improvements under ``publish_key``.  A shared bound is a true
+    feasible time of the consumed scope, so it can only prune candidates
+    that cannot win; prunes that only the shared bound explains are
+    tallied separately (the fifth return value).
+
+    Returns ``(best, leaderboard, evaluated, pruned, shared_prunes)``.
+    """
+    from repro.core import batch_eval
+
+    best_row: Optional[Tuple[ParallelConfig, GpuAssignment]] = None
+    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+    topk_heap: List[tuple] = []
+    n_eval = 0
+    n_pruned = 0
+    n_shared = 0
+    share = board is not None and top_k == 0 and prune
+    bounds = [item[0] for item in survivors]
+
+    i = 0
+    while i < len(survivors):
+        local_threshold = math.inf
+        if prune:
+            if top_k > 0:
+                if len(topk_heap) >= top_k:
+                    local_threshold = -topk_heap[0][0]
+            else:
+                local_threshold = best_key[0]
+        threshold = local_threshold
+        if share:
+            threshold = min(threshold, board.get(consume_keys))
+        if prune and bounds[i] > threshold:
+            n_pruned += len(survivors) - i
+            if threshold < local_threshold:
+                # Survivors the local incumbent alone would have kept alive.
+                n_shared += bisect.bisect_right(bounds, local_threshold, i) - i
+            break
+        j = min(i + _BATCH_CHUNK_CONFIGS, len(survivors))
+        if prune:
+            # Bound-sorted: everything past the first too-large bound is
+            # prunable; leave it for the next iteration's threshold check.
+            j = bisect.bisect_right(bounds, threshold, i, j)
+        rows: List[Tuple[int, ParallelConfig, int, GpuAssignment]] = []
+        for _, rank, config in survivors[i:j]:
+            assignments = gpu_assignments(config, system.nvs_domain_size, space)
+            rows.extend(
+                (rank, config, assign_idx, assignment)
+                for assign_idx, assignment in enumerate(assignments)
+            )
+        n_eval += len(rows)
+        times = batch_eval.batch_candidate_times(
+            model,
+            system,
+            [(config, assignment) for _, config, _, assignment in rows],
+            global_batch_size=global_batch_size,
+            options=options,
+        )
+        for (rank, config, assign_idx, assignment), time in zip(rows, times):
+            # Pass 1 already established feasibility (memory is
+            # assignment-independent), so every row is a contender.
+            time = float(time)
+            key = (time, rank, assign_idx)
+            if best_row is None or key < best_key:
+                best_row = (config, assignment)
+                best_key = key
+            if top_k > 0:
+                entry = (-time, -rank, -assign_idx, (config, assignment))
+                if len(topk_heap) < top_k:
+                    heapq.heappush(topk_heap, entry)
+                elif entry > topk_heap[0]:
+                    heapq.heapreplace(topk_heap, entry)
+        if share and publish_key is not None and best_row is not None:
+            board.publish(publish_key, best_key[0])
+        i = j
+
+    def _scalar(config: ParallelConfig, assignment: GpuAssignment) -> IterationEstimate:
+        return evaluate_config(
+            model,
+            system,
+            config,
+            assignment,
+            global_batch_size=global_batch_size,
+            options=options,
+            backend=DEFAULT_BACKEND,
+        )
+
+    best = _scalar(*best_row) if best_row is not None else None
+    leaderboard = [
+        _scalar(*row)
+        for _, _, _, row in sorted(topk_heap, key=lambda e: (-e[0], -e[1], -e[2]))
+    ]
+    return best, leaderboard, n_eval, n_pruned, n_shared
+
+
 def _search_single_strategy(
     model: TransformerConfig,
     system: SystemSpec,
@@ -187,6 +330,10 @@ def _search_single_strategy(
     options: ModelingOptions,
     top_k: int,
     backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
+    board=None,
+    consume_keys: Sequence[str] = (),
+    publish_key: Optional[str] = None,
 ) -> SearchResult:
     best: Optional[IterationEstimate] = None
     n_parallel = 0
@@ -240,49 +387,65 @@ def _search_single_strategy(
     # (-time, -enumeration rank, -assignment index): heap[0] is the worst
     # kept entry — which doubles as the pruning threshold — and exact time
     # ties resolve by enumeration order, independent of evaluation order.
-    topk_heap: List[Tuple[float, int, int, IterationEstimate]] = []
-    best_key: Tuple[float, int, int] = (math.inf, -1, -1)
-    for idx, (bound, rank, config) in enumerate(survivors):
-        if prune:
-            if top_k > 0:
-                threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
-            else:
-                threshold = best.total_time if best is not None else math.inf
-            if bound > threshold:
-                # Survivors are bound-sorted: no later one can beat (or
-                # exactly tie, hence the strict >) the incumbent either.
-                n_pruned += len(survivors) - idx
-                break
+    n_shared = 0
+    if eval_mode == "batch":
+        best, leaderboard, n_eval, n_pruned, n_shared = _batch_pass_two(
+            model,
+            system,
+            global_batch_size,
+            space,
+            options,
+            top_k,
+            prune,
+            survivors,
+            board,
+            consume_keys,
+            publish_key,
+        )
+    else:
+        topk_heap: List[Tuple[float, int, int, IterationEstimate]] = []
+        best_key: Tuple[float, int, int] = (math.inf, -1, -1)
+        for idx, (bound, rank, config) in enumerate(survivors):
+            if prune:
+                if top_k > 0:
+                    threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
+                else:
+                    threshold = best.total_time if best is not None else math.inf
+                if bound > threshold:
+                    # Survivors are bound-sorted: no later one can beat (or
+                    # exactly tie, hence the strict >) the incumbent either.
+                    n_pruned += len(survivors) - idx
+                    break
 
-        assignments = gpu_assignments(config, system.nvs_domain_size, space)
-        for assign_idx, assignment in enumerate(assignments):
-            n_eval += 1
-            estimate = evaluate_config(
-                model,
-                system,
-                config,
-                assignment,
-                global_batch_size=global_batch_size,
-                options=options,
-                backend=backend,
-            )
-            if not estimate.feasible:
-                n_mem += 1
-                continue
-            key = (estimate.total_time, rank, assign_idx)
-            if best is None or key < best_key:
-                best = estimate
-                best_key = key
-            if top_k > 0:
-                entry = (-estimate.total_time, -rank, -assign_idx, estimate)
-                if len(topk_heap) < top_k:
-                    heapq.heappush(topk_heap, entry)
-                elif entry > topk_heap[0]:
-                    heapq.heapreplace(topk_heap, entry)
+            assignments = gpu_assignments(config, system.nvs_domain_size, space)
+            for assign_idx, assignment in enumerate(assignments):
+                n_eval += 1
+                estimate = evaluate_config(
+                    model,
+                    system,
+                    config,
+                    assignment,
+                    global_batch_size=global_batch_size,
+                    options=options,
+                    backend=backend,
+                )
+                if not estimate.feasible:
+                    n_mem += 1
+                    continue
+                key = (estimate.total_time, rank, assign_idx)
+                if best is None or key < best_key:
+                    best = estimate
+                    best_key = key
+                if top_k > 0:
+                    entry = (-estimate.total_time, -rank, -assign_idx, estimate)
+                    if len(topk_heap) < top_k:
+                        heapq.heappush(topk_heap, entry)
+                    elif entry > topk_heap[0]:
+                        heapq.heapreplace(topk_heap, entry)
 
-    leaderboard = [
-        est for _, _, _, est in sorted(topk_heap, key=lambda e: (-e[0], -e[1], -e[2]))
-    ]
+        leaderboard = [
+            est for _, _, _, est in sorted(topk_heap, key=lambda e: (-e[0], -e[1], -e[2]))
+        ]
 
     caches_after = cache_stats()
 
@@ -301,6 +464,7 @@ def _search_single_strategy(
             infeasible_other=n_other,
             bounds_computed=n_bounds,
             pruned_configs=n_pruned,
+            shared_incumbent_prunes=n_shared,
             workload_cache_hits=(
                 caches_after["workload"]["hits"] - caches_before["workload"]["hits"]
             ),
@@ -331,6 +495,7 @@ def find_optimal_config(
     backend: str = DEFAULT_BACKEND,
     objective: str = TRAINING_OBJECTIVE,
     serving=None,
+    eval_mode: str = DEFAULT_EVAL_MODE,
 ):
     """Brute-force search for the fastest feasible configuration.
 
@@ -342,6 +507,18 @@ def find_optimal_config(
     (:mod:`repro.core.backends`); with a non-default backend the
     branch-and-bound pruning is disabled, since the analytic lower bound is
     only provably admissible for the analytic evaluation.
+
+    ``eval_mode`` selects how candidates are priced.  ``"scalar"`` (the
+    default) calls :func:`~repro.core.execution.evaluate_config` once per
+    candidate; ``"batch"`` prices memory-filtered survivors in vectorized
+    NumPy chunks (:mod:`repro.core.batch_eval`) — the selected optimum and
+    top-k set are identical (the batch pricer is bit-exact against the
+    scalar oracle, and the winners are re-priced through it), but searches
+    run several times faster.  Batch mode is analytic-only: combining it
+    with a non-default ``backend`` raises :class:`ValueError`.  With
+    pruning enabled and no top-k request, batch mode additionally shares
+    the incumbent bound across this call's strategies and (best-effort)
+    across :class:`~repro.runtime.executor.SweepExecutor` workers.
 
     ``objective`` selects the execution regime.  The default
     (:data:`TRAINING_OBJECTIVE`) minimises the training iteration time and
@@ -360,6 +537,17 @@ def find_optimal_config(
     which is how capacity-limited systems (e.g. A100 + the long-sequence ViT)
     are handled in practice.
     """
+    # Local import: batch_eval sits on top of execution/config_space, which
+    # this module also imports; resolving it lazily keeps startup costs off
+    # the scalar path and avoids fragile import ordering.
+    from repro.core import batch_eval
+
+    eval_mode = batch_eval.validate_eval_mode(eval_mode)
+    if eval_mode == "batch" and backend != DEFAULT_BACKEND:
+        raise ValueError(
+            f"eval_mode='batch' vectorizes the analytic closed forms and is "
+            f"only exact against backend={DEFAULT_BACKEND!r}; got {backend!r}"
+        )
     if objective != TRAINING_OBJECTIVE:
         # Local import: repro.core.inference imports this module for the
         # shared SearchStatistics, so the dependency must stay one-way.
@@ -375,6 +563,7 @@ def find_optimal_config(
             options=options,
             top_k=top_k,
             backend=backend,
+            eval_mode=eval_mode,
         )
     if isinstance(strategy, str):
         strategies: Tuple[str, ...] = ALL_STRATEGIES if strategy == "all" else (strategy,)
@@ -383,12 +572,32 @@ def find_optimal_config(
     if not strategies:
         raise ValueError("at least one strategy is required")
 
-    results = [
-        _search_single_strategy(
-            model, system, n_gpus, global_batch_size, strat, space, options, top_k, backend
-        )
-        for strat in strategies
-    ]
+    def _run(opts: ModelingOptions) -> List[SearchResult]:
+        # Shared-incumbent sharing requires: batch pricing, a plain best-only
+        # search (a top-k leaderboard prunes on the k-th best, which a scope
+        # incumbent would over-tighten) and pruning enabled.  Cross-strategy
+        # consumption is sound because a multi-strategy call only reports the
+        # *merged* best: any candidate a sibling's incumbent pruned has time
+        # >= its bound > incumbent >= merged best.
+        board = None
+        keys: List[str] = []
+        if eval_mode == "batch" and top_k == 0 and space.prune_with_lower_bound:
+            board = batch_eval.incumbent_board()
+            keys = batch_eval.incumbent_scope_keys(
+                model, system, n_gpus, global_batch_size, space, opts, strategies
+            )
+        return [
+            _search_single_strategy(
+                model, system, n_gpus, global_batch_size, strat, space, opts,
+                top_k, backend, eval_mode,
+                board=board,
+                consume_keys=tuple(keys),
+                publish_key=keys[i] if keys else None,
+            )
+            for i, strat in enumerate(strategies)
+        ]
+
+    results = _run(options)
 
     if (
         fallback_activation_checkpointing
@@ -397,14 +606,7 @@ def find_optimal_config(
     ):
         from dataclasses import replace as _replace
 
-        checkpointed = _replace(options, activation_checkpointing=True)
-        results = [
-            _search_single_strategy(
-                model, system, n_gpus, global_batch_size, strat, space, checkpointed,
-                top_k, backend,
-            )
-            for strat in strategies
-        ]
+        results = _run(_replace(options, activation_checkpointing=True))
 
     if len(results) == 1:
         return results[0]

@@ -45,7 +45,11 @@ from repro.utils.serialization import (
 #: v5: the inference-serving mode — the fingerprint includes the task's
 #: ``objective`` and ``serving`` spec, and serving-objective entries rebuild
 #: into :class:`~repro.core.inference.ServingSearchResult` trees.
-CACHE_FORMAT_VERSION = 5
+#: v6: vectorized evaluation — the fingerprint includes the task's
+#: ``eval_mode``.  Scalar and batch solves of the same point select the same
+#: optimum, but their diagnostics-only work counters may differ, so the
+#: entries must not collide.
+CACHE_FORMAT_VERSION = 6
 
 
 class SearchCache:
@@ -88,6 +92,7 @@ class SearchCache:
                 "backend": task.backend,
                 "objective": getattr(task, "objective", TRAINING_OBJECTIVE),
                 "serving": to_jsonable(getattr(task, "serving", None)),
+                "eval_mode": getattr(task, "eval_mode", "scalar"),
             }
         )
 

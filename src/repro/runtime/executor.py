@@ -24,6 +24,7 @@ path-backed cache is saved once at the end of the batch.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -33,7 +34,13 @@ from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_con
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions, clear_caches
 from repro.core.inference import ServingSpec
 from repro.core.model import TransformerConfig
-from repro.core.search import ALL_STRATEGIES, TRAINING_OBJECTIVE, SearchResult, find_optimal_config
+from repro.core.search import (
+    ALL_STRATEGIES,
+    DEFAULT_EVAL_MODE,
+    TRAINING_OBJECTIVE,
+    SearchResult,
+    find_optimal_config,
+)
 from repro.core.system import SystemSpec
 from repro.runtime.cache import SearchCache
 
@@ -66,6 +73,10 @@ class SearchTask:
     objective: str = TRAINING_OBJECTIVE
     #: Traffic description for serving-objective tasks (``None`` -> defaults).
     serving: Optional[ServingSpec] = None
+    #: Candidate pricing mode (see :mod:`repro.core.batch_eval`): the scalar
+    #: per-candidate oracle, or the vectorized ``"batch"`` pricer (identical
+    #: results, several times faster; analytic backend only).
+    eval_mode: str = DEFAULT_EVAL_MODE
 
     def __post_init__(self) -> None:
         # Normalise strategy sequences to tuples so tasks stay hashable
@@ -127,7 +138,73 @@ def solve_search_task(task: SearchTask):
         backend=task.backend,
         objective=task.objective,
         serving=task.serving,
+        eval_mode=task.eval_mode,
     )
+
+
+def _task_strategies(task: SearchTask) -> Tuple[str, ...]:
+    """The concrete strategy tuple a task's training search will run."""
+    if isinstance(task.strategy, str):
+        return ALL_STRATEGIES if task.strategy == "all" else (task.strategy,)
+    return tuple(task.strategy)
+
+
+def _incumbent_slots_for(tasks: Sequence[SearchTask]) -> Optional[Dict[str, object]]:
+    """Cross-worker incumbent slots for the batch-eligible tasks of a batch.
+
+    One ``multiprocessing.Value('d', inf)`` per scope key of every task
+    that can consume a shared bound: batch eval mode, best-only (no top-k),
+    the training objective, the analytic backend and pruning enabled.
+    Returns ``None`` when no task qualifies or the platform cannot allocate
+    shared memory (sharing is an optimisation, never a requirement).
+    """
+    from repro.core.batch_eval import incumbent_scope_keys
+
+    keys = set()
+    for task in tasks:
+        if (
+            task.eval_mode != "batch"
+            or task.top_k != 0
+            or task.objective != TRAINING_OBJECTIVE
+            or task.backend != DEFAULT_BACKEND
+            or not task.space.prune_with_lower_bound
+        ):
+            continue
+        keys.update(
+            incumbent_scope_keys(
+                task.model,
+                task.system,
+                task.n_gpus,
+                task.global_batch_size,
+                task.space,
+                task.options,
+                _task_strategies(task),
+            )
+        )
+    if not keys:
+        return None
+    try:
+        import multiprocessing
+
+        return {key: multiprocessing.Value("d", math.inf) for key in sorted(keys)}
+    except (OSError, ImportError, NotImplementedError):
+        return None
+
+
+def _worker_init(slots: Optional[Dict[str, object]]) -> None:
+    """Pool initializer: cold caches plus the shared incumbent slots.
+
+    Workers start from a cold, explicitly bounded memoization state —
+    ``clear_caches()`` covers every model-layer cache, so a long-lived
+    worker's memory stays bounded by the caches' sizes rather than by
+    whatever the parent had accumulated.  The slots (inherited through
+    process creation) let batch-mode searches of the same scope tighten
+    each other's branch-and-bound thresholds across workers.
+    """
+    clear_caches()
+    from repro.core.batch_eval import install_shared_slots
+
+    install_shared_slots(slots)
 
 
 class SweepExecutor:
@@ -156,6 +233,10 @@ class SweepExecutor:
         self.jobs = max(1, int(jobs)) if jobs else 1
         self.cache = cache
         self.progress = progress
+        #: Cross-worker incumbent slots for the current :meth:`run` batch
+        #: (``None`` outside batch-eval runs); installed into each worker by
+        #: the pool initializer.
+        self._incumbent_slots: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Generic fan-out
@@ -189,12 +270,12 @@ class SweepExecutor:
 
     def _map_parallel(self, fn: Callable, items: List, done: int, total: int) -> List:
         try:
-            # Workers start from a cold, explicitly bounded memoization
-            # state: clear_caches() covers every model-layer cache, so a
-            # long-lived worker's memory stays bounded by the caches' sizes
-            # rather than by whatever the parent had accumulated.
+            # _worker_init clears the memoization caches (bounded worker
+            # memory) and installs the batch's shared incumbent slots.
             pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(items)), initializer=clear_caches
+                max_workers=min(self.jobs, len(items)),
+                initializer=_worker_init,
+                initargs=(self._incumbent_slots,),
             )
         except (OSError, NotImplementedError, ImportError):
             # This host cannot start worker processes at all (restricted
@@ -249,6 +330,16 @@ class SweepExecutor:
         Duplicate tasks within the batch are solved once and fanned back to
         every occurrence (the ``speedup`` sweep, for instance, can submit
         the same baseline search for many grid points).
+
+        Batch-eval tasks additionally share their branch-and-bound
+        incumbents across workers (see :func:`_incumbent_slots_for`).  The
+        selected optima are identical either way — a shared bound can only
+        prune candidates that provably cannot win — but the *work counters*
+        of such a task (``candidates_evaluated``, ``pruned_configs``) may
+        differ between a parallel and a serial run, since how early a
+        sibling's bound arrives depends on worker timing;
+        ``shared_incumbent_prunes`` (compare-excluded) attributes the
+        difference.  Scalar tasks stay bit-identical, statistics included.
         """
         tasks = list(tasks)
         total = len(tasks)
@@ -274,12 +365,16 @@ class SweepExecutor:
             # ``pending``, so the returned order (and every result) is
             # identical to serial execution.
             unique_tasks.sort(key=estimate_task_cost, reverse=True)
-        solved = self.map(
-            solve_search_task,
-            unique_tasks,
-            _done_offset=done,
-            _total=total,
-        )
+            self._incumbent_slots = _incumbent_slots_for(unique_tasks)
+        try:
+            solved = self.map(
+                solve_search_task,
+                unique_tasks,
+                _done_offset=done,
+                _total=total,
+            )
+        finally:
+            self._incumbent_slots = None
         done += len(unique_tasks)
         for task, result in zip(unique_tasks, solved):
             for idx in pending[task]:

@@ -1,0 +1,276 @@
+"""Batch pricer vs the scalar oracle: the bit-exactness equivalence grid.
+
+The vectorized pricer (:mod:`repro.core.batch_eval`) re-derives every
+analytic closed form as a NumPy array program; the scalar
+:func:`~repro.core.execution.evaluate_config` path stays the oracle.  The
+documented tolerance is **exact equality** — same float64 operations in the
+same association order — so every assertion here is ``==``, never
+``approx``.  Scenarios cover dense/GQA/MoE models, ZeRO stages 0 and 3,
+activation checkpointing, the overlap/dropout/latency flags, all three
+pipeline schedules (with virtual stages), and all three TP strategies on
+both an A100-NVS4 and a B200-NVS8 system.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.batch_eval import (
+    IncumbentBoard,
+    batch_candidate_times,
+    batch_evaluate_enumeration,
+    incumbent_scope_keys,
+    install_shared_slots,
+    materialize_enumeration,
+    validate_eval_mode,
+)
+from repro.core.config_space import DEFAULT_SEARCH_SPACE, count_configurations
+from repro.core.execution import DEFAULT_OPTIONS, clear_caches, evaluate_config
+from repro.core.model import TransformerConfig
+from repro.core.system import make_system
+
+DENSE = TransformerConfig(name="tiny-dense", seq_len=1024, embed_dim=2048, num_heads=16, depth=16)
+GQA = TransformerConfig(
+    name="tiny-gqa", seq_len=1024, embed_dim=2048, num_heads=16, kv_heads=4, depth=16
+)
+MOE = TransformerConfig(
+    name="tiny-moe",
+    seq_len=1024,
+    embed_dim=2048,
+    num_heads=16,
+    depth=16,
+    num_experts=8,
+    moe_top_k=2,
+)
+
+B200_NVS8 = make_system("B200", 8)
+A100_NVS4 = make_system("A100", 4)
+
+#: Every schedule x virtual-stage x microbatch axis the cost-plan IR knows.
+SPACE = replace(
+    DEFAULT_SEARCH_SPACE,
+    microbatch_sizes=(1, 2),
+    schedules=("1f1b", "gpipe", "interleaved"),
+    virtual_stages=(1, 2),
+)
+
+#: (model, system, space, options) scenario rows of the equivalence grid.
+SCENARIOS = [
+    pytest.param(DENSE, B200_NVS8, SPACE, DEFAULT_OPTIONS, id="dense-defaults"),
+    pytest.param(DENSE, A100_NVS4, SPACE, DEFAULT_OPTIONS, id="dense-a100"),
+    pytest.param(
+        GQA,
+        B200_NVS8,
+        SPACE,
+        replace(DEFAULT_OPTIONS, activation_checkpointing=True),
+        id="gqa-checkpointing",
+    ),
+    pytest.param(
+        MOE,
+        B200_NVS8,
+        replace(SPACE, expert_parallel=(1, 2)),
+        replace(DEFAULT_OPTIONS, zero_stage=3),
+        id="moe-ep-zero3",
+    ),
+    pytest.param(
+        DENSE,
+        B200_NVS8,
+        SPACE,
+        replace(
+            DEFAULT_OPTIONS,
+            zero_stage=0,
+            zero_optimizer=False,
+            overlap_dp=False,
+            flash_attention=False,
+        ),
+        id="dense-zero0-exposed-dp",
+    ),
+    pytest.param(
+        DENSE,
+        A100_NVS4,
+        SPACE,
+        replace(
+            DEFAULT_OPTIONS,
+            overlap_pp=True,
+            include_dropout=True,
+            include_flop_latency=False,
+        ),
+        id="dense-overlap-pp-dropout",
+    ),
+]
+
+N_GPUS = 16
+GLOBAL_BATCH = 64
+
+
+class TestEquivalenceGrid:
+    """Every candidate of every scenario: batch == scalar, bit for bit."""
+
+    @pytest.mark.parametrize("strategy", ["tp1d", "tp2d", "summa"])
+    @pytest.mark.parametrize("model,system,space,options", SCENARIOS)
+    def test_batch_matches_scalar_oracle(self, model, system, space, options, strategy):
+        if model.num_experts > 1 and strategy == "summa":
+            pytest.skip("SUMMA does not enumerate MoE candidates")
+        rows, priced = batch_evaluate_enumeration(
+            model, system, N_GPUS, GLOBAL_BATCH, strategy, space=space, options=options
+        )
+        assert rows, "scenario enumerates no candidates — grid point is vacuous"
+        assert len(priced) == len(rows)
+        for i, row in enumerate(rows):
+            estimate = evaluate_config(
+                model,
+                system,
+                row.config,
+                row.assignment,
+                global_batch_size=GLOBAL_BATCH,
+                options=options,
+            )
+            scalar = estimate.breakdown
+            assert priced.compute[i] == scalar.compute
+            assert priced.memory[i] == scalar.memory
+            assert priced.tp_comm[i] == scalar.tp_comm
+            assert priced.pp_bubble[i] == scalar.pp_bubble
+            assert priced.pp_comm[i] == scalar.pp_comm
+            assert priced.dp_comm[i] == scalar.dp_comm
+            assert priced.total[i] == estimate.total_time
+
+    def test_times_equal_breakdown_totals(self):
+        rows, priced = batch_evaluate_enumeration(
+            DENSE, B200_NVS8, N_GPUS, GLOBAL_BATCH, "tp1d", space=SPACE
+        )
+        times = batch_candidate_times(
+            DENSE,
+            B200_NVS8,
+            [(row.config, row.assignment) for row in rows],
+            global_batch_size=GLOBAL_BATCH,
+        )
+        assert (times == priced.total).all()
+
+
+class TestMaterializeEnumeration:
+    def test_row_count_matches_count_configurations(self):
+        rows = materialize_enumeration(
+            DENSE, B200_NVS8, N_GPUS, GLOBAL_BATCH, "tp1d", SPACE
+        )
+        n_configs, n_rows = count_configurations(
+            DENSE, N_GPUS, GLOBAL_BATCH, "tp1d", B200_NVS8.nvs_domain_size, SPACE
+        )
+        assert len(rows) == n_rows
+        assert len({row.rank for row in rows}) == n_configs
+
+    def test_rows_are_enumerated_in_order(self):
+        rows = materialize_enumeration(
+            DENSE, B200_NVS8, N_GPUS, GLOBAL_BATCH, "tp1d", SPACE
+        )
+        keys = [(row.rank, row.assign_idx) for row in rows]
+        assert keys == sorted(keys)
+
+
+class TestValidateEvalMode:
+    def test_normalizes_case_and_whitespace(self):
+        assert validate_eval_mode(" Batch\n") == "batch"
+        assert validate_eval_mode("SCALAR") == "scalar"
+
+    @pytest.mark.parametrize("bad", ["vectorized", "", "batch2", None])
+    def test_rejects_unknown_modes(self, bad):
+        with pytest.raises(ValueError, match="eval_mode"):
+            validate_eval_mode(bad)
+
+
+class TestIncumbentBoard:
+    def test_empty_board_returns_inf(self):
+        board = IncumbentBoard()
+        assert board.get(["a", "b"]) == float("inf")
+
+    def test_publish_only_tightens(self):
+        board = IncumbentBoard()
+        board.publish("scope", 2.0)
+        board.publish("scope", 5.0)  # worse: ignored
+        board.publish("scope", 1.0)
+        assert board.get(["scope"]) == 1.0
+        assert board.get_local(["scope"]) == 1.0
+
+    def test_get_takes_min_over_keys(self):
+        board = IncumbentBoard()
+        board.publish("a", 3.0)
+        board.publish("b", 2.0)
+        assert board.get(["a", "b"]) == 2.0
+
+    def test_shared_slots_tighten_but_stay_out_of_local(self):
+        import multiprocessing
+
+        slot = multiprocessing.Value("d", 1.5)
+        board = IncumbentBoard({"scope": slot})
+        board.publish("scope", 2.0)
+        assert board.get(["scope"]) == 1.5  # slot wins
+        assert board.get_local(["scope"]) == 2.0  # local tier ignores slots
+        board.publish("scope", 1.0)
+        assert slot.value == 1.0  # publish writes through to the slot
+
+    def test_install_shared_slots_binds_fresh_boards(self):
+        import multiprocessing
+
+        from repro.core.batch_eval import incumbent_board
+
+        slot = multiprocessing.Value("d", 0.25)
+        install_shared_slots({"scope": slot})
+        try:
+            assert incumbent_board().get(["scope"]) == 0.25
+        finally:
+            install_shared_slots(None)
+        assert incumbent_board().get(["scope"]) == float("inf")
+
+
+class TestIncumbentScopeKeys:
+    def test_one_key_per_strategy(self):
+        keys = incumbent_scope_keys(
+            DENSE, B200_NVS8, N_GPUS, GLOBAL_BATCH, SPACE, DEFAULT_OPTIONS,
+            ["tp1d", "tp2d", "summa"],
+        )
+        assert len(set(keys)) == 3
+        base = {key.rsplit("|", 1)[0] for key in keys}
+        assert len(base) == 1  # same search problem, per-strategy suffix
+
+    def test_any_input_change_changes_the_scope(self):
+        def keys(**kw):
+            inputs = dict(
+                model=DENSE,
+                system=B200_NVS8,
+                n_gpus=N_GPUS,
+                global_batch_size=GLOBAL_BATCH,
+                space=SPACE,
+                options=DEFAULT_OPTIONS,
+            )
+            inputs.update(kw)
+            return incumbent_scope_keys(strategies=["tp1d"], **inputs)[0]
+
+        base = keys()
+        assert keys(model=GQA) != base
+        assert keys(system=A100_NVS4) != base
+        assert keys(n_gpus=32) != base
+        assert keys(global_batch_size=128) != base
+        assert keys(space=replace(SPACE, max_microbatch_size=4)) != base
+        assert keys(options=replace(DEFAULT_OPTIONS, overlap_dp=False)) != base
+
+
+def test_clear_caches_covers_batch_caches():
+    from repro.core.execution import cache_stats
+
+    clear_caches()
+    materialize_enumeration(MOE, B200_NVS8, N_GPUS, GLOBAL_BATCH, "tp1d", replace(SPACE, expert_parallel=(1, 2)))
+    batch_candidate_times(
+        MOE,
+        B200_NVS8,
+        [
+            (row.config, row.assignment)
+            for row in materialize_enumeration(
+                MOE, B200_NVS8, N_GPUS, GLOBAL_BATCH, "tp1d", replace(SPACE, expert_parallel=(1, 2))
+            )
+        ],
+        global_batch_size=GLOBAL_BATCH,
+    )
+    stats = cache_stats()
+    assert "batch_ep_divisor" in stats
+    clear_caches()
+    after = cache_stats()["batch_ep_divisor"]
+    assert after.get("currsize", after.get("entries", 0)) == 0

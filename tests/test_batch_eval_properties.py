@@ -1,0 +1,211 @@
+"""Property-based pinning of the batch pricer against the scalar oracle.
+
+The scenario grid in ``tests/test_batch_eval.py`` walks fixed enumerations;
+these properties sample the cross product of model x system x strategy x
+schedule x modeling flags and assert **exact** (``==``) per-CostPhase-term
+equality on randomly drawn candidates — including the serving-objective
+path, where the vectorized prefill-communication lanes injected into the
+scalar serving evaluator must leave every estimate byte-identical.
+"""
+
+from dataclasses import replace
+from functools import lru_cache
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import DEFAULT_BACKEND, get_backend
+from repro.core.batch_eval import (
+    batch_candidate_breakdowns,
+    batch_serving_prefill_comm,
+    materialize_enumeration,
+)
+from repro.core.config_space import DEFAULT_SEARCH_SPACE
+from repro.core.execution import DEFAULT_OPTIONS, evaluate_config
+from repro.core.inference import ServingSpec, _evaluate_serving, evaluate_serving_config
+from repro.core.model import TransformerConfig
+from repro.core.system import make_system
+
+DENSE = TransformerConfig(name="tiny-dense", seq_len=1024, embed_dim=2048, num_heads=16, depth=16)
+GQA = TransformerConfig(
+    name="tiny-gqa", seq_len=1024, embed_dim=2048, num_heads=16, kv_heads=4, depth=16
+)
+MOE = TransformerConfig(
+    name="tiny-moe",
+    seq_len=1024,
+    embed_dim=2048,
+    num_heads=16,
+    depth=16,
+    num_experts=8,
+    moe_top_k=2,
+)
+
+B200_NVS8 = make_system("B200", 8)
+A100_NVS4 = make_system("A100", 4)
+
+N_GPUS = 16
+GLOBAL_BATCH = 64
+
+
+@lru_cache(maxsize=None)
+def _rows(model, system, strategy, schedule, virtual_stages, microbatch):
+    space = replace(
+        DEFAULT_SEARCH_SPACE,
+        microbatch_sizes=(microbatch,),
+        schedules=(schedule,),
+        virtual_stages=(virtual_stages,),
+        expert_parallel=(1, 2) if model.num_experts > 1 else None,
+    )
+    return tuple(
+        materialize_enumeration(model, system, N_GPUS, GLOBAL_BATCH, strategy, space)
+    )
+
+
+def _assert_terms_equal(batch, index, scalar_estimate):
+    scalar = scalar_estimate.breakdown
+    assert batch.compute[index] == scalar.compute
+    assert batch.memory[index] == scalar.memory
+    assert batch.tp_comm[index] == scalar.tp_comm
+    assert batch.pp_bubble[index] == scalar.pp_bubble
+    assert batch.pp_comm[index] == scalar.pp_comm
+    assert batch.dp_comm[index] == scalar.dp_comm
+    assert batch.total[index] == scalar_estimate.total_time
+
+
+class TestTrainingTermEquality:
+    @given(
+        model=st.sampled_from([DENSE, GQA, MOE]),
+        system=st.sampled_from([B200_NVS8, A100_NVS4]),
+        strategy=st.sampled_from(["tp1d", "tp2d", "summa"]),
+        schedule=st.sampled_from(["1f1b", "gpipe", "interleaved"]),
+        virtual_stages=st.sampled_from([1, 2]),
+        microbatch=st.sampled_from([1, 2]),
+        zero_stage=st.sampled_from([None, 0, 2, 3]),
+        checkpointing=st.booleans(),
+        overlap_dp=st.booleans(),
+        overlap_pp=st.booleans(),
+        flash=st.booleans(),
+        pick=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_cost_term_matches_the_scalar_oracle(
+        self,
+        model,
+        system,
+        strategy,
+        schedule,
+        virtual_stages,
+        microbatch,
+        zero_stage,
+        checkpointing,
+        overlap_dp,
+        overlap_pp,
+        flash,
+        pick,
+    ):
+        assume(not (model.num_experts > 1 and strategy == "summa"))
+        rows = _rows(model, system, strategy, schedule, virtual_stages, microbatch)
+        assume(rows)
+        row = rows[pick % len(rows)]
+        options = replace(
+            DEFAULT_OPTIONS,
+            zero_stage=zero_stage,
+            activation_checkpointing=checkpointing,
+            overlap_dp=overlap_dp,
+            overlap_pp=overlap_pp,
+            flash_attention=flash,
+        )
+        priced = batch_candidate_breakdowns(
+            model,
+            system,
+            [(row.config, row.assignment)],
+            global_batch_size=GLOBAL_BATCH,
+            options=options,
+        )
+        estimate = evaluate_config(
+            model,
+            system,
+            row.config,
+            row.assignment,
+            global_batch_size=GLOBAL_BATCH,
+            options=options,
+        )
+        _assert_terms_equal(priced, 0, estimate)
+
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=10**9), min_size=2, max_size=8
+        ),
+        strategy=st.sampled_from(["tp1d", "tp2d"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_heterogeneous_batches_scatter_back_in_input_order(self, picks, strategy):
+        """A mixed-group batch equals its candidates priced one at a time."""
+        rows = _rows(DENSE, B200_NVS8, strategy, "1f1b", 1, 1)
+        chosen = [rows[p % len(rows)] for p in picks]
+        candidates = [(row.config, row.assignment) for row in chosen]
+        batched = batch_candidate_breakdowns(
+            DENSE, B200_NVS8, candidates, global_batch_size=GLOBAL_BATCH
+        )
+        for i, (config, assignment) in enumerate(candidates):
+            single = batch_candidate_breakdowns(
+                DENSE, B200_NVS8, [(config, assignment)], global_batch_size=GLOBAL_BATCH
+            )
+            assert batched.total[i] == single.total[0]
+            assert batched.compute[i] == single.compute[0]
+            assert batched.dp_comm[i] == single.dp_comm[0]
+
+
+class TestServingTermEquality:
+    @given(
+        model=st.sampled_from([DENSE, GQA]),
+        system=st.sampled_from([B200_NVS8, A100_NVS4]),
+        prompt_tokens=st.sampled_from([256, 512, 1024]),
+        arrival_rate=st.sampled_from([4.0, 32.0]),
+        pick=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefill_comm_injection_is_an_identity(
+        self, model, system, prompt_tokens, arrival_rate, pick
+    ):
+        """Vectorized prefill lanes reproduce the scalar serving estimate.
+
+        Serving batch mode vectorizes exactly two assignment-dependent
+        quantities and injects them into the scalar evaluator; if each lane
+        is bit-exact, every field of the resulting estimate — TTFT, TPOT,
+        throughput, the decode fixed point, the plan — must be identical to
+        the all-scalar path.  ``ServingEstimate`` equality is the whole
+        dataclass, so this asserts all of them at once.
+        """
+        rows = _rows(model, system, "tp1d", "1f1b", 1, 1)
+        row = rows[pick % len(rows)]
+        spec = ServingSpec(
+            arrival_rate=arrival_rate,
+            prompt_tokens=prompt_tokens,
+            output_tokens=128,
+        )
+        try:
+            scalar = evaluate_serving_config(
+                model, system, row.config, row.assignment, serving=spec
+            )
+        except ValueError:
+            assume(False)  # prompt length indivisible for this TP degree
+        comm, p2p = batch_serving_prefill_comm(
+            model,
+            system,
+            row.config,
+            [row.assignment],
+            prompt_tokens=spec.prompt_tokens,
+        )
+        pricer = get_backend(DEFAULT_BACKEND)(system)
+        injected = _evaluate_serving(
+            model,
+            system,
+            row.config,
+            row.assignment,
+            spec,
+            DEFAULT_OPTIONS,
+            pricer,
+            _prefill_comm=(float(comm[0]), float(p2p[0])),
+        )
+        assert injected == scalar

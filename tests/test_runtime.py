@@ -145,6 +145,7 @@ class TestSearchCache:
             _task(b200, 256, strategy="tp2d"),
             _task(b200, 256, top_k=3),
             _task(b200, 256, space=SearchSpace(max_tensor_parallel=4)),
+            _task(b200, 256, eval_mode="batch"),
             _task(make_system("B200", 64), 256),
             _task(make_system("H200", 8), 256),
             dataclasses.replace(base, model=VIT_LONG_SEQ),
@@ -282,3 +283,55 @@ class TestPruning:
                 assert bound <= estimate.total_time + 1e-12
                 checked += 1
         assert checked > 0
+
+
+class TestBatchEvalExecutor:
+    """eval_mode="batch" through the runtime: fingerprints, shared-incumbent
+    slots and parallel-vs-serial result identity."""
+
+    def test_statistics_exclude_shared_incumbent_prunes(self):
+        from repro.core.search import SearchStatistics
+
+        a = SearchStatistics(parallel_configs=3, candidates_evaluated=10)
+        b = dataclasses.replace(a, shared_incumbent_prunes=7)
+        assert a == b  # diagnostics-only counter never breaks result equality
+        assert (a.merged(b)).shared_incumbent_prunes == 7
+
+    def test_incumbent_slots_created_only_for_eligible_tasks(self, b200):
+        from repro.runtime.executor import _incumbent_slots_for
+
+        slots = _incumbent_slots_for([_task(b200, 512, eval_mode="batch", strategy="all")])
+        assert slots is not None
+        assert len(slots) == 3  # one scope per strategy of the "all" search
+        ineligible = [
+            _task(b200, 512),  # scalar
+            _task(b200, 512, eval_mode="batch", top_k=2),  # leaderboards don't share
+            _task(b200, 512, eval_mode="batch", backend="sim"),
+            _task(
+                b200, 512, eval_mode="batch",
+                space=SearchSpace(prune_with_lower_bound=False),
+            ),
+        ]
+        for task in ineligible:
+            assert _incumbent_slots_for([task]) is None
+
+    def test_batch_task_selects_the_scalar_optimum(self, b200):
+        scalar = solve_search_task(_task(b200, 512))
+        batch = solve_search_task(_task(b200, 512, eval_mode="batch"))
+        assert batch.best.config == scalar.best.config
+        assert batch.best.assignment == scalar.best.assignment
+        assert batch.best.breakdown == scalar.best.breakdown
+
+    def test_parallel_batch_sweep_selects_identical_optima(self, b200):
+        """Cross-worker incumbent slots only tighten pruning: the parallel
+        sweep's optima (not necessarily its work counters) match serial."""
+        tasks = [
+            _task(b200, n, eval_mode="batch", strategy="all") for n in (512, 1024)
+        ]
+        serial = SweepExecutor(jobs=1).run(tasks)
+        parallel = SweepExecutor(jobs=2).run(tasks)
+        for s, p in zip(serial, parallel):
+            assert p.best.config == s.best.config
+            assert p.best.assignment == s.best.assignment
+            assert p.best.breakdown == s.best.breakdown
+            assert p.top_k == s.top_k

@@ -158,3 +158,67 @@ class TestNvsDomainEffect:
         )
         assert large.best.config.pipeline_parallel <= small.best.config.pipeline_parallel
         assert large.best_time <= small.best_time
+
+
+class TestBatchEvalMode:
+    """eval_mode="batch" regressions: the vectorized branch-and-bound with
+    the shared-incumbent board must select exactly what exhaustive scalar
+    search selects — best config, assignment, breakdown and top-k set."""
+
+    MODEL = GPT3_1T
+    N_GPUS = 1024
+    GLOBAL_BATCH = 4096
+
+    def _solve(self, b200, **kwargs):
+        return find_optimal_config(
+            self.MODEL, b200, n_gpus=self.N_GPUS,
+            global_batch_size=self.GLOBAL_BATCH, **kwargs
+        )
+
+    @pytest.mark.parametrize("strategy", ["tp1d", "all"])
+    def test_batch_equals_scalar_best(self, b200, strategy):
+        scalar = self._solve(b200, strategy=strategy, eval_mode="scalar")
+        batch = self._solve(b200, strategy=strategy, eval_mode="batch")
+        assert batch.best.config == scalar.best.config
+        assert batch.best.assignment == scalar.best.assignment
+        assert batch.best.breakdown == scalar.best.breakdown
+        assert batch.best_time == scalar.best_time
+
+    def test_pruned_batch_equals_exhaustive_batch(self, b200):
+        """B&B + shared incumbent never changes the optimum (batch pricer)."""
+        no_prune = SearchSpace(prune_with_lower_bound=False)
+        exhaustive = self._solve(
+            b200, strategy="all", space=no_prune, eval_mode="batch"
+        )
+        pruned = self._solve(b200, strategy="all", eval_mode="batch")
+        assert pruned.best.config == exhaustive.best.config
+        assert pruned.best.assignment == exhaustive.best.assignment
+        assert pruned.best_time == exhaustive.best_time
+        assert pruned.statistics.candidates_evaluated < (
+            exhaustive.statistics.candidates_evaluated
+        )
+
+    def test_batch_topk_identical_to_scalar(self, b200):
+        scalar = self._solve(b200, strategy="tp1d", top_k=5, eval_mode="scalar")
+        batch = self._solve(b200, strategy="tp1d", top_k=5, eval_mode="batch")
+        assert len(batch.top_k) == len(scalar.top_k) == 5
+        for got, want in zip(batch.top_k, scalar.top_k):
+            assert got.config == want.config
+            assert got.assignment == want.assignment
+            assert got.breakdown == want.breakdown
+
+    def test_shared_incumbent_prunes_are_attributed(self, b200):
+        """Cross-strategy sharing fires on an "all" search and is counted in
+        the compare-excluded diagnostics, never in the result equality."""
+        result = self._solve(b200, strategy="all", eval_mode="batch")
+        assert result.statistics.shared_incumbent_prunes > 0
+        scalar = self._solve(b200, strategy="all", eval_mode="scalar")
+        assert scalar.statistics.shared_incumbent_prunes == 0
+
+    def test_batch_requires_analytic_backend(self, b200):
+        with pytest.raises(ValueError, match="eval_mode='batch'"):
+            self._solve(b200, strategy="tp1d", eval_mode="batch", backend="sim")
+
+    def test_unknown_eval_mode_is_rejected(self, b200):
+        with pytest.raises(ValueError, match="eval_mode"):
+            self._solve(b200, strategy="tp1d", eval_mode="vectorized")

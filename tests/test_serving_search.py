@@ -200,3 +200,49 @@ class TestServingTasksAndCache:
             serving=replace(SPEC, arrival_rate=SPEC.arrival_rate * 2),
         )
         assert SearchCache.fingerprint(a) != SearchCache.fingerprint(b)
+
+
+class TestServingBatchEvalMode:
+    """Serving eval_mode="batch" vectorizes only the assignment-dependent
+    prefill communication and injects it into the scalar evaluator, so the
+    whole result — estimates AND diagnostics counters — must be identical
+    to the scalar path, pruned or exhaustive."""
+
+    @pytest.mark.parametrize("objective", ["throughput", "ttft", "tpot"])
+    def test_batch_identical_to_scalar_including_statistics(self, objective):
+        scalar = find_serving_config(
+            TINY, SYSTEM, 16, serving=SPEC, objective=objective, eval_mode="scalar"
+        )
+        batch = find_serving_config(
+            TINY, SYSTEM, 16, serving=SPEC, objective=objective, eval_mode="batch"
+        )
+        assert batch == scalar  # full dataclass equality, statistics included
+
+    @pytest.mark.parametrize("model", [TINY, TINY_MOE])
+    def test_pruned_batch_equals_exhaustive_batch(self, model):
+        pruned = find_serving_config(
+            model, SYSTEM, 16, serving=SPEC, eval_mode="batch"
+        )
+        exhaustive = find_serving_config(
+            model, SYSTEM, 16, serving=SPEC, space=NO_PRUNE, eval_mode="batch"
+        )
+        assert pruned.best == exhaustive.best
+
+    def test_batch_topk_identical_to_scalar(self):
+        scalar = find_serving_config(
+            TINY, SYSTEM, 16, serving=SPEC, top_k=4, eval_mode="scalar"
+        )
+        batch = find_serving_config(
+            TINY, SYSTEM, 16, serving=SPEC, top_k=4, eval_mode="batch"
+        )
+        assert batch.top_k == scalar.top_k
+
+    def test_batch_requires_analytic_backend(self):
+        with pytest.raises(ValueError, match="eval_mode='batch'"):
+            find_serving_config(
+                TINY, SYSTEM, 16, serving=SPEC, eval_mode="batch", backend="sim"
+            )
+
+    def test_unknown_eval_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="eval_mode"):
+            find_serving_config(TINY, SYSTEM, 16, serving=SPEC, eval_mode="simd")
