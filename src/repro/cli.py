@@ -15,7 +15,10 @@ Sub-commands map onto the paper's experiments:
 * ``repro-perf collectives`` — analytic vs simulated collective times
   (Fig. A1);
 * ``repro-perf workloads`` — list the registered workload scenarios;
-* ``repro-perf schedules`` — list the registered pipeline schedules.
+* ``repro-perf schedules`` — list the registered pipeline schedules;
+* ``repro-perf api`` — long-running planning service: the same searches as
+  a JSON API over a persistent process with a warm shared cache, in-flight
+  request dedup and streaming progress (:mod:`repro.serve_api`).
 
 Every command that takes a model accepts ``--workload`` (preferred; resolves
 through the pluggable registry in :mod:`repro.core.workloads`, including MoE
@@ -77,7 +80,7 @@ from repro.core.schedules import (
     get_schedule,
 )
 from repro.core.system import make_perlmutter, make_system
-from repro.core.workloads import available_workloads, get_workload
+from repro.core.workloads import available_workloads, get_workload, scenario_space
 from repro.runtime import SearchCache
 from repro.simulate.cluster import ClusterTopology
 from repro.simulate.ring import sweep_volumes
@@ -214,54 +217,22 @@ def _resolve_model(args: argparse.Namespace):
 def _scenario_space(args: argparse.Namespace) -> SearchSpace:
     """Search space honouring ``--expert-parallel``, ``--schedule`` and
     ``--virtual-stages`` (unset flags fall back to the workload's presets,
-    so the default space — and every reproduced figure — is unchanged)."""
-    overrides = {}
+    so the default space — and every reproduced figure — is unchanged).
+
+    Thin front-end over :func:`repro.core.workloads.scenario_space` — the
+    same resolver the JSON API's schema layer uses — translating its
+    ``ValueError``s into one-line usage errors.
+    """
     degree = _parse_expert_parallel(str(getattr(args, "expert_parallel", None) or "auto"))
-    if degree is not None:
-        overrides["expert_parallel"] = (degree,)
-
-    spec = get_workload(getattr(args, "workload", None) or getattr(args, "model", "gpt3-1t"))
-    explicit_schedule = getattr(args, "schedule", None)
-    schedule_name = explicit_schedule or spec.pipeline_schedule
-    virtual = getattr(args, "virtual_stages", None)
-    if virtual is None:
-        # The preset's virtual-stage degree belongs to the preset's own
-        # schedule: an explicit --schedule override drops it (back to 1)
-        # unless the override names the same schedule, so e.g.
-        # `--workload gpt3-1t-interleaved --schedule 1f1b` just works.
-        if explicit_schedule is None or explicit_schedule == spec.pipeline_schedule:
-            virtual = spec.virtual_stages
-        else:
-            virtual = 1
     try:
-        schedule = get_schedule(schedule_name)
-    except KeyError:
-        raise SystemExit(
-            f"repro-perf: error: unknown schedule {schedule_name!r}; "
-            f"available: {', '.join(available_schedules())}"
-        ) from None
-    if not schedule.supports_training:
-        raise SystemExit(
-            f"repro-perf: error: schedule {schedule.name!r} is serving-only; "
-            f"use `repro-perf serve` (training schedules: "
-            + ", ".join(s for s in available_schedules() if get_schedule(s).supports_training)
-            + ")"
+        return scenario_space(
+            getattr(args, "workload", None) or getattr(args, "model", "gpt3-1t"),
+            schedule=getattr(args, "schedule", None),
+            virtual_stages=getattr(args, "virtual_stages", None),
+            expert_parallel=degree,
         )
-    if virtual < 1:
-        raise SystemExit("repro-perf: error: --virtual-stages must be >= 1")
-    if virtual > 1 and not schedule.supports_virtual_stages:
-        raise SystemExit(
-            f"repro-perf: error: schedule {schedule.name!r} does not support "
-            f"--virtual-stages {virtual}; use --schedule interleaved"
-        )
-    if schedule.name != DEFAULT_SCHEDULE:
-        overrides["schedules"] = (schedule.name,)
-    if virtual != 1:
-        overrides["virtual_stages"] = (virtual,)
-
-    if not overrides:
-        return DEFAULT_SEARCH_SPACE
-    return replace(DEFAULT_SEARCH_SPACE, **overrides)
+    except ValueError as exc:
+        raise SystemExit(f"repro-perf: error: {exc}") from None
 
 
 def _scenario_options(args: argparse.Namespace) -> ModelingOptions:
@@ -273,6 +244,22 @@ def _scenario_options(args: argparse.Namespace) -> ModelingOptions:
 
 def _make_cache(args: argparse.Namespace) -> Optional[SearchCache]:
     return SearchCache(args.cache) if getattr(args, "cache", None) else None
+
+
+def _dump_json_report(obj, path: str) -> bool:
+    """Archive ``obj`` at ``--json PATH``; one-line error instead of a traceback.
+
+    Missing parent directories are created; paths that cannot be written —
+    a parent that is a regular file, a read-only directory, a full disk —
+    print a ``repro-perf: error:`` line and return ``False`` so the command
+    exits non-zero without burying the already-printed report.
+    """
+    try:
+        dump_json(obj, path)
+    except OSError as exc:
+        print(f"repro-perf: error: cannot write --json {path!r}: {exc}", file=sys.stderr)
+        return False
+    return True
 
 
 def _report_cache(cache: Optional[SearchCache]) -> None:
@@ -332,8 +319,8 @@ def cmd_search(args: argparse.Namespace) -> int:
             for est in result.top_k
         ]
         print(format_table(["config", "assignment", "time(s)", "mem(GB)"], rows))
-    if args.json:
-        dump_json(result.summary(), args.json)
+    if args.json and not _dump_json_report(result.summary(), args.json):
+        return 1
     return 0
 
 
@@ -357,8 +344,8 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     )
     _report_cache(cache)
     print(render_scaling_sweep(sweep))
-    if args.json:
-        dump_json([p.result.summary() for p in sweep.points], args.json)
+    if args.json and not _dump_json_report([p.result.summary() for p in sweep.points], args.json):
+        return 1
     return 0
 
 
@@ -382,8 +369,8 @@ def cmd_systems(args: argparse.Namespace) -> int:
     )
     _report_cache(cache)
     print(render_system_grid(series, model.name))
-    if args.json:
-        dump_json(series, args.json)
+    if args.json and not _dump_json_report(series, args.json):
+        return 1
     return 0
 
 
@@ -408,8 +395,8 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     )
     _report_cache(cache)
     print(render_speedups(points))
-    if args.json:
-        dump_json(points, args.json)
+    if args.json and not _dump_json_report(points, args.json):
+        return 1
     return 0
 
 
@@ -440,8 +427,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 return 2
         comparisons = run_validation(jobs=args.jobs)
         print(render_validation(comparisons))
-        if args.json:
-            dump_json(comparisons, args.json)
+        if args.json and not _dump_json_report(comparisons, args.json):
+            return 1
         return 0
 
     if args.workload:
@@ -459,22 +446,21 @@ def cmd_validate(args: argparse.Namespace) -> int:
     results = run_differential_grid(cases, system, jobs=args.jobs)
     print(render_differential(results, system.name))
     if args.json:
-        dump_json(
-            [
-                {
-                    "case": r.case.name,
-                    "config": r.case.config.describe(),
-                    "ok": r.ok,
-                    "max_rel_error": r.max_rel_error,
-                    "terms": {
-                        d.term: {"analytic": d.analytic, "simulated": d.simulated}
-                        for d in r.deltas
-                    },
-                }
-                for r in results
-            ],
-            args.json,
-        )
+        series = [
+            {
+                "case": r.case.name,
+                "config": r.case.config.describe(),
+                "ok": r.ok,
+                "max_rel_error": r.max_rel_error,
+                "terms": {
+                    d.term: {"analytic": d.analytic, "simulated": d.simulated}
+                    for d in r.deltas
+                },
+            }
+            for r in results
+        ]
+        if not _dump_json_report(series, args.json):
+            return 1
     failures = [r for r in results if not r.ok]
     for failure in failures:
         print(format_failure_diff(failure), file=sys.stderr)
@@ -540,8 +526,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(render_serving_report(result))
     if result.found and getattr(args, "explain_plan", False) and result.best.plan is not None:
         print(render_plan_phases(result.best.plan))
-    if args.json:
-        dump_json(result.summary(), args.json)
+    if args.json and not _dump_json_report(result.summary(), args.json):
+        return 1
     return 0 if result.found else 1
 
 
@@ -566,8 +552,8 @@ def cmd_collectives(args: argparse.Namespace) -> int:
         f"{args.collective} on {args.gpus} GPUs ({args.nvlink} GPUs/node fast domain)\n"
         + format_table(["volume(GB)", "simulated(s)", "analytic(s)", "error(%)"], rows)
     )
-    if args.json:
-        dump_json(results, args.json)
+    if args.json and not _dump_json_report(results, args.json):
+        return 1
     return 0
 
 
@@ -586,8 +572,8 @@ def cmd_schedules(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(["schedule", "virtual stages", "description"], rows))
-    if args.json:
-        dump_json(summaries, args.json)
+    if args.json and not _dump_json_report(summaries, args.json):
+        return 1
     return 0
 
 
@@ -617,8 +603,44 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    if args.json:
-        dump_json([spec.summary() for spec in specs], args.json)
+    if args.json and not _dump_json_report([spec.summary() for spec in specs], args.json):
+        return 1
+    return 0
+
+
+def cmd_api(args: argparse.Namespace) -> int:
+    """Long-running planning service (``repro-perf api``).
+
+    Boots the stdlib JSON API of :mod:`repro.serve_api` and blocks until
+    interrupted.  One process-wide ``SearchCache`` stays hot in memory
+    across requests (persisted to ``--cache`` when given), identical
+    in-flight searches are deduplicated, and ``--jobs`` sizes the shared
+    worker pool sweeps fan out over.  See ``docs/service.md`` for the
+    endpoint and schema reference.
+    """
+    # Local import: the one-shot commands must not pay for (or depend on)
+    # the service layer.
+    from repro.serve_api import ApiError, PlannerApp, create_server
+
+    app = PlannerApp(cache_path=args.cache, jobs=args.jobs)
+    try:
+        server = create_server(args.host, args.port, app=app, quiet=args.quiet)
+    except (ApiError, OSError) as exc:
+        print(f"repro-perf: error: cannot start API server: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"repro-perf api: serving on http://{host}:{port} "
+        f"(jobs={app.executor.jobs}, cache={args.cache or 'in-memory'})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-perf api: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        app.close()
     return 0
 
 
@@ -787,6 +809,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="NVSwitch domain size for the grid (sim backend only; default 8)",
     )
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "api",
+        help="long-running planning service: JSON API with a warm shared "
+        "cache, request dedup and streaming progress (see docs/service.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="bind port (0 picks an ephemeral port, printed at start-up)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes of the shared solve pool (sweep requests fan "
+        "out over them; 1 solves in the request thread)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        help="JSON search-cache path: loaded once at start-up, kept hot in "
+        "memory, saved after every solved batch (omit for in-memory only)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress the per-request access log"
+    )
+    p.set_defaults(func=cmd_api)
 
     p = sub.add_parser("workloads", help="list the registered workload scenarios")
     p.add_argument("--json", default=None)

@@ -292,3 +292,81 @@ register_workload(
         ),
     )
 )
+
+
+def scenario_space(
+    workload: str,
+    *,
+    schedule: Optional[str] = None,
+    virtual_stages: Optional[int] = None,
+    expert_parallel: Optional[int] = None,
+):
+    """Search space for ``workload`` with scenario overrides applied.
+
+    Shared request-resolution logic of every front-end (the CLI's scenario
+    flags and the JSON API's request fields): starts from
+    :data:`~repro.core.config_space.DEFAULT_SEARCH_SPACE`, applies the
+    workload preset's pipeline schedule / virtual-stage degree, then the
+    explicit overrides.  With no overrides and a default-schedule workload
+    the default space is returned unchanged, so every reproduced figure is
+    unaffected.
+
+    Raises ``KeyError`` for an unknown workload (from :func:`get_workload`)
+    and ``ValueError`` for an unknown or unusable schedule / virtual-stage
+    combination; front-ends translate these into usage errors.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.config_space import DEFAULT_SEARCH_SPACE
+    from repro.core.schedules import (
+        DEFAULT_SCHEDULE,
+        available_schedules,
+        get_schedule,
+    )
+
+    overrides: Dict[str, object] = {}
+    if expert_parallel is not None:
+        if expert_parallel < 1:
+            raise ValueError("expert_parallel must be >= 1")
+        overrides["expert_parallel"] = (expert_parallel,)
+
+    spec = get_workload(workload)
+    schedule_name = schedule or spec.pipeline_schedule
+    virtual = virtual_stages
+    if virtual is None:
+        # The preset's virtual-stage degree belongs to the preset's own
+        # schedule: an explicit schedule override drops it (back to 1)
+        # unless the override names the same schedule, so e.g. the
+        # gpt3-1t-interleaved preset searched under 1f1b just works.
+        if schedule is None or schedule == spec.pipeline_schedule:
+            virtual = spec.virtual_stages
+        else:
+            virtual = 1
+    try:
+        resolved = get_schedule(schedule_name)
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {schedule_name!r}; "
+            f"available: {', '.join(available_schedules())}"
+        ) from None
+    if not resolved.supports_training:
+        raise ValueError(
+            f"schedule {resolved.name!r} is serving-only (training schedules: "
+            + ", ".join(s for s in available_schedules() if get_schedule(s).supports_training)
+            + ")"
+        )
+    if virtual < 1:
+        raise ValueError("virtual_stages must be >= 1")
+    if virtual > 1 and not resolved.supports_virtual_stages:
+        raise ValueError(
+            f"schedule {resolved.name!r} does not support virtual_stages={virtual}; "
+            f"use the interleaved schedule"
+        )
+    if resolved.name != DEFAULT_SCHEDULE:
+        overrides["schedules"] = (resolved.name,)
+    if virtual != 1:
+        overrides["virtual_stages"] = (virtual,)
+
+    if not overrides:
+        return DEFAULT_SEARCH_SPACE
+    return _replace(DEFAULT_SEARCH_SPACE, **overrides)

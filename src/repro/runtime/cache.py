@@ -20,6 +20,7 @@ sessions via :mod:`repro.utils.serialization`.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -62,6 +63,13 @@ class SearchCache:
         exists, its entries are loaded eagerly; :meth:`save` writes the
         current entries back.  A file written by an incompatible
         :data:`CACHE_FORMAT_VERSION` is silently treated as empty.
+
+    A single instance is safe to share between threads (the long-running
+    API server keeps one process-wide cache hot across concurrent
+    requests): every lookup, store, counter update and the whole
+    read-merge-replace of :meth:`save` run under one process-local lock.
+    Cross-*process* coordination remains best-effort merge-on-save, as
+    documented on :meth:`save`.
     """
 
     def __init__(self, path: str | Path | None = None):
@@ -69,6 +77,9 @@ class SearchCache:
         self._entries: Dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
+        # Reentrant so save()'s merge can call helpers that also lock, and
+        # so a subclass hook running under the lock can still use get/put.
+        self._lock = threading.RLock()
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -123,29 +134,35 @@ class SearchCache:
         :meth:`_result_type`).
         """
         fp = self.fingerprint(task)
-        entry = self._entries.get(fp)
-        if entry is not None:
-            try:
-                result = dataclass_from_jsonable(self._result_type(task), entry)
-            except (TypeError, KeyError, ValueError, AttributeError):
-                # Hand-edited / schema-drifted / corrupted entry: drop it and
-                # recompute rather than aborting the whole sweep.
-                del self._entries[fp]
-            else:
-                self.hits += 1
-                return result
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(fp)
+            if entry is not None:
+                try:
+                    result = dataclass_from_jsonable(self._result_type(task), entry)
+                except (TypeError, KeyError, ValueError, AttributeError):
+                    # Hand-edited / schema-drifted / corrupted entry: drop it
+                    # and recompute rather than aborting the whole sweep.
+                    self._entries.pop(fp, None)
+                else:
+                    self.hits += 1
+                    return result
+            self.misses += 1
+            return None
 
     def put(self, task, result: SearchResult) -> None:
         """Store ``result`` under ``task``'s fingerprint."""
-        self._entries[self.fingerprint(task)] = to_jsonable(result)
+        entry = to_jsonable(result)
+        with self._lock:
+            self._entries[self.fingerprint(task)] = entry
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, task) -> bool:
-        return self.fingerprint(task) in self._entries
+        fp = self.fingerprint(task)
+        with self._lock:
+            return fp in self._entries
 
     # ------------------------------------------------------------------
     # Persistence
@@ -154,23 +171,37 @@ class SearchCache:
         """Persist all entries as JSON; returns the path written (if any).
 
         The write is atomic (temp file + ``os.replace``), so an interrupted
-        save never truncates an existing cache.  Entries another process
-        wrote to the same file are merged in on a best-effort basis: the
-        file is re-read at save time and our entries overlaid (fingerprints
-        are content hashes, so colliding entries are equal).  There is no
-        file locking — a process that saves between our re-read and our
-        replace loses its entries for this snapshot, which only costs a
-        re-solve later, never a stale result.
+        save never truncates an existing cache, and the pid-suffixed temp
+        file is unlinked even when serialization fails mid-write (disk
+        full, unserializable entry), so aborted saves leave no litter.
+        Entries another process wrote to the same file are merged in on a
+        best-effort basis: the file is re-read at save time and our entries
+        overlaid (fingerprints are content hashes, so colliding entries are
+        equal).  *Within* this process the whole read-merge-replace runs
+        under the cache lock, so concurrent threads can never drop each
+        other's entries.  Across processes there is no file locking — a
+        process that saves between our re-read and our replace loses its
+        entries for this snapshot, which only costs a re-solve later, never
+        a stale result.
         """
         target = Path(path) if path is not None else self.path
         if target is None:
             return None
-        merged = {**self._read_entries(target), **self._entries}
-        tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
-        dump_json({"version": CACHE_FORMAT_VERSION, "entries": merged}, tmp)
-        os.replace(tmp, target)
-        self._entries = merged
-        return target
+        with self._lock:
+            merged = {**self._read_entries(target), **self._entries}
+            tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+            try:
+                dump_json({"version": CACHE_FORMAT_VERSION, "entries": merged}, tmp)
+                os.replace(tmp, target)
+            finally:
+                # No-op on success (os.replace consumed the temp file);
+                # best-effort cleanup when the dump or the replace raised.
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+            self._entries = merged
+            return target
 
     @staticmethod
     def _read_entries(path: Path) -> Dict[str, Any]:
@@ -194,8 +225,10 @@ class SearchCache:
         return {k: v for k, v in entries.items() if isinstance(v, dict)}
 
     def _load(self) -> None:
-        self._entries.update(self._read_entries(self.path))
+        with self._lock:
+            self._entries.update(self._read_entries(self.path))
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters (for reports and the CLI summary line)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

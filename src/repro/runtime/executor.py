@@ -25,6 +25,7 @@ path-backed cache is saved once at the end of the batch.
 from __future__ import annotations
 
 import math
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -220,7 +221,24 @@ class SweepExecutor:
         Optional :class:`SearchCache` consulted by :meth:`run` before
         dispatching and updated with every solved point.
     progress:
-        Optional ``progress(done, total)`` callback.
+        Optional ``progress(done, total)`` callback.  :meth:`map` and
+        :meth:`run` also accept a per-call ``progress=`` override, so one
+        shared executor can report each caller's batch to that caller only.
+    persistent:
+        Keep one worker pool alive across :meth:`map`/:meth:`run` calls
+        instead of starting a fresh pool per batch.  This is what the
+        long-running API server uses: concurrent request threads are
+        multiplexed onto the same warm workers (``ProcessPoolExecutor`` is
+        thread-safe), amortizing process start-up across requests.  A
+        persistent pool does not install per-batch shared incumbent slots
+        (its workers outlive any one batch); results are identical either
+        way — the slots only accelerate pruning.  Call :meth:`close` (or
+        use the executor as a context manager) to release the workers.
+
+    One instance may be used from several threads concurrently: per-call
+    state (progress callbacks, incumbent slots) is passed down the call
+    chain rather than stored on the instance, and pool creation/teardown
+    is guarded by a lock.
     """
 
     def __init__(
@@ -229,58 +247,133 @@ class SweepExecutor:
         *,
         cache: Optional[SearchCache] = None,
         progress: Optional[ProgressCallback] = None,
+        persistent: bool = False,
     ):
         self.jobs = max(1, int(jobs)) if jobs else 1
         self.cache = cache
         self.progress = progress
-        #: Cross-worker incumbent slots for the current :meth:`run` batch
-        #: (``None`` outside batch-eval runs); installed into each worker by
-        #: the pool initializer.
-        self._incumbent_slots: Optional[Dict[str, object]] = None
+        self.persistent = bool(persistent)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _acquire_pool(
+        self, n_items: int, slots: Optional[Dict[str, object]]
+    ) -> Tuple[ProcessPoolExecutor, bool]:
+        """A pool to run one batch on, plus whether the *caller* owns it.
+
+        Transient (per-batch) pools are sized to the batch and install the
+        batch's shared incumbent ``slots``; the persistent pool is sized to
+        ``jobs``, initialized once without slots, and reused.  Raises the
+        ``ProcessPoolExecutor`` start-up errors of the host (handled by
+        :meth:`_map_parallel`'s serial fallback).
+        """
+        if not self.persistent:
+            return (
+                ProcessPoolExecutor(
+                    max_workers=min(self.jobs, n_items),
+                    initializer=_worker_init,
+                    initargs=(slots,),
+                ),
+                True,
+            )
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_worker_init,
+                    initargs=(None,),
+                )
+            return self._pool, False
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken persistent pool so the next batch starts a new one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (no-op for per-batch pools)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Generic fan-out
     # ------------------------------------------------------------------
-    def map(self, fn: Callable, items: Sequence, *, _done_offset: int = 0, _total: Optional[int] = None) -> List:
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        _done_offset: int = 0,
+        _total: Optional[int] = None,
+        _slots: Optional[Dict[str, object]] = None,
+    ) -> List:
         """Apply ``fn`` to every item, returning results in input order.
 
         ``fn`` and the items must be picklable when ``jobs > 1``.  Failures
         to run *in parallel* — worker processes cannot be started, or the
         pool breaks mid-batch — degrade to serial execution of the items
         that have not completed yet; exceptions raised by ``fn`` itself
-        always propagate.
+        always propagate.  ``progress`` overrides the instance-level
+        callback for this call only.
         """
         items = list(items)
         total = _total if _total is not None else len(items)
+        report = progress if progress is not None else self.progress
         if self.jobs <= 1 or len(items) <= 1:
-            return self._map_serial(fn, items, _done_offset, total)
-        return self._map_parallel(fn, items, _done_offset, total)
+            return self._map_serial(fn, items, _done_offset, total, report)
+        return self._map_parallel(fn, items, _done_offset, total, report, _slots)
 
-    def _report(self, done: int, total: int) -> None:
-        if self.progress is not None:
-            self.progress(done, total)
+    @staticmethod
+    def _report(done: int, total: int, report: Optional[ProgressCallback]) -> None:
+        if report is not None:
+            report(done, total)
 
-    def _map_serial(self, fn: Callable, items: List, done: int, total: int) -> List:
+    def _map_serial(
+        self,
+        fn: Callable,
+        items: List,
+        done: int,
+        total: int,
+        report: Optional[ProgressCallback],
+    ) -> List:
         results = []
         for item in items:
             results.append(fn(item))
             done += 1
-            self._report(done, total)
+            self._report(done, total, report)
         return results
 
-    def _map_parallel(self, fn: Callable, items: List, done: int, total: int) -> List:
+    def _map_parallel(
+        self,
+        fn: Callable,
+        items: List,
+        done: int,
+        total: int,
+        report: Optional[ProgressCallback],
+        slots: Optional[Dict[str, object]] = None,
+    ) -> List:
         try:
             # _worker_init clears the memoization caches (bounded worker
             # memory) and installs the batch's shared incumbent slots.
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(items)),
-                initializer=_worker_init,
-                initargs=(self._incumbent_slots,),
-            )
+            pool, owned = self._acquire_pool(len(items), slots)
         except (OSError, NotImplementedError, ImportError):
             # This host cannot start worker processes at all (restricted
             # sandbox, missing semaphores, ...): run everything in-process.
-            return self._map_serial(fn, items, done, total)
+            return self._map_serial(fn, items, done, total, report)
 
         results: List = [None] * len(items)
         completed = [False] * len(items)
@@ -289,13 +382,16 @@ class SweepExecutor:
             try:
                 for idx, item in enumerate(items):
                     futures[pool.submit(fn, item)] = idx
-            except OSError:
-                # Worker processes could not be forked (distinct from fn
-                # raising OSError, which surfaces via fut.result() below):
-                # drop the pool and run everything in-process.
+            except (OSError, RuntimeError):
+                # Worker processes could not be forked, or a shared
+                # persistent pool was shut down under us (distinct from fn
+                # raising, which surfaces via fut.result() below): drop the
+                # pool and run everything in-process.
                 for fut in futures:
                     fut.cancel()
-                return self._map_serial(fn, items, done, total)
+                if not owned:
+                    self._discard_pool(pool)
+                return self._map_serial(fn, items, done, total, report)
             try:
                 pending = set(futures)
                 while pending:
@@ -306,25 +402,34 @@ class SweepExecutor:
                         results[idx] = fut.result()
                         completed[idx] = True
                         done += 1
-                        self._report(done, total)
+                        self._report(done, total, report)
             except BrokenProcessPool:
                 # A worker died mid-batch: keep every completed result and
                 # finish only the incomplete items serially, so no work is
-                # repeated and progress stays monotonic.
+                # repeated and progress stays monotonic.  A broken
+                # persistent pool is discarded so later batches recover.
+                if not owned:
+                    self._discard_pool(pool)
                 for idx, item in enumerate(items):
                     if not completed[idx]:
                         results[idx] = fn(item)
                         completed[idx] = True
                         done += 1
-                        self._report(done, total)
+                        self._report(done, total, report)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                pool.shutdown(wait=False, cancel_futures=True)
         return results
 
     # ------------------------------------------------------------------
     # Cache-aware search batches
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[SearchTask]) -> List[SearchResult]:
+    def run(
+        self,
+        tasks: Sequence[SearchTask],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SearchResult]:
         """Solve every task (cache hits first), preserving input order.
 
         Duplicate tasks within the batch are solved once and fanned back to
@@ -343,6 +448,7 @@ class SweepExecutor:
         """
         tasks = list(tasks)
         total = len(tasks)
+        report = progress if progress is not None else self.progress
         results: List[Optional[SearchResult]] = [None] * total
 
         pending: Dict[SearchTask, List[int]] = {}
@@ -352,11 +458,12 @@ class SweepExecutor:
             if hit is not None:
                 results[idx] = hit
                 done += 1
-                self._report(done, total)
+                self._report(done, total, report)
             else:
                 pending.setdefault(task, []).append(idx)
 
         unique_tasks = list(pending)
+        slots: Optional[Dict[str, object]] = None
         if self.jobs > 1 and len(unique_tasks) > 1:
             # Longest-processing-time dispatch: hand the biggest searches to
             # the pool first so the sweep's critical path is the single
@@ -365,16 +472,19 @@ class SweepExecutor:
             # ``pending``, so the returned order (and every result) is
             # identical to serial execution.
             unique_tasks.sort(key=estimate_task_cost, reverse=True)
-            self._incumbent_slots = _incumbent_slots_for(unique_tasks)
-        try:
-            solved = self.map(
-                solve_search_task,
-                unique_tasks,
-                _done_offset=done,
-                _total=total,
-            )
-        finally:
-            self._incumbent_slots = None
+            if not self.persistent:
+                # A persistent pool's workers were initialized before this
+                # batch existed, so per-batch slots cannot be installed;
+                # cross-worker bound sharing is an optimisation only.
+                slots = _incumbent_slots_for(unique_tasks)
+        solved = self.map(
+            solve_search_task,
+            unique_tasks,
+            progress=report,
+            _done_offset=done,
+            _total=total,
+            _slots=slots,
+        )
         done += len(unique_tasks)
         for task, result in zip(unique_tasks, solved):
             for idx in pending[task]:
@@ -383,7 +493,7 @@ class SweepExecutor:
             # task is solved; report them so progress still reaches total.
             for _ in pending[task][1:]:
                 done += 1
-                self._report(done, total)
+                self._report(done, total, report)
             if self.cache is not None:
                 self.cache.put(task, result)
         if self.cache is not None:

@@ -1,0 +1,35 @@
+"""Planning-as-a-service: a long-running JSON API over the pure engine.
+
+Everything else in this repo is a one-shot invocation: each CLI call
+re-imports, re-warms the memoization caches and re-loads the persistent
+:class:`~repro.runtime.cache.SearchCache` from disk.  This package keeps a
+single process hot instead, so repeated and concurrent planning queries —
+capacity studies, serving what-ifs, dashboards — pay the engine cost once:
+
+* :mod:`repro.serve_api.schema` — pure JSON <-> engine-object boundary;
+* :mod:`repro.serve_api.app` — :class:`PlannerApp`: warm shared cache,
+  request-level dedup of identical in-flight searches, one worker pool;
+* :mod:`repro.serve_api.handlers` — the stdlib ``http.server`` front-end
+  (``repro-perf api`` boots it).
+
+The engine modules stay pure: this package only *composes* the existing
+``SearchTask`` / ``ServingSpec`` / ``to_jsonable`` machinery.
+"""
+
+from repro.serve_api.app import PlannerApp
+from repro.serve_api.handlers import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PlannerHTTPServer,
+    create_server,
+)
+from repro.serve_api.schema import ApiError
+
+__all__ = [
+    "ApiError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "PlannerApp",
+    "PlannerHTTPServer",
+    "create_server",
+]

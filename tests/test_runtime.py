@@ -41,6 +41,29 @@ def _square(x):
     return x * x
 
 
+def _stub_result(task):
+    """A cheap, serializable stand-in for a real engine result."""
+    from repro.core.search import SearchResult
+
+    return SearchResult(
+        model_name=task.model.name,
+        system_name=task.system.name,
+        n_gpus=task.n_gpus,
+        global_batch_size=task.global_batch_size,
+        strategy=str(task.strategy),
+        best=None,
+    )
+
+
+def _cross_process_writer(path, n_gpus, barrier):
+    """One writer process: load the (empty) cache, sync, put, save."""
+    cache = SearchCache(path)
+    barrier.wait(timeout=30)  # both processes load before either saves
+    task = _task(make_system("B200", 8), n_gpus)
+    cache.put(task, _stub_result(task))
+    cache.save()
+
+
 class TestSweepExecutor:
     def test_map_preserves_input_order(self):
         items = [5, 3, 1, 4, 2]
@@ -204,6 +227,85 @@ class TestSearchCache:
         assert merged.get(task_b) is not None
         # No temp files left behind by the atomic replace.
         assert list(tmp_path.iterdir()) == [path]
+
+    def test_concurrent_threads_lose_no_entries(self, b200, tmp_path):
+        """Regression: unsynchronized put/save raced and dropped entries.
+
+        The API server shares one ``SearchCache`` across request threads;
+        interleaved ``save()`` calls used to rebuild ``_entries`` from a
+        stale snapshot, silently losing concurrent ``put``s (and crashing
+        with ``RuntimeError: dictionary changed size during iteration``).
+        """
+        import threading
+
+        path = tmp_path / "cache.json"
+        cache = SearchCache(path)
+        n_threads, per_thread = 8, 16
+        failures = []
+
+        def hammer(tid):
+            try:
+                for i in range(per_thread):
+                    task = _task(b200, 8 * (1 + tid * per_thread + i))
+                    cache.put(task, _stub_result(task))
+                    if i % 4 == 0:
+                        cache.save()  # interleaves with other threads' puts
+            except Exception as exc:  # noqa: BLE001 — record, assert below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        assert len(cache) == n_threads * per_thread  # no lost updates
+        cache.save()
+        assert len(SearchCache(path)) == n_threads * per_thread
+
+    def test_failed_save_leaves_no_temp_file(self, b200, tmp_path, monkeypatch):
+        """Regression: an aborted write leaked ``cache.json.tmp<pid>``."""
+        import repro.runtime.cache as cache_mod
+
+        path = tmp_path / "cache.json"
+        cache = SearchCache(path)
+        cache.put(_task(b200, 128), _stub_result(_task(b200, 128)))
+        cache.save()
+        good = path.read_bytes()
+
+        def failing_dump(obj, target):
+            target.write_text("partial garbage")  # simulate a mid-write crash
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_mod, "dump_json", failing_dump)
+        cache.put(_task(b200, 256), _stub_result(_task(b200, 256)))
+        with pytest.raises(OSError, match="disk full"):
+            cache.save()
+        # The half-written temp file is cleaned up and the previous cache
+        # file is untouched (the atomic replace never ran).
+        assert list(tmp_path.iterdir()) == [path]
+        assert path.read_bytes() == good
+
+    def test_cross_process_save_merges_disjoint_entries(self, b200, tmp_path):
+        """Two processes saving disjoint entries both survive on disk."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        path = tmp_path / "cache.json"
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(target=_cross_process_writer, args=(path, n, barrier))
+            for n in (128, 256)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert [p.exitcode for p in procs] == [0, 0]
+        merged = SearchCache(path)
+        assert len(merged) == 2
+        assert merged.get(_task(b200, 128)) is not None
+        assert merged.get(_task(b200, 256)) is not None
 
     def test_executor_uses_cache(self, b200):
         cache = SearchCache()
