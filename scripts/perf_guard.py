@@ -7,14 +7,19 @@ wall-clock regresses more than the tolerance over its committed baseline:
 
 * ``benchmarks/baselines/search_gpt3_1t.json`` — the scalar oracle path;
 * ``benchmarks/baselines/search_gpt3_1t_batch.json`` — the vectorized
-  (``--eval-mode batch``) path.
+  (``--eval-mode batch``) path;
+* ``benchmarks/baselines/sweep_gpt3_1t_warm.json`` — the warm-started
+  fig. 4a-style scaling sweep (cross-point incumbent seeding on).
 
-On top of the per-mode baselines the guard asserts the *relative* speedup
-that justifies the batch pricer's existence: the vectorized search must be
-at least :data:`MIN_BATCH_SPEEDUP`x faster than the scalar search measured
-in the same run.  That check compares two measurements from the same
-machine and process, so it needs no calibration and cannot be fooled by
-runner speed.
+On top of the per-mode baselines the guard asserts the *relative* speedups
+that justify each optimization's existence: the vectorized search must be
+at least :data:`MIN_BATCH_SPEEDUP`x faster than the scalar search, and the
+warm-started sweep must evaluate at least
+:data:`MIN_WARM_CANDIDATE_RATIO`x fewer candidates (a deterministic count)
+and finish at least :data:`MIN_WARM_SPEEDUP`x faster than the same sweep
+run cold, all measured in the same run.  Those checks compare two
+measurements from the same machine and process, so they need no
+calibration and cannot be fooled by runner speed.
 
 The guard is deliberately end-to-end — it exercises candidate enumeration,
 the cost-plan build/reduce, branch-and-bound pruning, the NumPy batch
@@ -53,6 +58,9 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "search_gpt3_1t.json
 DEFAULT_BATCH_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "search_gpt3_1t_batch.json"
 )
+DEFAULT_WARM_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "sweep_gpt3_1t_warm.json"
+)
 
 #: The guarded command: the gpt3-1t preset across all three strategies at a
 #: figure-scale GPU count — a few seconds of work, so the measurement
@@ -70,6 +78,27 @@ BATCH_SEARCH_ARGV = SEARCH_ARGV + ["--eval-mode", "batch"]
 #: for CI noise while still failing if vectorization silently degrades to
 #: per-candidate work.
 MIN_BATCH_SPEEDUP = 3.0
+
+#: The warm-started scaling sweep: the gpt3-1t preset across the fig. 4a
+#: GPU grid on a B200 NVS-64 system with the batch pricer, where each
+#: point's winner seeds the next point's branch-and-bound incumbent.
+SWEEP_GPUS = "4096,8192,16384,32768,65536,131072"
+SWEEP_ARGV = [
+    "scaling", "--model", "gpt3-1t", "--gpu", "B200", "--nvs", "64",
+    "--gpus", SWEEP_GPUS, "--global-batch", "4096", "--strategy", "tp1d",
+    "--eval-mode", "batch",
+]
+
+#: Minimum end-to-end wall-clock speedup of the warm-started sweep over
+#: the same sweep with ``--no-warm-start``, measured back-to-back.  The
+#: seeded incumbent cuts the first 256-candidate batch chunk per point,
+#: which measures ~1.6-2x here; 1.5x is the contract.
+MIN_WARM_SPEEDUP = 1.5
+
+#: Minimum ratio of candidates evaluated cold vs warm across the sweep.
+#: Candidate counts are exact and deterministic, so this check carries no
+#: measurement noise at all (~2.3x in practice; 2x is the contract).
+MIN_WARM_CANDIDATE_RATIO = 2.0
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -111,6 +140,42 @@ def time_search(argv, repeats: int) -> float:
             raise SystemExit(f"guarded search failed with exit code {rc}")
         best = min(best, elapsed)
     return best
+
+
+def time_sweep(warm_start: bool, repeats: int):
+    """Best-of-``repeats`` wall-clock and exact candidate count of the sweep.
+
+    Runs :func:`repro.analysis.sweeps.scaling_sweep` in-process (the CLI
+    command ``repro-perf scaling`` over the same grid) so the guard can
+    read the deterministic per-point statistics alongside the wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.sweeps import scaling_sweep
+    from repro.core.execution import clear_caches
+    from repro.core.model import get_model
+    from repro.core.system import make_system
+
+    model = get_model("gpt3-1t")
+    system = make_system("B200", 64)
+    best = float("inf")
+    candidates = 0
+    for _ in range(repeats):
+        clear_caches()
+        start = time.perf_counter()
+        sweep = scaling_sweep(
+            model,
+            system,
+            strategy="tp1d",
+            n_gpus_list=[int(x) for x in SWEEP_GPUS.split(",")],
+            global_batch_size=4096,
+            eval_mode="batch",
+            warm_start=warm_start,
+        )
+        best = min(best, time.perf_counter() - start)
+        candidates = sum(
+            p.result.statistics.candidates_evaluated for p in sweep.points
+        )
+    return best, candidates
 
 
 def _write_baseline(path: Path, argv, measured: float, calibration: float, repeats: int) -> None:
@@ -158,6 +223,7 @@ def main_guard(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--batch-baseline", type=Path, default=DEFAULT_BATCH_BASELINE)
+    parser.add_argument("--warm-baseline", type=Path, default=DEFAULT_WARM_BASELINE)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--tolerance",
@@ -172,15 +238,24 @@ def main_guard(argv=None) -> int:
 
     measured = time_search(SEARCH_ARGV, args.repeats)
     measured_batch = time_search(BATCH_SEARCH_ARGV, args.repeats)
+    cold_wall, cold_candidates = time_sweep(False, args.repeats)
+    warm_wall, warm_candidates = time_sweep(True, args.repeats)
     calibration = calibrate()
 
-    if args.update or not args.baseline.exists() or not args.batch_baseline.exists():
+    if (
+        args.update
+        or not args.baseline.exists()
+        or not args.batch_baseline.exists()
+        or not args.warm_baseline.exists()
+    ):
         _write_baseline(args.baseline, SEARCH_ARGV, measured, calibration, args.repeats)
         _write_baseline(
             args.batch_baseline, BATCH_SEARCH_ARGV, measured_batch, calibration, args.repeats
         )
+        _write_baseline(args.warm_baseline, SWEEP_ARGV, warm_wall, calibration, args.repeats)
         print(
-            f"baselines written: scalar {measured:.3f}s, batch {measured_batch:.3f}s "
+            f"baselines written: scalar {measured:.3f}s, batch {measured_batch:.3f}s, "
+            f"warm sweep {warm_wall:.3f}s "
             f"(calibration {calibration:.4f}s) -> {args.baseline.parent}"
         )
         return 0
@@ -188,6 +263,9 @@ def main_guard(argv=None) -> int:
     ok = _check_baseline("scalar", args.baseline, measured, calibration, args.tolerance)
     ok &= _check_baseline(
         "batch", args.batch_baseline, measured_batch, calibration, args.tolerance
+    )
+    ok &= _check_baseline(
+        "warm sweep", args.warm_baseline, warm_wall, calibration, args.tolerance
     )
 
     speedup = measured / measured_batch if measured_batch > 0 else float("inf")
@@ -201,6 +279,38 @@ def main_guard(argv=None) -> int:
         print(
             f"REGRESSION: vectorized search is only {speedup:.1f}x faster than "
             f"scalar (floor {MIN_BATCH_SPEEDUP:.0f}x)"
+        )
+
+    candidate_ratio = (
+        cold_candidates / warm_candidates if warm_candidates else float("inf")
+    )
+    if candidate_ratio >= MIN_WARM_CANDIDATE_RATIO:
+        print(
+            f"OK: warm-started sweep evaluates {candidate_ratio:.2f}x fewer "
+            f"candidates than cold ({cold_candidates} -> {warm_candidates}, "
+            f"floor {MIN_WARM_CANDIDATE_RATIO:.1f}x)"
+        )
+    else:
+        ok = False
+        print(
+            f"REGRESSION: warm-started sweep evaluates only "
+            f"{candidate_ratio:.2f}x fewer candidates than cold "
+            f"({cold_candidates} -> {warm_candidates}, "
+            f"floor {MIN_WARM_CANDIDATE_RATIO:.1f}x)"
+        )
+
+    warm_speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    if warm_speedup >= MIN_WARM_SPEEDUP:
+        print(
+            f"OK: warm-started sweep is {warm_speedup:.2f}x faster than cold "
+            f"({cold_wall:.3f}s -> {warm_wall:.3f}s, floor {MIN_WARM_SPEEDUP:.1f}x)"
+        )
+    else:
+        ok = False
+        print(
+            f"REGRESSION: warm-started sweep is only {warm_speedup:.2f}x faster "
+            f"than cold ({cold_wall:.3f}s -> {warm_wall:.3f}s, "
+            f"floor {MIN_WARM_SPEEDUP:.1f}x)"
         )
 
     if not ok:

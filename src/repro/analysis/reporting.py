@@ -93,6 +93,11 @@ def render_serving_report(result: ServingSearchResult) -> str:
         f"{result.statistics.candidates_evaluated} candidates evaluated, "
         f"{result.statistics.pruned_configs} pruned by bound",
     ]
+    if result.statistics.warm_start_hits:
+        headline.append(
+            f"  warm start  : {result.statistics.warm_start_hits} hint(s) seeded "
+            f"in {1e3 * result.statistics.warm_seed_time:.1f} ms"
+        )
 
     # Only feasible candidates can reach the winner/top-k set, so the
     # table needs no feasibility column.

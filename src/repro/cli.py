@@ -38,6 +38,9 @@ accept ``--jobs N`` to fan the independent searches across N worker
 processes (results are identical to serial execution) and ``--cache PATH``
 to persist solved points in a content-addressed JSON cache that later
 sweeps — including different commands over overlapping grids — reuse.
+Sweep points warm-start each other by default (each point's winner seeds
+the next point's branch-and-bound incumbent; identical results, fewer
+candidates evaluated); ``--no-warm-start`` disables it.
 """
 
 from __future__ import annotations
@@ -158,6 +161,12 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--cache",
         default=None,
         help="JSON search-cache path; solved points are reused across runs",
+    )
+    parser.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable cross-point incumbent seeding (every point searches "
+        "cold; results are identical either way)",
     )
 
 
@@ -306,6 +315,11 @@ def cmd_search(args: argparse.Namespace) -> int:
         f"{result.statistics.candidates_evaluated} candidates evaluated, "
         f"{result.statistics.pruned_configs} pruned by bound"
     )
+    if result.statistics.warm_start_hits:
+        print(
+            f"  warm start  : {result.statistics.warm_start_hits} hint(s) seeded "
+            f"in {1e3 * result.statistics.warm_seed_time:.1f} ms"
+        )
     if getattr(args, "explain_plan", False) and best.plan is not None:
         print(render_plan_phases(best.plan))
     if args.top_k > 1 and result.top_k:
@@ -341,6 +355,7 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
+        warm_start=not args.no_warm_start,
     )
     _report_cache(cache)
     print(render_scaling_sweep(sweep))
@@ -366,6 +381,7 @@ def cmd_systems(args: argparse.Namespace) -> int:
         eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
+        warm_start=not args.no_warm_start,
     )
     _report_cache(cache)
     print(render_system_grid(series, model.name))
@@ -392,6 +408,7 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         eval_mode=args.eval_mode,
         jobs=args.jobs,
         cache=cache,
+        warm_start=not args.no_warm_start,
     )
     _report_cache(cache)
     print(render_speedups(points))
@@ -622,7 +639,11 @@ def cmd_api(args: argparse.Namespace) -> int:
     # the service layer.
     from repro.serve_api import ApiError, PlannerApp, create_server
 
-    app = PlannerApp(cache_path=args.cache, jobs=args.jobs)
+    app = PlannerApp(
+        cache_path=args.cache,
+        jobs=args.jobs,
+        warm_start=not args.no_warm_start,
+    )
     try:
         server = create_server(args.host, args.port, app=app, quiet=args.quiet)
     except (ApiError, OSError) as exc:
@@ -834,6 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON search-cache path: loaded once at start-up, kept hot in "
         "memory, saved after every solved batch (omit for in-memory only)",
+    )
+    p.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable hint-index incumbent seeding for API requests "
+        "(results are identical either way)",
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress the per-request access log"

@@ -200,6 +200,79 @@ def parallel_configs(
                                 yield config
 
 
+def config_in_space(
+    model: TransformerConfig,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    space: SearchSpace,
+    config: ParallelConfig,
+) -> bool:
+    """Membership test: would :func:`parallel_configs` yield ``config``?
+
+    Applies exactly the same admissibility filters as the enumeration —
+    factor structure, power-of-two restriction, divisibility of depth /
+    batch / microbatch, SUMMA panels, expert-parallel degrees, schedule and
+    strategy validation — without iterating the whole space.  The warm-start
+    layer uses it to decide whether a hint carried over from a *different*
+    search point is a legal candidate of the current one (only then is its
+    evaluated time a sound branch-and-bound seed).
+
+    A drift test pins this function against enumeration membership, so the
+    two cannot silently diverge.
+    """
+    if n_gpus < 1 or global_batch_size < 1:
+        return False
+    if config.strategy != strategy:
+        return False
+    try:
+        strat = get_strategy(strategy)
+    except (KeyError, ValueError):
+        return False
+    if config.total_gpus != n_gpus:
+        return False
+    n1, n2 = config.tensor_parallel_1, config.tensor_parallel_2
+    np_, nd = config.pipeline_parallel, config.data_parallel
+    if strategy == "tp1d" and n2 != 1:
+        return False
+    if space.power_of_two_only and not all(
+        x & (x - 1) == 0 for x in (n1, n2, np_, nd)
+    ):
+        return False
+    if space.max_tensor_parallel is not None and n1 * n2 > space.max_tensor_parallel:
+        return False
+    if model.depth % np_ != 0:
+        return False
+    if global_batch_size % nd != 0:
+        return False
+    local_batch = global_batch_size // nd
+    if config.microbatch_size not in microbatch_candidates(local_batch, space):
+        return False
+
+    if strategy == "summa":
+        panel_options: Sequence[int] = tuple(
+            nb for nb in space.summa_panels if model.embed_dim % nb == 0
+        ) or (1,)
+    else:
+        panel_options = (1,)
+    if config.summa_panels not in panel_options:
+        return False
+
+    if config.expert_parallel not in expert_parallel_candidates(model, nd, space):
+        return False
+    if config.schedule not in space.schedules:
+        return False
+    if config.virtual_stages not in space.virtual_stages:
+        return False
+    try:
+        schedule = get_schedule(config.schedule)
+    except (KeyError, ValueError):
+        return False
+    if schedule.validate(model, config) is not None:
+        return False
+    return strat.validate_config(model, config) is None
+
+
 def default_assignment(config: ParallelConfig, nvs_domain_size: int) -> GpuAssignment:
     """Fill the NVS domain greedily in (tp1, tp2, pp, dp) priority order.
 

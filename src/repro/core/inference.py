@@ -56,8 +56,9 @@ from __future__ import annotations
 
 import heapq
 import math
+import time as _time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backends import CostPricer, DEFAULT_BACKEND, get_backend
 from repro.core.config_space import (
@@ -986,6 +987,7 @@ def find_serving_config(
     top_k: int = 0,
     backend: str = DEFAULT_BACKEND,
     eval_mode: str = "scalar",
+    warm_hints: Sequence = (),
 ) -> ServingSearchResult:
     """Search the EP/TP/PP/DP space for the best serving configuration.
 
@@ -1008,6 +1010,14 @@ def find_serving_config(
     the lanes into the scalar evaluator; the decode fixed point stays
     scalar, so every estimate — and therefore the search outcome — is
     byte-identical to scalar mode.  Analytic backend only.
+
+    ``warm_hints`` seeds the branch-and-bound exactly like the training
+    search (:func:`repro.core.search.find_optimal_config`): hints — usually
+    a neighboring request's winner — are adapted into the serving space,
+    evaluated at this point first, and the best feasible *score* (the
+    sign-adjusted objective, so the maximised throughput seeds correctly)
+    opens the pruning threshold.  The selected optimum and top-k set are
+    bit-identical to a cold search.
     """
     # Local import: batch_eval shares this module's core dependencies but
     # must not be imported at module load (keeps numpy off the scalar path).
@@ -1038,6 +1048,38 @@ def find_serving_config(
     n_other = 0
     n_bounds = 0
     n_pruned = 0
+
+    # Warm-start seeding (see repro.core.search._seed_from_hints): every
+    # adapted hint is a member of this point's serving space, so its
+    # sign-adjusted score is a true upper bound on the best score and
+    # strict-> pruning against it never discards the optimum or a tie.
+    seed_threshold = math.inf
+    warm_hits = 0
+    warm_time = 0.0
+    if warm_hints and prune and top_k == 0:
+        from repro.core.search import adapt_warm_hints
+
+        t0 = _time.perf_counter()
+        for config in adapt_warm_hints(
+            prefill_model, n_gpus, n_gpus, "tp1d", serving_space, warm_hints
+        ):
+            best_score = math.inf
+            for assignment in gpu_assignments(
+                config, system.nvs_domain_size, serving_space
+            ):
+                n_eval += 1
+                try:
+                    est = _evaluate_serving(
+                        model, system, config, assignment, serving, options, pricer
+                    )
+                except ValueError:
+                    continue
+                if est.feasible:
+                    best_score = min(best_score, sign * est.objective_value(objective))
+            if best_score < math.inf:
+                warm_hits += 1
+                seed_threshold = min(seed_threshold, best_score)
+        warm_time = _time.perf_counter() - t0
 
     # Pass 1: the zero-communication evaluation doubles as the memory /
     # saturation pre-filter (bound-infeasibility is assignment-independent)
@@ -1075,6 +1117,7 @@ def find_serving_config(
                 threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
             else:
                 threshold = best_key[0] if best is not None else math.inf
+                threshold = min(threshold, seed_threshold)
             if bound_score > threshold:
                 n_pruned += len(survivors) - idx
                 break
@@ -1134,6 +1177,8 @@ def find_serving_config(
             infeasible_other=n_other,
             bounds_computed=n_bounds,
             pruned_configs=n_pruned,
+            warm_start_hits=warm_hits,
+            warm_seed_time=warm_time,
         ),
         backend=backend,
     )

@@ -26,13 +26,16 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config_space import (
     DEFAULT_SEARCH_SPACE,
     SearchSpace,
+    config_in_space,
     gpu_assignments,
+    microbatch_candidates,
     parallel_configs,
 )
 from repro.core.execution import (
@@ -75,8 +78,12 @@ class SearchStatistics:
     #: those later rejected by the memory pre-filter or pruned by the bound.
     parallel_configs: int = 0
     #: Full (parallelization, NVS-assignment) candidates whose iteration time
-    #: was evaluated.
-    candidates_evaluated: int = 0
+    #: was evaluated (including warm-start seed evaluations).  How many
+    #: candidates the branch-and-bound actually prices depends on how tight
+    #: the initial threshold is — warm hints, shared incumbents and batch
+    #: chunking all shift it without changing the selected optimum — so the
+    #: counter is diagnostics-only and excluded from equality.
+    candidates_evaluated: int = field(default=0, compare=False)
     #: Candidates rejected because they do not fit in HBM — either by the
     #: assignment-independent memory pre-filter (counted once per
     #: parallelization) or by the per-candidate feasibility check.
@@ -89,7 +96,10 @@ class SearchStatistics:
     bounds_computed: int = 0
     #: Parallelizations skipped outright because their lower bound met or
     #: exceeded the incumbent optimum; their NVS-assignment loops never ran.
-    pruned_configs: int = 0
+    #: Like :attr:`candidates_evaluated`, the count depends on the initial
+    #: threshold (warm hints / shared incumbents), so it is excluded from
+    #: equality.
+    pruned_configs: int = field(default=0, compare=False)
     #: Of :attr:`pruned_configs`, how many were pruned only thanks to an
     #: incumbent *shared from outside this strategy's own search* — a
     #: previously-searched strategy of the same call, or another
@@ -110,6 +120,13 @@ class SearchStatistics:
     #: every schedule/assignment candidate of one TP parallelization.
     stage_cache_hits: int = field(default=0, compare=False)
     stage_cache_misses: int = field(default=0, compare=False)
+    #: Warm-start hints (winners carried over from a neighboring search
+    #: point) that adapted into the current point's space and evaluated
+    #: feasible, i.e. actually seeded the branch-and-bound threshold.
+    warm_start_hits: int = field(default=0, compare=False)
+    #: Wall-clock seconds spent adapting and evaluating warm hints before
+    #: the enumeration started (0.0 for cold searches).
+    warm_seed_time: float = field(default=0.0, compare=False)
 
     def merged(self, other: "SearchStatistics") -> "SearchStatistics":
         """Combine statistics of two (sub-)searches."""
@@ -123,6 +140,8 @@ class SearchStatistics:
             shared_incumbent_prunes=(
                 self.shared_incumbent_prunes + other.shared_incumbent_prunes
             ),
+            warm_start_hits=self.warm_start_hits + other.warm_start_hits,
+            warm_seed_time=self.warm_seed_time + other.warm_seed_time,
             workload_cache_hits=self.workload_cache_hits + other.workload_cache_hits,
             workload_cache_misses=self.workload_cache_misses + other.workload_cache_misses,
             stage_cache_hits=self.stage_cache_hits + other.stage_cache_hits,
@@ -198,6 +217,131 @@ def evaluate_candidates(
     return estimates
 
 
+#: Adapted hint parallelizations evaluated per strategy when seeding.  Hints
+#: beyond this many are ignored: each seed evaluation costs a full
+#: ``evaluate_config`` sweep over the config's NVS assignments, and the first
+#: (nearest) hint almost always provides the tight threshold.
+MAX_WARM_HINTS = 4
+
+
+def adapt_warm_hints(
+    model: TransformerConfig,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    space: SearchSpace,
+    warm_hints: Sequence,
+    limit: int = MAX_WARM_HINTS,
+) -> List[ParallelConfig]:
+    """Translate warm hints into members of the *current* point's space.
+
+    Each hint is a :class:`ParallelConfig` (or ``(config, assignment)``
+    tuple; the assignment half is ignored — assignments are re-searched at
+    the current point) typically taken from a neighboring search point's
+    winner.  A hint whose GPU count differs from ``n_gpus`` is rescaled by
+    the integer ratio along the data-parallel axis (growing) or greedily
+    across the DP, PP and TP1 axes (shrinking); a microbatch that no longer
+    divides the new per-replica batch snaps to the nearest admissible
+    candidate.  Only configs that pass :func:`config_in_space` — i.e. that
+    the current enumeration itself would yield — are returned, which is what
+    makes their evaluated times sound branch-and-bound seeds.
+    """
+    adapted: List[ParallelConfig] = []
+    seen = set()
+    for hint in warm_hints:
+        config = hint[0] if isinstance(hint, tuple) else hint
+        if not isinstance(config, ParallelConfig) or config.strategy != strategy:
+            continue
+        total = config.total_gpus
+        if total != n_gpus:
+            if n_gpus % total == 0:
+                config = replace(
+                    config, data_parallel=config.data_parallel * (n_gpus // total)
+                )
+            elif total % n_gpus == 0:
+                ratio = total // n_gpus
+                axes = {
+                    "data_parallel": config.data_parallel,
+                    "pipeline_parallel": config.pipeline_parallel,
+                    "tensor_parallel_1": config.tensor_parallel_1,
+                }
+                for name in axes:
+                    g = math.gcd(axes[name], ratio)
+                    axes[name] //= g
+                    ratio //= g
+                if ratio != 1:
+                    continue
+                config = replace(config, **axes)
+            else:
+                continue
+        if global_batch_size % config.data_parallel != 0:
+            continue
+        ep = math.gcd(config.expert_parallel, config.data_parallel)
+        if ep != config.expert_parallel:
+            config = replace(config, expert_parallel=ep)
+        bms = microbatch_candidates(global_batch_size // config.data_parallel, space)
+        if config.microbatch_size not in bms:
+            if not bms:
+                continue
+            bm = min(bms, key=lambda c: (abs(c - config.microbatch_size), c))
+            config = replace(config, microbatch_size=bm)
+        if config in seen:
+            continue
+        if config_in_space(model, n_gpus, global_batch_size, strategy, space, config):
+            seen.add(config)
+            adapted.append(config)
+            if len(adapted) >= limit:
+                break
+    return adapted
+
+
+def _seed_from_hints(
+    model: TransformerConfig,
+    system: SystemSpec,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    space: SearchSpace,
+    options: ModelingOptions,
+    backend: str,
+    warm_hints: Sequence,
+) -> Tuple[float, int, int]:
+    """Evaluate warm hints at the current point before enumeration.
+
+    Returns ``(seed_threshold, hits, evaluations)``.  The threshold is the
+    best feasible time among the adapted hints (``inf`` when none is
+    feasible); since every adapted hint is a member of the current space,
+    the threshold is a true upper bound on this strategy's optimum, and
+    strict-``>`` pruning against it can never discard the optimum or an
+    exact tie — the search result is bit-identical to a cold run.
+    """
+    threshold = math.inf
+    hits = 0
+    n_eval = 0
+    for config in adapt_warm_hints(
+        model, n_gpus, global_batch_size, strategy, space, warm_hints
+    ):
+        best_time = math.inf
+        for assignment in gpu_assignments(config, system.nvs_domain_size, space):
+            n_eval += 1
+            estimate = evaluate_config(
+                model,
+                system,
+                config,
+                assignment,
+                global_batch_size=global_batch_size,
+                options=options,
+                backend=backend,
+            )
+            if estimate.feasible and estimate.total_time < best_time:
+                best_time = estimate.total_time
+        if best_time < math.inf:
+            hits += 1
+            if best_time < threshold:
+                threshold = best_time
+    return threshold, hits, n_eval
+
+
 def _batch_pass_two(
     model: TransformerConfig,
     system: SystemSpec,
@@ -210,6 +354,7 @@ def _batch_pass_two(
     board,
     consume_keys: Sequence[str],
     publish_key: Optional[str],
+    seed_threshold: float = math.inf,
 ) -> Tuple[Optional[IterationEstimate], List[IterationEstimate], int, int, int]:
     """Vectorized pass 2: price survivors in bound-ordered chunks.
 
@@ -230,7 +375,10 @@ def _batch_pass_two(
     publishes improvements under ``publish_key``.  A shared bound is a true
     feasible time of the consumed scope, so it can only prune candidates
     that cannot win; prunes that only the shared bound explains are
-    tallied separately (the fifth return value).
+    tallied separately (the fifth return value).  ``seed_threshold`` — the
+    best feasible time of the warm-start hints, already evaluated at this
+    point — tightens the threshold the same sound way from the very first
+    chunk.
 
     Returns ``(best, leaderboard, evaluated, pruned, shared_prunes)``.
     """
@@ -253,7 +401,7 @@ def _batch_pass_two(
                 if len(topk_heap) >= top_k:
                     local_threshold = -topk_heap[0][0]
             else:
-                local_threshold = best_key[0]
+                local_threshold = min(best_key[0], seed_threshold)
         threshold = local_threshold
         if share:
             threshold = min(threshold, board.get(consume_keys))
@@ -334,6 +482,7 @@ def _search_single_strategy(
     board=None,
     consume_keys: Sequence[str] = (),
     publish_key: Optional[str] = None,
+    warm_hints: Sequence = (),
 ) -> SearchResult:
     best: Optional[IterationEstimate] = None
     n_parallel = 0
@@ -347,6 +496,27 @@ def _search_single_strategy(
     # evaluation; a simulated bubble may legitimately undercut the closed
     # form, so pruning is disabled for any non-default backend.
     prune = space.prune_with_lower_bound and backend == DEFAULT_BACKEND
+
+    # Warm-start seeding: evaluate carried-over hints at *this* point first
+    # and open the branch-and-bound with their best feasible time.  Only
+    # meaningful with pruning on, and only sound for a best-only search — a
+    # top-k leaderboard prunes on the k-th best, which a single seed time
+    # would over-tighten.
+    seed_threshold = math.inf
+    warm_hits = 0
+    warm_time = 0.0
+    if warm_hints and prune and top_k == 0:
+        t0 = time.perf_counter()
+        seed_threshold, warm_hits, n_seed = _seed_from_hints(
+            model, system, n_gpus, global_batch_size, strategy, space,
+            options, backend, warm_hints,
+        )
+        warm_time = time.perf_counter() - t0
+        n_eval += n_seed
+        if board is not None and publish_key is not None and warm_hits:
+            # A seed is a true feasible time of this scope: publishing it
+            # lets sibling strategies and sweep workers prune against it.
+            board.publish(publish_key, seed_threshold)
 
     # Pass 1: memory pre-filter (assignment-independent), then compute the
     # cheap compute-only lower bound of every surviving parallelization so
@@ -389,7 +559,7 @@ def _search_single_strategy(
     # ties resolve by enumeration order, independent of evaluation order.
     n_shared = 0
     if eval_mode == "batch":
-        best, leaderboard, n_eval, n_pruned, n_shared = _batch_pass_two(
+        best, leaderboard, n_batch_eval, n_pruned, n_shared = _batch_pass_two(
             model,
             system,
             global_batch_size,
@@ -401,7 +571,9 @@ def _search_single_strategy(
             board,
             consume_keys,
             publish_key,
+            seed_threshold,
         )
+        n_eval += n_batch_eval
     else:
         topk_heap: List[Tuple[float, int, int, IterationEstimate]] = []
         best_key: Tuple[float, int, int] = (math.inf, -1, -1)
@@ -411,6 +583,7 @@ def _search_single_strategy(
                     threshold = -topk_heap[0][0] if len(topk_heap) >= top_k else math.inf
                 else:
                     threshold = best.total_time if best is not None else math.inf
+                    threshold = min(threshold, seed_threshold)
                 if bound > threshold:
                     # Survivors are bound-sorted: no later one can beat (or
                     # exactly tie, hence the strict >) the incumbent either.
@@ -465,6 +638,8 @@ def _search_single_strategy(
             bounds_computed=n_bounds,
             pruned_configs=n_pruned,
             shared_incumbent_prunes=n_shared,
+            warm_start_hits=warm_hits,
+            warm_seed_time=warm_time,
             workload_cache_hits=(
                 caches_after["workload"]["hits"] - caches_before["workload"]["hits"]
             ),
@@ -496,6 +671,7 @@ def find_optimal_config(
     objective: str = TRAINING_OBJECTIVE,
     serving=None,
     eval_mode: str = DEFAULT_EVAL_MODE,
+    warm_hints: Sequence = (),
 ):
     """Brute-force search for the fastest feasible configuration.
 
@@ -531,6 +707,19 @@ def find_optimal_config(
     ``global_batch_size``, ``strategy`` and the training-only knobs are
     ignored there (serving models 1D TP with round-robin decode).
 
+    ``warm_hints`` seeds the branch-and-bound: each hint (a
+    :class:`ParallelConfig` or ``(config, assignment)`` tuple, typically a
+    neighboring search point's winner) is adapted to this point, validated
+    as a member of the enumerated space and evaluated *before* the
+    enumeration; the best feasible time opens the pruning threshold.  The
+    selected optimum and top-k set are bit-identical to a cold search —
+    a seed is just a candidate evaluated first — and
+    :attr:`SearchStatistics.warm_start_hits` /
+    :attr:`SearchStatistics.warm_seed_time` record the effect.  Hints are
+    ignored when pruning is off, when ``top_k > 0`` (a single seed would
+    over-tighten the k-th-best threshold) or when none adapts into the
+    space.
+
     When no configuration fits in HBM and ``fallback_activation_checkpointing``
     is set (the default), the search is repeated once with full activation
     checkpointing enabled — recomputing each block during the backward pass —
@@ -564,6 +753,7 @@ def find_optimal_config(
             top_k=top_k,
             backend=backend,
             eval_mode=eval_mode,
+            warm_hints=warm_hints,
         )
     if isinstance(strategy, str):
         strategies: Tuple[str, ...] = ALL_STRATEGIES if strategy == "all" else (strategy,)
@@ -593,6 +783,7 @@ def find_optimal_config(
                 board=board,
                 consume_keys=tuple(keys),
                 publish_key=keys[i] if keys else None,
+                warm_hints=warm_hints,
             )
             for i, strat in enumerate(strategies)
         ]

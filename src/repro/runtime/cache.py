@@ -19,11 +19,13 @@ sessions via :mod:`repro.utils.serialization`.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.parallelism.base import ParallelConfig
 from repro.core.search import TRAINING_OBJECTIVE, SearchResult
 from repro.utils.serialization import (
     canonical_fingerprint,
@@ -50,7 +52,50 @@ from repro.utils.serialization import (
 #: ``eval_mode``.  Scalar and batch solves of the same point select the same
 #: optimum, but their diagnostics-only work counters may differ, so the
 #: entries must not collide.
-CACHE_FORMAT_VERSION = 6
+#: v7: warm-started search — the persisted file gains a ``"hints"`` section
+#: (the structure-keyed winner index, see :func:`reduced_fingerprint`).  The
+#: *exact* fingerprint recipe is unchanged on purpose: a task's ``warm_hints``
+#: are an optimization input, not a search input — they provably do not
+#: change the selected optimum — so they must not (and do not) enter the
+#: cache identity.
+CACHE_FORMAT_VERSION = 7
+
+#: Winner records kept per reduced key; the oldest are evicted first.  A
+#: sweep along one axis revisits the same reduced key once per point, so a
+#: few dozen records cover every realistic neighborhood.
+_MAX_HINTS_PER_KEY = 64
+
+
+def reduced_fingerprint(task: "SearchTask") -> str:  # noqa: F821 (doc reference)
+    """Structure key of ``task``: the fingerprint minus the *point* inputs.
+
+    Two tasks share a reduced key when they search the same model / system /
+    strategy / space / options / backend / objective but at a different
+    point along a sweep or traffic axis — a different ``n_gpus``,
+    ``global_batch_size`` or serving arrival rate.  Winners recorded under
+    one reduced key are therefore exactly the candidates worth re-evaluating
+    first at any other point of the same structure (warm starting).
+
+    ``eval_mode`` and ``top_k`` are also dropped: neither changes which
+    configuration wins, so a scalar solve may warm-start a batch one and
+    vice versa.
+    """
+    serving = to_jsonable(getattr(task, "serving", None))
+    if isinstance(serving, dict):
+        serving = {k: v for k, v in serving.items() if k != "arrival_rate"}
+    return canonical_fingerprint(
+        {
+            "hint_index": CACHE_FORMAT_VERSION,
+            "model": to_jsonable(task.model),
+            "system": to_jsonable(task.system),
+            "strategy": task.strategy,
+            "space": to_jsonable(task.space),
+            "options": to_jsonable(task.options),
+            "backend": task.backend,
+            "objective": getattr(task, "objective", TRAINING_OBJECTIVE),
+            "serving": serving,
+        }
+    )
 
 
 class SearchCache:
@@ -75,6 +120,11 @@ class SearchCache:
     def __init__(self, path: str | Path | None = None):
         self.path: Optional[Path] = Path(path) if path is not None else None
         self._entries: Dict[str, Any] = {}
+        # Structure-keyed hint index: reduced fingerprint -> list of winner
+        # records ({n_gpus, global_batch_size, arrival_rate, config}).  Fed
+        # by put(), consumed by warm_hints(), persisted alongside the exact
+        # entries so a restarted API process warm-starts from its history.
+        self._hints: Dict[str, List[Dict[str, Any]]] = {}
         self.hits = 0
         self.misses = 0
         # Reentrant so save()'s merge can call helpers that also lock, and
@@ -150,10 +200,86 @@ class SearchCache:
             return None
 
     def put(self, task, result: SearchResult) -> None:
-        """Store ``result`` under ``task``'s fingerprint."""
+        """Store ``result`` under ``task``'s fingerprint.
+
+        The winner (when one exists) is additionally recorded in the
+        structure-keyed hint index, so later tasks of the same structure at
+        *different* points can warm-start from it (:meth:`warm_hints`).
+        """
         entry = to_jsonable(result)
         with self._lock:
             self._entries[self.fingerprint(task)] = entry
+            record = self._hint_record(task, result)
+            if record is not None:
+                self._record_hint(reduced_fingerprint(task), record)
+
+    @staticmethod
+    def _hint_record(task, result) -> Optional[Dict[str, Any]]:
+        """Winner record of ``result`` for the hint index (None if no winner)."""
+        best = getattr(result, "best", None)
+        config = getattr(best, "config", None)
+        if config is None:
+            return None
+        serving = getattr(task, "serving", None)
+        return {
+            "n_gpus": task.n_gpus,
+            "global_batch_size": task.global_batch_size,
+            "arrival_rate": getattr(serving, "arrival_rate", None),
+            "config": to_jsonable(config),
+        }
+
+    def _record_hint(self, key: str, record: Dict[str, Any]) -> None:
+        """Append ``record`` under ``key``, deduplicated, newest last."""
+        bucket = self._hints.setdefault(key, [])
+        bucket[:] = [r for r in bucket if r != record]
+        bucket.append(record)
+        del bucket[:-_MAX_HINTS_PER_KEY]
+
+    def warm_hints(self, task, limit: int = 4) -> Tuple[ParallelConfig, ...]:
+        """Nearest prior winners of ``task``'s structure, best-first.
+
+        Looks up the reduced key (:func:`reduced_fingerprint`) and returns
+        up to ``limit`` recorded winner configs ordered by distance to the
+        requested point — the absolute log2 ratio of GPU count, then of
+        global batch size, then of arrival rate.  The configs are raw
+        (native to the point they won at); the solver adapts and validates
+        them (:func:`repro.core.search.adapt_warm_hints`), so a hint can
+        never change the search result, only speed it up.
+        """
+        with self._lock:
+            bucket = list(self._hints.get(reduced_fingerprint(task), ()))
+        if not bucket:
+            return ()
+
+        def _log_ratio(a, b) -> float:
+            try:
+                a, b = float(a), float(b)
+            except (TypeError, ValueError):
+                return math.inf
+            if a <= 0 or b <= 0:
+                return math.inf
+            return abs(math.log2(a / b))
+
+        arrival = getattr(getattr(task, "serving", None), "arrival_rate", None)
+
+        def _distance(record: Dict[str, Any]) -> Tuple[float, float, float]:
+            return (
+                _log_ratio(record.get("n_gpus"), task.n_gpus),
+                _log_ratio(record.get("global_batch_size"), task.global_batch_size),
+                0.0 if arrival is None else _log_ratio(record.get("arrival_rate"), arrival),
+            )
+
+        hints: List[ParallelConfig] = []
+        for record in sorted(bucket, key=_distance):
+            try:
+                config = dataclass_from_jsonable(ParallelConfig, record["config"])
+            except (TypeError, KeyError, ValueError, AttributeError):
+                continue
+            if config not in hints:
+                hints.append(config)
+            if len(hints) >= limit:
+                break
+        return tuple(hints)
 
     def __len__(self) -> int:
         with self._lock:
@@ -189,9 +315,23 @@ class SearchCache:
             return None
         with self._lock:
             merged = {**self._read_entries(target), **self._entries}
+            merged_hints = self._read_hints(target)
+            for key, bucket in self._hints.items():
+                for record in bucket:
+                    existing = merged_hints.setdefault(key, [])
+                    existing[:] = [r for r in existing if r != record]
+                    existing.append(record)
+                del merged_hints[key][:-_MAX_HINTS_PER_KEY]
             tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
             try:
-                dump_json({"version": CACHE_FORMAT_VERSION, "entries": merged}, tmp)
+                dump_json(
+                    {
+                        "version": CACHE_FORMAT_VERSION,
+                        "entries": merged,
+                        "hints": merged_hints,
+                    },
+                    tmp,
+                )
                 os.replace(tmp, target)
             finally:
                 # No-op on success (os.replace consumed the temp file);
@@ -201,6 +341,7 @@ class SearchCache:
                 except OSError:
                     pass
             self._entries = merged
+            self._hints = merged_hints
             return target
 
     @staticmethod
@@ -224,11 +365,38 @@ class SearchCache:
             return {}
         return {k: v for k, v in entries.items() if isinstance(v, dict)}
 
+    @staticmethod
+    def _read_hints(path: Path) -> Dict[str, List[Dict[str, Any]]]:
+        """Hint index stored in ``path``; empty on missing/corrupt/old files."""
+        try:
+            data = load_json(path)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != CACHE_FORMAT_VERSION:
+            return {}
+        hints = data.get("hints")
+        if not isinstance(hints, dict):
+            return {}
+        return {
+            key: [r for r in bucket if isinstance(r, dict)]
+            for key, bucket in hints.items()
+            if isinstance(bucket, list)
+        }
+
     def _load(self) -> None:
         with self._lock:
             self._entries.update(self._read_entries(self.path))
+            for key, bucket in self._read_hints(self.path).items():
+                for record in bucket:
+                    self._record_hint(key, record)
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters (for reports and the CLI summary line)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "hint_keys": len(self._hints),
+                "hint_entries": sum(len(b) for b in self._hints.values()),
+            }

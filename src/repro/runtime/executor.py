@@ -28,22 +28,24 @@ import math
 import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_configurations
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions, clear_caches
 from repro.core.inference import ServingSpec
 from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
 from repro.core.search import (
     ALL_STRATEGIES,
     DEFAULT_EVAL_MODE,
+    MAX_WARM_HINTS,
     TRAINING_OBJECTIVE,
     SearchResult,
     find_optimal_config,
 )
 from repro.core.system import SystemSpec
-from repro.runtime.cache import SearchCache
+from repro.runtime.cache import SearchCache, reduced_fingerprint
 
 #: ``progress(done, total)`` — invoked after every completed point.
 ProgressCallback = Callable[[int, int], None]
@@ -78,25 +80,46 @@ class SearchTask:
     #: per-candidate oracle, or the vectorized ``"batch"`` pricer (identical
     #: results, several times faster; analytic backend only).
     eval_mode: str = DEFAULT_EVAL_MODE
+    #: Warm-start hints: winner configs of neighboring points, evaluated
+    #: first to seed the branch-and-bound threshold (see
+    #: :func:`repro.core.search.find_optimal_config`).  Hints provably never
+    #: change the result, so they are **excluded from equality and hashing**
+    #: (batch dedup treats a hinted and an unhinted copy of the same search
+    #: as one task) and from the cache fingerprint (a warm solve and a cold
+    #: solve share one cache entry).
+    warm_hints: Tuple[ParallelConfig, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         # Normalise strategy sequences to tuples so tasks stay hashable
         # (batch dedup uses them as dict keys) and picklable.
         if not isinstance(self.strategy, str):
             object.__setattr__(self, "strategy", tuple(self.strategy))
+        if not isinstance(self.warm_hints, tuple):
+            object.__setattr__(self, "warm_hints", tuple(self.warm_hints))
+
+
+#: Relative per-candidate cost of the vectorized batch pricer versus the
+#: scalar oracle.  Batch mode prices ~5x faster per candidate (see
+#: ``scripts/perf_guard.py``'s measured floor of 3x and ``BENCH_search.json``),
+#: so a batch task of equal candidate count is a much *shorter* job — LPT
+#: dispatch must know that or it misorders mixed-mode task lists.
+_BATCH_MODE_COST_FACTOR = 0.2
 
 
 def estimate_task_cost(task: SearchTask) -> float:
-    """Estimated size of the search space ``task`` will enumerate.
+    """Estimated solve cost of ``task`` (arbitrary units, larger = longer).
 
     Counts the full (parallelization, NVS-assignment) candidate set via
     :func:`repro.core.config_space.count_configurations` — the same
     enumeration the solver runs, minus any evaluation — summed over the
-    task's strategies.  Used by :meth:`SweepExecutor.run` to dispatch the
-    largest searches first (longest-processing-time order), so one huge
-    GPU-count point submitted last no longer serializes the tail of a
-    sweep.  Falls back to the GPU count if the enumeration itself rejects
-    the task (the solver will surface the real error).
+    task's strategies, then scaled by the evaluation mode's per-candidate
+    cost (:data:`_BATCH_MODE_COST_FACTOR`): a batch-mode search of the same
+    space finishes ~5x sooner than a scalar one.  Used by
+    :meth:`SweepExecutor.run` to dispatch the longest searches first
+    (longest-processing-time order), so one huge GPU-count point submitted
+    last no longer serializes the tail of a sweep.  Falls back to the GPU
+    count if the enumeration itself rejects the task (the solver will
+    surface the real error).
     """
     if isinstance(task.strategy, str):
         strategies = ALL_STRATEGIES if task.strategy == "all" else (task.strategy,)
@@ -116,6 +139,8 @@ def estimate_task_cost(task: SearchTask) -> float:
             total += n_candidates
         except (ValueError, KeyError):
             total += task.n_gpus
+    if task.eval_mode == "batch":
+        return float(total) * _BATCH_MODE_COST_FACTOR
     return float(total)
 
 
@@ -140,7 +165,13 @@ def solve_search_task(task: SearchTask):
         objective=task.objective,
         serving=task.serving,
         eval_mode=task.eval_mode,
+        warm_hints=task.warm_hints,
     )
+
+
+def _winner_config(result) -> Optional[ParallelConfig]:
+    """The winning :class:`ParallelConfig` of a search result, if any."""
+    return getattr(getattr(result, "best", None), "config", None)
 
 
 def _task_strategies(task: SearchTask) -> Tuple[str, ...]:
@@ -424,17 +455,67 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Cache-aware search batches
     # ------------------------------------------------------------------
+    def _hints_for(
+        self,
+        task: SearchTask,
+        board: Dict[str, List[ParallelConfig]],
+    ) -> Tuple[ParallelConfig, ...]:
+        """Warm hints for ``task``: its own, then the run's, then the cache's.
+
+        The in-run board holds winners of points already solved (or cache-hit)
+        in this batch, most recent first — for a sweep ordered along its axis
+        that is exactly the neighboring point.  The cache's structure-keyed
+        index extends the reach to points solved in past runs or by other
+        processes.  Deduplicated, capped at
+        :data:`repro.core.search.MAX_WARM_HINTS`.
+        """
+        hints: List[ParallelConfig] = list(task.warm_hints)
+        hints.extend(board.get(reduced_fingerprint(task), ()))
+        if self.cache is not None:
+            hints.extend(self.cache.warm_hints(task))
+        unique: List[ParallelConfig] = []
+        for hint in hints:
+            if hint not in unique:
+                unique.append(hint)
+            if len(unique) >= MAX_WARM_HINTS:
+                break
+        return tuple(unique)
+
+    @staticmethod
+    def _record_winner(
+        task: SearchTask, result, board: Dict[str, List[ParallelConfig]]
+    ) -> None:
+        """Prepend ``result``'s winner to the in-run hint board."""
+        config = _winner_config(result)
+        if config is None:
+            return
+        bucket = board.setdefault(reduced_fingerprint(task), [])
+        if config in bucket:
+            bucket.remove(config)
+        bucket.insert(0, config)
+
     def run(
         self,
         tasks: Sequence[SearchTask],
         *,
         progress: Optional[ProgressCallback] = None,
+        warm_start: bool = True,
     ) -> List[SearchResult]:
         """Solve every task (cache hits first), preserving input order.
 
         Duplicate tasks within the batch are solved once and fanned back to
         every occurrence (the ``speedup`` sweep, for instance, can submit
         the same baseline search for many grid points).
+
+        With ``warm_start`` (the default) each solve is seeded with the
+        winners of neighboring points: serially, every point's winner chains
+        forward into the next solve of the same structure; in parallel,
+        hints come from the batch's cache hits and the cache's persistent
+        hint index (a worker cannot see a sibling's in-flight winner —
+        batch-eval tasks still share bounds live through the incumbent
+        board).  Warm starting provably never changes any selected optimum
+        (see :func:`~repro.core.search.find_optimal_config`), only the
+        compare-excluded work counters.
 
         Batch-eval tasks additionally share their branch-and-bound
         incumbents across workers (see :func:`_incumbent_slots_for`).  The
@@ -444,19 +525,22 @@ class SweepExecutor:
         differ between a parallel and a serial run, since how early a
         sibling's bound arrives depends on worker timing;
         ``shared_incumbent_prunes`` (compare-excluded) attributes the
-        difference.  Scalar tasks stay bit-identical, statistics included.
+        difference.
         """
         tasks = list(tasks)
         total = len(tasks)
         report = progress if progress is not None else self.progress
         results: List[Optional[SearchResult]] = [None] * total
 
+        hint_board: Dict[str, List[ParallelConfig]] = {}
         pending: Dict[SearchTask, List[int]] = {}
         done = 0
         for idx, task in enumerate(tasks):
             hit = self.cache.get(task) if self.cache is not None else None
             if hit is not None:
                 results[idx] = hit
+                if warm_start:
+                    self._record_winner(task, hit, hint_board)
                 done += 1
                 self._report(done, total, report)
             else:
@@ -464,7 +548,8 @@ class SweepExecutor:
 
         unique_tasks = list(pending)
         slots: Optional[Dict[str, object]] = None
-        if self.jobs > 1 and len(unique_tasks) > 1:
+        serial = self.jobs <= 1 or len(unique_tasks) <= 1
+        if not serial:
             # Longest-processing-time dispatch: hand the biggest searches to
             # the pool first so the sweep's critical path is the single
             # largest point, not "whatever happened to be submitted last".
@@ -477,9 +562,38 @@ class SweepExecutor:
                 # batch existed, so per-batch slots cannot be installed;
                 # cross-worker bound sharing is an optimisation only.
                 slots = _incumbent_slots_for(unique_tasks)
+
+        if not warm_start:
+            solve = solve_search_task
+            dispatch: Sequence[SearchTask] = unique_tasks
+        elif serial:
+            # In-process: chain each solved point's winner into the next
+            # task of the same structure (sweeps submit tasks ordered along
+            # their axis, so the previous point is the nearest neighbor).
+            # A closure is fine here — the serial path never pickles it.
+            def solve(task: SearchTask):
+                result = solve_search_task(
+                    replace(task, warm_hints=self._hints_for(task, hint_board))
+                )
+                self._record_winner(task, result, hint_board)
+                return result
+
+            dispatch = unique_tasks
+        else:
+            # Worker processes cannot see each other's in-flight winners, so
+            # hints are pre-attached from what is already known (this
+            # batch's cache hits and the cache's persistent hint index);
+            # live cross-worker seeding continues through the shared
+            # incumbent board for batch-eval tasks.
+            solve = solve_search_task
+            dispatch = [
+                replace(task, warm_hints=self._hints_for(task, hint_board))
+                for task in unique_tasks
+            ]
+
         solved = self.map(
-            solve_search_task,
-            unique_tasks,
+            solve,
+            dispatch,
             progress=report,
             _done_offset=done,
             _total=total,

@@ -30,6 +30,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from dataclasses import replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runtime.cache import SearchCache
@@ -74,6 +75,13 @@ class PlannerApp:
         The engine entry point per unique task.  Injectable for tests
         (e.g. a solver blocked on an event makes dedup deterministic);
         defaults to the same :func:`solve_search_task` the CLI sweeps use.
+    warm_start:
+        Seed every engine solve from the cache's structure-keyed hint
+        index (the nearest prior winner of the same model/system/structure,
+        see :meth:`~repro.runtime.cache.SearchCache.warm_hints`).  On by
+        default: results are provably identical, only faster, and
+        ``warm_start_hits`` in :meth:`status` shows the effect under real
+        traffic.
     """
 
     def __init__(
@@ -82,10 +90,12 @@ class PlannerApp:
         cache_path=None,
         jobs: Optional[int] = None,
         solver: Callable[[SearchTask], Any] = None,
+        warm_start: bool = True,
     ):
         self.cache = SearchCache(cache_path)
         self.executor = SweepExecutor(jobs, persistent=True)
         self._solver = solver
+        self.warm_start = bool(warm_start)
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
         self._counters: Dict[str, int] = {
@@ -93,6 +103,7 @@ class PlannerApp:
             "engine_solves": 0,
             "dedup_hits": 0,
             "errors": 0,
+            "warm_start_hits": 0,
         }
         self.started_at = time.time()
 
@@ -169,9 +180,19 @@ class PlannerApp:
 
         try:
             if owned_tasks:
+                dispatch = owned_tasks
+                if self.warm_start:
+                    # Seed each miss from the nearest prior winner of its
+                    # structure.  Hints are compare-excluded on SearchTask,
+                    # so the in-flight fingerprints (computed on the bare
+                    # tasks above) still match the hinted copies.
+                    dispatch = [
+                        replace(task, warm_hints=self.cache.warm_hints(task))
+                        for task in owned_tasks
+                    ]
                 solved = self.executor.map(
                     self._solve_fn(),
-                    owned_tasks,
+                    dispatch,
                     progress=progress,
                     _done_offset=done,
                     _total=total,
@@ -185,6 +206,10 @@ class PlannerApp:
                         if status == "ok":
                             self.cache.put(task, value)
                             dirty = True
+                            stats = getattr(value, "statistics", None)
+                            self._counters["warm_start_hits"] += getattr(
+                                stats, "warm_start_hits", 0
+                            )
                         else:
                             self._counters["errors"] += 1
                     if status == "ok":
@@ -348,6 +373,7 @@ class PlannerApp:
             "jobs": self.executor.jobs,
             "in_flight": in_flight,
             **counters,
+            "warm_start": self.warm_start,
             "cache": {
                 **self.cache.stats(),
                 "path": str(self.cache.path) if self.cache.path else None,

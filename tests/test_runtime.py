@@ -158,7 +158,13 @@ class TestSearchCache:
         cache.put(task, result)
         cached = cache.get(task)
         assert cached == result
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "hint_keys": 1,
+            "hint_entries": 1,
+        }
 
     def test_fingerprint_changes_with_any_input(self, b200):
         base = _task(b200, 256)
