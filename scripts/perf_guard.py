@@ -9,7 +9,12 @@ wall-clock regresses more than the tolerance over its committed baseline:
 * ``benchmarks/baselines/search_gpt3_1t_batch.json`` — the vectorized
   (``--eval-mode batch``) path;
 * ``benchmarks/baselines/sweep_gpt3_1t_warm.json`` — the warm-started
-  fig. 4a-style scaling sweep (cross-point incumbent seeding on).
+  fig. 4a-style scaling sweep (cross-point incumbent seeding on);
+* ``benchmarks/baselines/pareto_gpt3_1t.json`` — the multi-objective
+  Pareto search (``find_pareto_configs``, all strategies, batch pricer).
+  Besides the wall-clock budget this baseline pins the *exact* frontier
+  size — the frontier is deterministic, so any drift means the dominance
+  logic (not the machine) changed.
 
 On top of the per-mode baselines the guard asserts the *relative* speedups
 that justify each optimization's existence: the vectorized search must be
@@ -61,6 +66,9 @@ DEFAULT_BATCH_BASELINE = (
 DEFAULT_WARM_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "sweep_gpt3_1t_warm.json"
 )
+DEFAULT_PARETO_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "pareto_gpt3_1t.json"
+)
 
 #: The guarded command: the gpt3-1t preset across all three strategies at a
 #: figure-scale GPU count — a few seconds of work, so the measurement
@@ -99,6 +107,13 @@ MIN_WARM_SPEEDUP = 1.5
 #: Candidate counts are exact and deterministic, so this check carries no
 #: measurement noise at all (~2.3x in practice; 2x is the contract).
 MIN_WARM_CANDIDATE_RATIO = 2.0
+
+#: The guarded multi-objective search: the gpt3-1t preset, every strategy,
+#: the default four-objective set, vectorized pricing.
+PARETO_ARGV = [
+    "pareto", "--model", "gpt3-1t", "--gpus", "4096", "--strategy", "all",
+    "--eval-mode", "batch",
+]
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -178,7 +193,38 @@ def time_sweep(warm_start: bool, repeats: int):
     return best, candidates
 
 
-def _write_baseline(path: Path, argv, measured: float, calibration: float, repeats: int) -> None:
+def time_pareto(repeats: int):
+    """Best-of-``repeats`` wall-clock and exact frontier size of the Pareto search.
+
+    Runs :func:`repro.core.search.find_pareto_configs` in-process (the CLI
+    command is ``repro-perf pareto`` over the same point) so the guard can
+    read the deterministic frontier size alongside the wall-clock.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.execution import clear_caches
+    from repro.core.model import get_model
+    from repro.core.search import find_pareto_configs
+    from repro.core.system import make_system
+
+    model = get_model("gpt3-1t")
+    system = make_system("B200", 8)
+    best = float("inf")
+    frontier_size = 0
+    for _ in range(repeats):
+        clear_caches()
+        start = time.perf_counter()
+        result = find_pareto_configs(
+            model, system, n_gpus=4096, global_batch_size=4096,
+            strategy="all", eval_mode="batch",
+        )
+        best = min(best, time.perf_counter() - start)
+        frontier_size = len(result.points)
+    return best, frontier_size
+
+
+def _write_baseline(
+    path: Path, argv, measured: float, calibration: float, repeats: int, **extra
+) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(
@@ -189,6 +235,7 @@ def _write_baseline(path: Path, argv, measured: float, calibration: float, repea
                 "repeats": repeats,
                 "platform": platform.platform(),
                 "python": platform.python_version(),
+                **extra,
             },
             indent=2,
         )
@@ -224,6 +271,7 @@ def main_guard(argv=None) -> int:
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--batch-baseline", type=Path, default=DEFAULT_BATCH_BASELINE)
     parser.add_argument("--warm-baseline", type=Path, default=DEFAULT_WARM_BASELINE)
+    parser.add_argument("--pareto-baseline", type=Path, default=DEFAULT_PARETO_BASELINE)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--tolerance",
@@ -240,6 +288,7 @@ def main_guard(argv=None) -> int:
     measured_batch = time_search(BATCH_SEARCH_ARGV, args.repeats)
     cold_wall, cold_candidates = time_sweep(False, args.repeats)
     warm_wall, warm_candidates = time_sweep(True, args.repeats)
+    pareto_wall, frontier_size = time_pareto(args.repeats)
     calibration = calibrate()
 
     if (
@@ -247,16 +296,22 @@ def main_guard(argv=None) -> int:
         or not args.baseline.exists()
         or not args.batch_baseline.exists()
         or not args.warm_baseline.exists()
+        or not args.pareto_baseline.exists()
     ):
         _write_baseline(args.baseline, SEARCH_ARGV, measured, calibration, args.repeats)
         _write_baseline(
             args.batch_baseline, BATCH_SEARCH_ARGV, measured_batch, calibration, args.repeats
         )
         _write_baseline(args.warm_baseline, SWEEP_ARGV, warm_wall, calibration, args.repeats)
+        _write_baseline(
+            args.pareto_baseline, PARETO_ARGV, pareto_wall, calibration, args.repeats,
+            frontier_size=frontier_size,
+        )
         print(
             f"baselines written: scalar {measured:.3f}s, batch {measured_batch:.3f}s, "
-            f"warm sweep {warm_wall:.3f}s "
-            f"(calibration {calibration:.4f}s) -> {args.baseline.parent}"
+            f"warm sweep {warm_wall:.3f}s, pareto {pareto_wall:.3f}s "
+            f"({frontier_size} frontier points, calibration {calibration:.4f}s) "
+            f"-> {args.baseline.parent}"
         )
         return 0
 
@@ -267,6 +322,22 @@ def main_guard(argv=None) -> int:
     ok &= _check_baseline(
         "warm sweep", args.warm_baseline, warm_wall, calibration, args.tolerance
     )
+    ok &= _check_baseline(
+        "pareto", args.pareto_baseline, pareto_wall, calibration, args.tolerance
+    )
+
+    expected_frontier = json.loads(args.pareto_baseline.read_text()).get("frontier_size")
+    if expected_frontier is None or frontier_size == expected_frontier:
+        print(
+            f"OK: pareto frontier has exactly {frontier_size} points "
+            f"(deterministic, baseline {expected_frontier})"
+        )
+    else:
+        ok = False
+        print(
+            f"REGRESSION: pareto frontier has {frontier_size} points, baseline "
+            f"pinned {expected_frontier} — the dominance logic changed, not the machine"
+        )
 
     speedup = measured / measured_batch if measured_batch > 0 else float("inf")
     if speedup >= MIN_BATCH_SPEEDUP:

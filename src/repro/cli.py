@@ -3,6 +3,9 @@
 Sub-commands map onto the paper's experiments:
 
 * ``repro-perf search`` — optimal-configuration search at one scale;
+* ``repro-perf pareto`` — multi-objective search: the Pareto frontier of
+  the same space under iteration time, HBM headroom, $-cost and energy
+  (:mod:`repro.core.objectives`);
 * ``repro-perf serve`` — inference-serving search: prefill/decode latency
   (TTFT/TPOT), paged KV-cache capacity and continuous-batching throughput
   over the same EP/TP/PP/DP space (:mod:`repro.core.inference`);
@@ -76,7 +79,13 @@ from repro.core.inference import (
     ServingSpec,
     find_serving_config,
 )
-from repro.core.search import DEFAULT_EVAL_MODE, EVAL_MODES, find_optimal_config
+from repro.core.objectives import DEFAULT_PARETO_OBJECTIVES, registered_objectives
+from repro.core.search import (
+    DEFAULT_EVAL_MODE,
+    EVAL_MODES,
+    find_optimal_config,
+    find_pareto_configs,
+)
 from repro.core.schedules import (
     DEFAULT_SCHEDULE,
     available_schedules,
@@ -218,6 +227,21 @@ def _parse_expert_parallel(text: str) -> Optional[int]:
     return degree
 
 
+def _parse_objectives(text: str) -> List[str]:
+    """Parse a comma/whitespace-separated ``--objectives`` list.
+
+    Membership in the registry is validated by the solver (so plugins
+    registered at runtime keep working); this converter only rejects an
+    empty list and duplicate names with a usage error.
+    """
+    names = [tok for tok in text.replace(",", " ").split() if tok]
+    if not names:
+        raise argparse.ArgumentTypeError(f"--objectives list {text!r} names no objectives")
+    if len(set(names)) != len(names):
+        raise argparse.ArgumentTypeError(f"--objectives list {text!r} repeats a name")
+    return names
+
+
 def _resolve_model(args: argparse.Namespace):
     """Model of the requested workload (``--workload`` wins over ``--model``)."""
     return get_workload(args.workload or args.model).model
@@ -335,6 +359,83 @@ def cmd_search(args: argparse.Namespace) -> int:
         print(format_table(["config", "assignment", "time(s)", "mem(GB)"], rows))
     if args.json and not _dump_json_report(result.summary(), args.json):
         return 1
+    return 0
+
+
+def _metric_column(name: str) -> tuple:
+    """Column header and value scaler for one objective's report column."""
+    obj = registered_objectives().get(name)
+    unit = obj.unit if obj is not None else ""
+    if unit == "bytes":
+        return f"{name}(GB)", 1.0 / 1e9
+    return (f"{name}({unit})" if unit else name), 1.0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    """Multi-objective configuration search (``repro-perf pareto``).
+
+    Returns the Pareto frontier of the candidate space under the requested
+    ``--objectives`` instead of the single fastest point — every
+    configuration no other configuration beats on *all* objectives at once.
+    """
+    if args.list_objectives:
+        rows = [
+            [name, obj.unit or "-", "max" if obj.sign < 0 else "min", obj.description]
+            for name, obj in registered_objectives().items()
+        ]
+        print(format_table(["objective", "unit", "direction", "description"], rows))
+        return 0
+    model = _resolve_model(args)
+    system = make_system(args.gpu, args.nvs)
+    try:
+        result = find_pareto_configs(
+            model,
+            system,
+            n_gpus=args.gpus,
+            global_batch_size=args.global_batch,
+            objectives=tuple(args.objectives),
+            strategy=args.strategy,
+            space=_scenario_space(args),
+            options=_scenario_options(args),
+            backend=args.backend,
+            eval_mode=args.eval_mode,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"repro-perf: error: {exc}", file=sys.stderr)
+        return 2
+    if not result.found:
+        print(f"No feasible configuration for {model.name} on {system.name} with {args.gpus} GPUs")
+        return 1
+    print(
+        f"Pareto frontier for {model.name} on {system.name} with {args.gpus} GPUs "
+        f"({', '.join(result.objectives)}): {len(result.points)} configuration(s)"
+    )
+    columns = [_metric_column(name) for name in result.objectives]
+    rows = [
+        [p.estimate.config.describe(), str(p.estimate.assignment.as_tuple())]
+        + [p.metrics[name] * scale for name, (_, scale) in zip(result.objectives, columns)]
+        for p in result.points
+    ]
+    print(format_table(["config", "assignment"] + [header for header, _ in columns], rows))
+    print(
+        f"  search      : {result.statistics.parallel_configs} parallelizations, "
+        f"{result.statistics.candidates_evaluated} candidates evaluated, "
+        f"{result.statistics.pruned_configs} pruned by dominance bound"
+    )
+    if args.json:
+        report = {
+            "summary": result.summary(),
+            "frontier": [
+                {
+                    "config": p.estimate.config.describe(),
+                    "assignment": p.estimate.assignment.as_tuple(),
+                    "metrics": p.metrics,
+                }
+                for p in result.points
+            ],
+        }
+        if not _dump_json_report(report, args.json):
+            return 1
     return 0
 
 
@@ -683,6 +784,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the winning configuration's phase-level cost plan",
     )
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "pareto",
+        help="multi-objective search: the Pareto frontier over iteration "
+        "time, HBM headroom, $-cost and energy",
+    )
+    _add_common_model_args(p)
+    p.add_argument("--gpus", type=int, default=1024, help="number of GPUs")
+    p.add_argument(
+        "--objectives",
+        type=_parse_objectives,
+        default=list(DEFAULT_PARETO_OBJECTIVES),
+        help="comma-separated objective names (see --list-objectives); "
+        f"default: {','.join(DEFAULT_PARETO_OBJECTIVES)}",
+    )
+    p.add_argument(
+        "--list-objectives",
+        action="store_true",
+        help="list the registered objectives and exit",
+    )
+    p.set_defaults(func=cmd_pareto)
 
     p = sub.add_parser(
         "serve",

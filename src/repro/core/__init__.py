@@ -73,7 +73,23 @@ from repro.core.inference import (
 from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.parallelism.base import GpuAssignment, ParallelConfig
 from repro.core.config_space import SearchSpace, parallel_configs, gpu_assignments
-from repro.core.search import SearchResult, best_assignment_for, find_optimal_config
+from repro.core.objectives import (
+    DEFAULT_PARETO_OBJECTIVES,
+    Objective,
+    ObjectiveContext,
+    get_objective,
+    register_objective,
+    registered_objectives,
+    resolve_objectives,
+)
+from repro.core.search import (
+    ParetoPoint,
+    ParetoResult,
+    SearchResult,
+    best_assignment_for,
+    find_optimal_config,
+    find_pareto_configs,
+)
 from repro.core.training import (
     TrainingRegime,
     default_regime,
@@ -101,9 +117,14 @@ __all__ = [
     "MODEL_CATALOG",
     "MemoryEstimate",
     "ModelingOptions",
+    "DEFAULT_PARETO_OBJECTIVES",
     "NVS_DOMAIN_SIZES",
     "NetworkSpec",
+    "Objective",
+    "ObjectiveContext",
     "ParallelConfig",
+    "ParetoPoint",
+    "ParetoResult",
     "SERVING_OBJECTIVES",
     "SearchResult",
     "SearchSpace",
@@ -131,7 +152,12 @@ __all__ = [
     "get_schedule",
     "register_schedule",
     "find_optimal_config",
+    "find_pareto_configs",
     "get_model",
+    "get_objective",
+    "register_objective",
+    "registered_objectives",
+    "resolve_objectives",
     "gpt_pretraining_regime",
     "gpu_assignments",
     "make_gpu",

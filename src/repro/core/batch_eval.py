@@ -95,6 +95,7 @@ __all__ = [
     "incumbent_scope_keys",
     "install_shared_slots",
     "materialize_enumeration",
+    "non_dominated_mask",
     "validate_eval_mode",
 ]
 
@@ -665,6 +666,40 @@ def batch_evaluate_enumeration(
         options=options,
     )
     return rows, priced
+
+
+# ----------------------------------------------------------------------
+# Vectorized Pareto dominance
+# ----------------------------------------------------------------------
+
+def non_dominated_mask(vectors: np.ndarray, *, chunk: int = 512) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``vectors``.
+
+    ``vectors`` is an ``(n, k)`` float64 matrix of canonical (minimised)
+    metric vectors.  Row ``i`` is *strictly dominated* when some row ``j``
+    is ``<=`` it in every component and ``<`` in at least one; the mask
+    keeps exactly the rows no other row strictly dominates.  Duplicate
+    vectors never dominate each other, so every copy of a non-dominated
+    vector survives — the tie semantics the Pareto search's deterministic
+    ``(vector, rank, assignment)`` ordering relies on.
+
+    The all-pairs comparison is evaluated as broadcast array programs over
+    ``chunk``-row blocks (O(n^2 k) work, O(chunk * n * k) memory), which is
+    the "vectorized dominance pass" the batch search mode uses to thin each
+    priced chunk before the frontier archive sees it.
+    """
+    pts = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+    if pts.ndim != 2:
+        raise ValueError(f"expected an (n, k) matrix, got shape {pts.shape}")
+    n = len(pts)
+    keep = np.ones(n, dtype=bool)
+    for start in range(0, n, chunk):
+        block = pts[start : start + chunk]  # (b, k)
+        # dominated[b, n]: does row i of the block strictly dominate row j?
+        le = (block[:, None, :] <= pts[None, :, :]).all(axis=2)
+        lt = (block[:, None, :] < pts[None, :, :]).any(axis=2)
+        keep &= ~(le & lt).any(axis=0)
+    return keep
 
 
 # ----------------------------------------------------------------------

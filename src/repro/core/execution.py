@@ -797,6 +797,56 @@ def config_time_lower_bound(
     return m * (tf + tb) + bubble
 
 
+def config_compute_profile(
+    model: TransformerConfig,
+    config: ParallelConfig,
+    *,
+    global_batch_size: int,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+) -> Tuple[float, float]:
+    """Per-GPU roofline activity of one iteration: ``(FLOPs, HBM bytes)``.
+
+    Sums the compute-op FLOP and HBM-byte counts of the cached per-layer
+    workload (dense ops plus SUMMA matmuls, forward and backward) over the
+    configuration's layers per stage and microbatch count.  With activation
+    checkpointing the forward pass is recomputed during the backward pass,
+    so its counts are charged twice — mirroring
+    :func:`config_time_lower_bound`'s time accounting.
+
+    Like the memory footprint, the profile does not depend on the NVS
+    assignment, which is what makes the energy objective's lower bound
+    exact (see :mod:`repro.core.objectives`).
+    """
+    workload = _cached_workload(
+        config.strategy,
+        model,
+        config.microbatch_size,
+        config.tensor_parallel_1,
+        config.tensor_parallel_2,
+        config.summa_panels,
+        options.flash_attention,
+        options.include_dropout,
+        config.expert_parallel,
+    )
+    fwd_flops = sum(op.flops for op in workload.forward_ops)
+    fwd_bytes = sum(op.bytes_hbm for op in workload.forward_ops)
+    bwd_flops = sum(op.flops for op in workload.backward_ops)
+    bwd_bytes = sum(op.bytes_hbm for op in workload.backward_ops)
+    for matmul in workload.forward_summa:
+        fwd_flops += matmul.compute.flops
+        fwd_bytes += matmul.compute.bytes_hbm
+    for matmul in workload.backward_summa:
+        bwd_flops += matmul.compute.flops
+        bwd_bytes += matmul.compute.bytes_hbm
+    if options.activation_checkpointing:
+        bwd_flops += fwd_flops
+        bwd_bytes += fwd_bytes
+    stage_layers = layers_per_stage(model, config)
+    m = config.num_microbatches(global_batch_size)
+    scale = float(m) * float(stage_layers)
+    return scale * (fwd_flops + bwd_flops), scale * (fwd_bytes + bwd_bytes)
+
+
 def estimate_config_memory(
     model: TransformerConfig,
     config: ParallelConfig,

@@ -1,0 +1,274 @@
+"""Pluggable search objectives and their admissible lower bounds.
+
+The classic search (:func:`repro.core.search.find_optimal_config`) minimises
+one scalar — the training iteration time.  The multi-objective search
+(:func:`repro.core.search.find_pareto_configs`) instead scores every
+candidate with a *vector* of metrics and returns the Pareto frontier: the
+set of candidates no other candidate dominates.  This module defines the
+metric vocabulary:
+
+* :class:`Objective` — one named metric.  Every registered objective is
+  **time-affine**: its canonical (minimised) value is
+  ``offset + slope * total_time`` where ``offset`` and ``slope >= 0``
+  depend only on the parallelization (never on the NVS assignment).  That
+  single structural guarantee buys three things at once:
+
+  1. an **admissible per-objective lower bound** — plugging the
+     assignment-independent time lower bound
+     (:func:`repro.core.execution.config_time_lower_bound`) into the affine
+     form bounds the canonical value from below, so branch-and-bound can
+     prune whole parallelizations against the incumbent frontier;
+  2. **vectorization for free** — the batch pricer's bit-exact candidate
+     times turn into metric vectors with one multiply-add per objective;
+  3. **scalar/batch bit-identity** — both eval modes compute every vector
+     from the same float inputs with the same float expression.
+
+* the built-in registry: ``time`` (iteration seconds), ``hbm_headroom``
+  (spare HBM per GPU, maximised), ``cost`` (USD per iteration, priced off
+  :func:`repro.core.system.gpu_hourly_price`) and ``energy`` (joules per
+  iteration from the roofline FLOP/byte activity counts and
+  :func:`repro.core.system.gpu_energy_rates`).
+
+Maximised objectives carry ``sign = -1``: the search works throughout in
+*canonical* (minimised) space — ``canonical = sign * raw`` — and converts
+back to raw values only for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.execution import (
+    DEFAULT_OPTIONS,
+    ModelingOptions,
+    config_compute_profile,
+    config_time_lower_bound,
+    estimate_config_memory,
+)
+from repro.core.model import TransformerConfig
+from repro.core.parallelism.base import ParallelConfig
+from repro.core.system import SystemSpec, gpu_energy_rates, gpu_hourly_price
+
+__all__ = [
+    "DEFAULT_PARETO_OBJECTIVES",
+    "Objective",
+    "ObjectiveContext",
+    "get_objective",
+    "register_objective",
+    "registered_objectives",
+    "resolve_objectives",
+]
+
+
+@dataclass(frozen=True)
+class ObjectiveContext:
+    """Per-search inputs every objective may price against.
+
+    One context is built per search call; it carries everything that is
+    constant across the enumeration (the candidate itself arrives
+    separately, per :meth:`Objective.coefficients` call).
+    """
+
+    model: TransformerConfig
+    system: SystemSpec
+    n_gpus: int
+    global_batch_size: int
+    options: ModelingOptions = DEFAULT_OPTIONS
+
+
+class Objective:
+    """One named, time-affine search metric.
+
+    Subclasses implement :meth:`coefficients`, returning the canonical
+    (minimised) affine form ``(offset, slope)`` of one parallelization:
+    ``canonical_value = offset + slope * total_time`` with ``slope >= 0``
+    and both terms independent of the NVS assignment.  Everything else —
+    the admissible lower bound, raw-value conversion, vectorized pricing —
+    derives from that form.
+    """
+
+    #: Registry key (``--objectives`` token, API payload entry).
+    name: str = ""
+    #: Unit of the *raw* value, for reports.
+    unit: str = ""
+    #: ``+1`` for minimised metrics, ``-1`` for maximised ones.
+    sign: float = 1.0
+    #: One-line description shown by ``repro-perf pareto --list-objectives``.
+    description: str = ""
+
+    def coefficients(
+        self, config: ParallelConfig, ctx: ObjectiveContext
+    ) -> Tuple[float, float]:
+        """Canonical affine form ``(offset, slope)`` of ``config``."""
+        raise NotImplementedError
+
+    def lower_bound(
+        self, config: ParallelConfig, ctx: ObjectiveContext, time_bound: float
+    ) -> float:
+        """Admissible canonical lower bound of ``config``.
+
+        ``time_bound`` is the assignment-independent iteration-time lower
+        bound; with ``slope >= 0`` the affine form is monotone in time, so
+        substituting the bound yields a true canonical lower bound over all
+        assignments.
+        """
+        offset, slope = self.coefficients(config, ctx)
+        return offset + slope * time_bound
+
+    def raw(self, canonical: float) -> float:
+        """Convert a canonical (minimised) value back to the raw metric."""
+        return self.sign * canonical
+
+
+class TimeObjective(Objective):
+    """The training iteration time itself (the classic scalar objective)."""
+
+    name = "time"
+    unit = "s"
+    sign = 1.0
+    description = "training iteration time (seconds, minimised)"
+
+    def coefficients(
+        self, config: ParallelConfig, ctx: ObjectiveContext
+    ) -> Tuple[float, float]:
+        """Identity form: the canonical value *is* the iteration time."""
+        return 0.0, 1.0
+
+
+class HbmHeadroomObjective(Objective):
+    """Spare HBM per GPU — capacity minus the configuration's footprint.
+
+    Maximised: a design with more headroom tolerates batch growth, longer
+    sequences and activation spikes.  The footprint is assignment- and
+    time-independent, so the canonical form is a pure offset and the lower
+    bound is exact.
+    """
+
+    name = "hbm_headroom"
+    unit = "bytes"
+    sign = -1.0
+    description = "spare HBM per GPU (bytes, maximised)"
+
+    def coefficients(
+        self, config: ParallelConfig, ctx: ObjectiveContext
+    ) -> Tuple[float, float]:
+        """Canonical offset ``footprint - capacity`` (so less is better)."""
+        memory = estimate_config_memory(
+            ctx.model,
+            config,
+            global_batch_size=ctx.global_batch_size,
+            options=ctx.options,
+        )
+        return memory.total_bytes - ctx.system.gpu.hbm_capacity, 0.0
+
+
+class CostObjective(Objective):
+    """Rental cost of one iteration in USD across the whole job.
+
+    ``n_gpus * hourly_price / 3600`` dollars per second of iteration time —
+    a pure positive slope, so the admissible bound is the time bound priced
+    at the same rate.
+    """
+
+    name = "cost"
+    unit = "USD"
+    sign = 1.0
+    description = "rental cost per iteration (USD, minimised)"
+
+    def coefficients(
+        self, config: ParallelConfig, ctx: ObjectiveContext
+    ) -> Tuple[float, float]:
+        """Slope = fleet-wide dollars per second of iteration time."""
+        rate = ctx.n_gpus * gpu_hourly_price(ctx.system.gpu) / 3600.0
+        return 0.0, rate
+
+
+class EnergyObjective(Objective):
+    """Activity energy of one iteration in joules across the whole job.
+
+    Prices the roofline FLOP and HBM-byte counts of the configuration
+    (:func:`repro.core.execution.config_compute_profile`) at the GPU's
+    activity-energy rates (:func:`repro.core.system.gpu_energy_rates`).
+    Unlike a ``power x time`` model — which would just be the time axis
+    rescaled — activity energy separates *work done* from *time taken*:
+    a communication-bound configuration burns time without burning
+    proportionally more FLOP energy.  Assignment- and time-independent,
+    so the lower bound is exact.
+    """
+
+    name = "energy"
+    unit = "J"
+    sign = 1.0
+    description = "activity energy per iteration (joules, minimised)"
+
+    def coefficients(
+        self, config: ParallelConfig, ctx: ObjectiveContext
+    ) -> Tuple[float, float]:
+        """Canonical offset = fleet joules from the FLOP/byte activity."""
+        flops, hbm_bytes = config_compute_profile(
+            ctx.model,
+            config,
+            global_batch_size=ctx.global_batch_size,
+            options=ctx.options,
+        )
+        joules_per_flop, joules_per_byte = gpu_energy_rates(ctx.system.gpu)
+        per_gpu = flops * joules_per_flop + hbm_bytes * joules_per_byte
+        return ctx.n_gpus * per_gpu, 0.0
+
+
+#: Registered objectives by name.  Extended via :func:`register_objective`;
+#: downstream code resolves names through :func:`get_objective`.
+_REGISTRY: Dict[str, Objective] = {}
+
+
+def register_objective(objective: Objective) -> Objective:
+    """Register ``objective`` under its :attr:`~Objective.name`.
+
+    Re-registering a name replaces the previous objective (mirroring the
+    strategy and schedule registries); returns the objective so the call
+    can be used as a decorator-style one-liner.
+    """
+    if not objective.name:
+        raise ValueError("objective must define a non-empty name")
+    _REGISTRY[objective.name] = objective
+    return objective
+
+
+def get_objective(name: str) -> Objective:
+    """Look up a registered objective by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; registered: {tuple(sorted(_REGISTRY))}"
+        ) from None
+
+
+def registered_objectives() -> Dict[str, Objective]:
+    """Snapshot of the registry (name -> objective), sorted by name."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def resolve_objectives(names) -> Tuple[Objective, ...]:
+    """Resolve a sequence of objective names, validating as a set.
+
+    Requires at least one name and rejects duplicates — a repeated
+    objective would silently double-weight nothing (dominance is
+    per-component) but confuse reports and fingerprints.
+    """
+    names = tuple(names)
+    if not names:
+        raise ValueError("at least one objective is required")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives in {names!r}")
+    return tuple(get_objective(name) for name in names)
+
+
+register_objective(TimeObjective())
+register_objective(HbmHeadroomObjective())
+register_objective(CostObjective())
+register_objective(EnergyObjective())
+
+#: Default objective set of ``find_pareto_configs`` / ``repro-perf pareto``.
+DEFAULT_PARETO_OBJECTIVES = ("time", "hbm_headroom", "cost", "energy")

@@ -240,7 +240,7 @@ def adapt_warm_hints(
     the current point) typically taken from a neighboring search point's
     winner.  A hint whose GPU count differs from ``n_gpus`` is rescaled by
     the integer ratio along the data-parallel axis (growing) or greedily
-    across the DP, PP and TP1 axes (shrinking); a microbatch that no longer
+    across the DP, PP, TP1 and TP2 axes (shrinking); a microbatch that no longer
     divides the new per-replica batch snaps to the nearest admissible
     candidate.  Only configs that pass :func:`config_in_space` — i.e. that
     the current enumeration itself would yield — are returned, which is what
@@ -260,10 +260,15 @@ def adapt_warm_hints(
                 )
             elif total % n_gpus == 0:
                 ratio = total // n_gpus
+                # Greedy gcd absorption across every parallel axis the
+                # strategy populates — including the second tensor axis, so
+                # tp2d/summa hints shrink instead of being dropped when only
+                # ``tensor_parallel_2`` can absorb the surplus ratio.
                 axes = {
                     "data_parallel": config.data_parallel,
                     "pipeline_parallel": config.pipeline_parallel,
                     "tensor_parallel_1": config.tensor_parallel_1,
+                    "tensor_parallel_2": config.tensor_parallel_2,
                 }
                 for name in axes:
                     g = math.gcd(axes[name], ratio)
@@ -825,6 +830,450 @@ def find_optimal_config(
         best=best_overall,
         top_k=merged_topk,
         statistics=merged_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-objective (Pareto) search
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParetoPoint:
+    """One frontier member: the estimate plus its raw metric values.
+
+    ``metrics`` maps objective name to the *raw* value (headroom in bytes,
+    cost in USD, ...) — maximised objectives are stored in their natural
+    orientation, not the canonical minimised one.
+    """
+
+    estimate: IterationEstimate
+    metrics: Dict[str, float]
+
+
+@dataclass
+class ParetoResult:
+    """Outcome of :func:`find_pareto_configs`.
+
+    ``points`` is the Pareto frontier in deterministic order: sorted by the
+    canonical metric vector, then by (strategy, enumeration rank, assignment
+    index) — so equal-vector ties keep every member and the order never
+    depends on evaluation scheduling or eval mode.
+    """
+
+    model_name: str
+    system_name: str
+    n_gpus: int
+    global_batch_size: int
+    strategy: str
+    objectives: Tuple[str, ...]
+    points: List[ParetoPoint] = field(default_factory=list)
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one feasible configuration exists."""
+        return bool(self.points)
+
+    @property
+    def best(self) -> Optional[IterationEstimate]:
+        """The minimum-iteration-time frontier member (``None`` when empty).
+
+        This is what lets a Pareto solve feed the warm-start hint index and
+        the sweep winner chain exactly like a scalar solve: the fastest
+        frontier point is a true member of the search space and an excellent
+        seed for scalar searches of the same structure.
+        """
+        if not self.points:
+            return None
+        return min(self.points, key=lambda p: p.estimate.total_time).estimate
+
+    @property
+    def best_time(self) -> float:
+        """Iteration time of the fastest frontier member (``inf`` if none)."""
+        best = self.best
+        return best.total_time if best is not None else math.inf
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by reports and JSON archives."""
+        out: Dict[str, object] = {
+            "model": self.model_name,
+            "system": self.system_name,
+            "n_gpus": self.n_gpus,
+            "global_batch": self.global_batch_size,
+            "strategy": self.strategy,
+            "objectives": list(self.objectives),
+            "found": self.found,
+            "frontier_size": len(self.points),
+            "configs_searched": self.statistics.parallel_configs,
+            "candidates_evaluated": self.statistics.candidates_evaluated,
+            "pruned_configs": self.statistics.pruned_configs,
+        }
+        best = self.best
+        if best is not None:
+            out.update(best.summary())
+        return out
+
+
+def _strictly_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when canonical vector ``a`` strictly dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every component and
+    strictly better in at least one; equal vectors never dominate each
+    other (both stay on the frontier).
+    """
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+class _FrontierArchive:
+    """Incumbent Pareto frontier of evaluated candidates.
+
+    Entries are ``(vector, order, config, assignment)`` where ``order`` is
+    the deterministic ``(strategy index, enumeration rank, assignment
+    index)`` tie key.  The archive is the multi-objective analogue of the
+    scalar incumbent: :meth:`dominates_bound` is the branch-and-bound
+    pruning test — a parallelization whose admissible bound vector is
+    strictly dominated by an archived point cannot contribute a frontier
+    member (every real candidate of it is ``>=`` the bound componentwise,
+    so the archived point strictly dominates them all; by transitivity the
+    final frontier does too).
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[
+            Tuple[Tuple[float, ...], Tuple[int, int, int], ParallelConfig, GpuAssignment]
+        ] = []
+
+    def dominates_bound(self, bound: Sequence[float]) -> bool:
+        """True when some archived vector strictly dominates ``bound``."""
+        return any(_strictly_dominates(vec, bound) for vec, _, _, _ in self.entries)
+
+    def insert(
+        self,
+        vector: Tuple[float, ...],
+        order: Tuple[int, int, int],
+        config: ParallelConfig,
+        assignment: GpuAssignment,
+    ) -> bool:
+        """Offer a candidate; keep the archive non-dominated.  True if kept."""
+        if self.dominates_bound(vector):
+            return False
+        self.entries = [
+            entry for entry in self.entries if not _strictly_dominates(vector, entry[0])
+        ]
+        self.entries.append((vector, order, config, assignment))
+        return True
+
+    def sorted_entries(self):
+        """Entries in the deterministic report order (vector, then order)."""
+        return sorted(self.entries, key=lambda entry: (entry[0], entry[1]))
+
+
+def _pareto_single_strategy(
+    model: TransformerConfig,
+    system: SystemSpec,
+    n_gpus: int,
+    global_batch_size: int,
+    strategy: str,
+    strategy_index: int,
+    space: SearchSpace,
+    options: ModelingOptions,
+    objectives,
+    ctx,
+    archive: _FrontierArchive,
+    backend: str,
+    eval_mode: str,
+) -> SearchStatistics:
+    """Fold one strategy's enumeration into the shared frontier archive.
+
+    The same two-pass structure as the scalar search: a memory pre-filter
+    plus per-objective admissible bound vectors (pass 1, sorted by bound),
+    then candidate evaluation with dominance pruning against the incumbent
+    frontier (pass 2, scalar loop or vectorized chunks).  Sharing one
+    archive across strategies only ever prunes more — dominance is
+    transitive, so a candidate pruned by a sibling strategy's point is
+    dominated by the merged frontier too.
+    """
+    n_parallel = 0
+    n_eval = 0
+    n_mem = 0
+    n_other = 0
+    n_bounds = 0
+    n_pruned = 0
+    caches_before = cache_stats()
+    # Like the scalar search: the analytic time lower bound (which every
+    # affine objective bound is built from) is only admissible against the
+    # analytic evaluation.
+    prune = space.prune_with_lower_bound and backend == DEFAULT_BACKEND
+
+    # Pass 1: memory pre-filter + affine coefficients + bound vectors.
+    survivors: List[tuple] = []
+    for rank, config in enumerate(
+        parallel_configs(model, n_gpus, global_batch_size, strategy, space)
+    ):
+        n_parallel += 1
+        try:
+            memory = estimate_config_memory(
+                model, config, global_batch_size=global_batch_size, options=options
+            )
+        except ValueError:
+            n_other += 1
+            continue
+        if not memory.fits(system.gpu.hbm_capacity):
+            n_mem += 1
+            continue
+        coeffs = tuple(obj.coefficients(config, ctx) for obj in objectives)
+        bound_vec: Tuple[float, ...] = ()
+        if prune:
+            time_bound = config_time_lower_bound(
+                model, system, config, global_batch_size=global_batch_size, options=options
+            )
+            n_bounds += 1
+            bound_vec = tuple(off + slope * time_bound for off, slope in coeffs)
+        survivors.append((bound_vec, rank, config, coeffs))
+    if prune:
+        # Best-first along the first objective's bound (ties by rank) so the
+        # archive fills with strong points before the bulk of the pruning
+        # tests run.  Unlike the scalar search there is no early break — a
+        # later parallelization may trade the first objective for another.
+        survivors.sort(key=lambda item: (item[0], item[1]))
+
+    # Pass 2: evaluate, prune by dominance, fold into the archive.
+    if eval_mode == "batch":
+        from repro.core import batch_eval
+        import numpy as np
+
+        i = 0
+        while i < len(survivors):
+            block = []
+            while i < len(survivors) and len(block) < _BATCH_CHUNK_CONFIGS:
+                bound_vec, rank, config, coeffs = survivors[i]
+                i += 1
+                if prune and archive.dominates_bound(bound_vec):
+                    n_pruned += 1
+                    continue
+                block.append((rank, config, coeffs))
+            if not block:
+                continue
+            rows: List[tuple] = []
+            for rank, config, coeffs in block:
+                for assign_idx, assignment in enumerate(
+                    gpu_assignments(config, system.nvs_domain_size, space)
+                ):
+                    rows.append((rank, config, assign_idx, assignment, coeffs))
+            times = batch_eval.batch_candidate_times(
+                model,
+                system,
+                [(config, assignment) for _, config, _, assignment, _ in rows],
+                global_batch_size=global_batch_size,
+                options=options,
+            )
+            n_eval += len(rows)
+            # Same float expression as the scalar loop below, applied to the
+            # bit-exact batch times: the vectors are identical in both modes.
+            vectors = [
+                tuple(off + slope * float(t) for off, slope in row[4])
+                for row, t in zip(rows, times)
+            ]
+            # Vectorized dominance pass: rows strictly dominated within the
+            # chunk can never reach the final frontier, so thinning them
+            # first is result-identical and saves archive insertions.
+            keep = batch_eval.non_dominated_mask(np.asarray(vectors, dtype=np.float64))
+            for (rank, config, assign_idx, assignment, _), vector, kept in zip(
+                rows, vectors, keep
+            ):
+                if kept:
+                    archive.insert(
+                        vector, (strategy_index, rank, assign_idx), config, assignment
+                    )
+    else:
+        for bound_vec, rank, config, coeffs in survivors:
+            if prune and archive.dominates_bound(bound_vec):
+                n_pruned += 1
+                continue
+            for assign_idx, assignment in enumerate(
+                gpu_assignments(config, system.nvs_domain_size, space)
+            ):
+                n_eval += 1
+                estimate = evaluate_config(
+                    model,
+                    system,
+                    config,
+                    assignment,
+                    global_batch_size=global_batch_size,
+                    options=options,
+                    backend=backend,
+                )
+                if not estimate.feasible:
+                    n_mem += 1
+                    continue
+                vector = tuple(
+                    off + slope * estimate.total_time for off, slope in coeffs
+                )
+                archive.insert(
+                    vector, (strategy_index, rank, assign_idx), config, assignment
+                )
+
+    caches_after = cache_stats()
+    return SearchStatistics(
+        parallel_configs=n_parallel,
+        candidates_evaluated=n_eval,
+        infeasible_memory=n_mem,
+        infeasible_other=n_other,
+        bounds_computed=n_bounds,
+        pruned_configs=n_pruned,
+        workload_cache_hits=(
+            caches_after["workload"]["hits"] - caches_before["workload"]["hits"]
+        ),
+        workload_cache_misses=(
+            caches_after["workload"]["misses"] - caches_before["workload"]["misses"]
+        ),
+        stage_cache_hits=(
+            caches_after["stage_times"]["hits"] - caches_before["stage_times"]["hits"]
+        ),
+        stage_cache_misses=(
+            caches_after["stage_times"]["misses"] - caches_before["stage_times"]["misses"]
+        ),
+    )
+
+
+def find_pareto_configs(
+    model: TransformerConfig,
+    system: SystemSpec,
+    n_gpus: int,
+    global_batch_size: int,
+    *,
+    objectives: Sequence[str] = (),
+    strategy: str | Sequence[str] = "tp1d",
+    space: SearchSpace = DEFAULT_SEARCH_SPACE,
+    options: ModelingOptions = DEFAULT_OPTIONS,
+    fallback_activation_checkpointing: bool = True,
+    backend: str = DEFAULT_BACKEND,
+    eval_mode: str = DEFAULT_EVAL_MODE,
+    warm_hints: Sequence = (),
+) -> ParetoResult:
+    """Multi-objective search: the Pareto frontier of the candidate space.
+
+    Where :func:`find_optimal_config` returns the single fastest feasible
+    configuration, this returns every *non-dominated* one under the named
+    ``objectives`` (defaulting to
+    :data:`repro.core.objectives.DEFAULT_PARETO_OBJECTIVES` — time, HBM
+    headroom, cost, energy).  A candidate is dominated when another is no
+    worse on every objective and strictly better on one; equal metric
+    vectors are mutually non-dominated, so exact ties all stay.
+
+    Branch-and-bound still prunes: every registered objective provides an
+    admissible assignment-independent lower bound (see
+    :mod:`repro.core.objectives`), and a parallelization whose bound
+    *vector* is strictly dominated by an already-evaluated frontier point
+    provably contains no frontier member — the exact multi-objective
+    analogue of the scalar threshold.  The returned frontier equals the
+    exhaustive non-dominated filter over the full enumeration (a tier-1
+    invariant pins this, for scalar and batch eval modes alike).
+
+    A single-entry ``objectives=("time",)`` degenerates to the scalar
+    search: the frontier is exactly the set of minimum-time candidates and
+    its fastest member matches :func:`find_optimal_config`'s winner.
+
+    ``eval_mode="batch"`` prices survivors through the vectorized batch
+    pricer and thins each chunk with a vectorized dominance pass
+    (:func:`repro.core.batch_eval.non_dominated_mask`); the frontier is
+    bit-identical to scalar mode (the batch times are bit-exact, the metric
+    vectors use the same float arithmetic, and every frontier member is
+    re-priced through the scalar oracle).  Batch mode is analytic-only.
+
+    ``warm_hints`` is accepted for interface compatibility with
+    :func:`find_optimal_config` (sweep plumbing attaches hints uniformly)
+    but ignored: a scalar seed time cannot soundly open a *frontier*
+    threshold, and the frontier must equal the exhaustive filter
+    regardless of seeding.
+    """
+    from repro.core import batch_eval
+    from repro.core.objectives import (
+        DEFAULT_PARETO_OBJECTIVES,
+        ObjectiveContext,
+        resolve_objectives,
+    )
+
+    del warm_hints  # accepted but unused (see docstring)
+    eval_mode = batch_eval.validate_eval_mode(eval_mode)
+    if eval_mode == "batch" and backend != DEFAULT_BACKEND:
+        raise ValueError(
+            f"eval_mode='batch' vectorizes the analytic closed forms and is "
+            f"only exact against backend={DEFAULT_BACKEND!r}; got {backend!r}"
+        )
+    objs = resolve_objectives(objectives or DEFAULT_PARETO_OBJECTIVES)
+    if isinstance(strategy, str):
+        strategies: Tuple[str, ...] = ALL_STRATEGIES if strategy == "all" else (strategy,)
+    else:
+        strategies = tuple(strategy)
+    if not strategies:
+        raise ValueError("at least one strategy is required")
+
+    def _run(opts: ModelingOptions) -> Tuple[_FrontierArchive, SearchStatistics]:
+        archive = _FrontierArchive()
+        ctx = ObjectiveContext(
+            model=model,
+            system=system,
+            n_gpus=n_gpus,
+            global_batch_size=global_batch_size,
+            options=opts,
+        )
+        stats = SearchStatistics()
+        for strategy_index, strat in enumerate(strategies):
+            stats = stats.merged(
+                _pareto_single_strategy(
+                    model, system, n_gpus, global_batch_size, strat, strategy_index,
+                    space, opts, objs, ctx, archive, backend, eval_mode,
+                )
+            )
+        return archive, stats
+
+    used_options = options
+    archive, stats = _run(options)
+    if (
+        fallback_activation_checkpointing
+        and not options.activation_checkpointing
+        and not archive.entries
+    ):
+        used_options = replace(options, activation_checkpointing=True)
+        archive, stats = _run(used_options)
+
+    points: List[ParetoPoint] = []
+    for vector, _, config, assignment in archive.sorted_entries():
+        estimate = evaluate_config(
+            model,
+            system,
+            config,
+            assignment,
+            global_batch_size=global_batch_size,
+            options=used_options,
+            backend=DEFAULT_BACKEND if eval_mode == "batch" else backend,
+        )
+        points.append(
+            ParetoPoint(
+                estimate=estimate,
+                metrics={
+                    obj.name: obj.raw(component)
+                    for obj, component in zip(objs, vector)
+                },
+            )
+        )
+
+    return ParetoResult(
+        model_name=model.name,
+        system_name=system.name,
+        n_gpus=n_gpus,
+        global_batch_size=global_batch_size,
+        strategy="+".join(strategies),
+        objectives=tuple(obj.name for obj in objs),
+        points=points,
+        statistics=stats,
     )
 
 

@@ -20,7 +20,7 @@ Perlmutter and applied to all network (and HBM) bandwidth figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.utils.units import GB, to_bytes, to_flops
 
@@ -197,6 +197,91 @@ NVS_DOMAIN_SIZES = (4, 8, 64)
 
 #: GPU generations studied in the paper.
 GPU_GENERATIONS = tuple(_GPU_TABLE)
+
+# ----------------------------------------------------------------------
+# Economics: rental price and board power per GPU generation
+# ----------------------------------------------------------------------
+# The cost and energy objectives of the multi-objective search
+# (:mod:`repro.core.objectives`) price GPU-hours and joules.  These live in
+# their own tables — *not* as :class:`GpuSpec` fields — so that adding the
+# economics never changes the serialized form of a system (cache
+# fingerprints, golden JSON archives and the hint index all hash
+# ``to_jsonable(system)``).
+
+#: On-demand rental price per GPU-hour (USD), representative cloud list
+#: prices per generation.  Synthetic GPUs fall back to FLOP-proportional
+#: pricing (see :func:`gpu_hourly_price`).
+GPU_HOURLY_PRICE_USD: Dict[str, float] = {
+    "A100": 2.0,
+    "H200": 4.5,
+    "B200": 8.0,
+}
+
+#: Board power per GPU (watts, TDP-class).  Synthetic GPUs fall back to
+#: FLOP-proportional power (see :func:`gpu_power_watts`).
+GPU_POWER_WATTS: Dict[str, float] = {
+    "A100": 400.0,
+    "H200": 700.0,
+    "B200": 1000.0,
+}
+
+#: Generation anchoring the FLOP-proportional fallback for synthetic GPUs
+#: (hardware sweeps override ``tensor_flops`` etc. on a copied spec).
+_ECONOMICS_REFERENCE_GPU = "B200"
+
+#: Fraction of board power attributed to the compute engines; the rest is
+#: attributed to HBM traffic.  First-order activity split used by the
+#: energy objective (J/FLOP and J/byte at peak rates).
+COMPUTE_POWER_FRACTION = 0.7
+
+
+def _flops_scaled(table: Dict[str, float], gpu: GpuSpec) -> float:
+    """Table lookup by GPU name, FLOP-proportional fallback for synthetics.
+
+    A synthetic GPU (a heatmap point, an overridden spec) is priced as the
+    reference generation scaled by its tensor-FLOP ratio, so sweeps over
+    made-up hardware still get a monotone, deterministic price/power axis.
+    """
+    value = table.get(gpu.name.upper())
+    if value is not None:
+        return value
+    ref_tflops, _, _, _, _ = _GPU_TABLE[_ECONOMICS_REFERENCE_GPU]
+    ref_flops = to_flops(ref_tflops, "TFLOPS")
+    return table[_ECONOMICS_REFERENCE_GPU] * (gpu.tensor_flops / ref_flops)
+
+
+def gpu_hourly_price(gpu: GpuSpec) -> float:
+    """Rental price of ``gpu`` in USD per GPU-hour.
+
+    Catalogue generations use :data:`GPU_HOURLY_PRICE_USD`; synthetic GPUs
+    are priced FLOP-proportionally against the reference generation.
+    """
+    return _flops_scaled(GPU_HOURLY_PRICE_USD, gpu)
+
+
+def gpu_power_watts(gpu: GpuSpec) -> float:
+    """Board power of ``gpu`` in watts (TDP-class).
+
+    Catalogue generations use :data:`GPU_POWER_WATTS`; synthetic GPUs are
+    scaled FLOP-proportionally against the reference generation.
+    """
+    return _flops_scaled(GPU_POWER_WATTS, gpu)
+
+
+def gpu_energy_rates(gpu: GpuSpec) -> Tuple[float, float]:
+    """First-order activity-energy rates of ``gpu``: ``(J/FLOP, J/byte)``.
+
+    The board power is split between the compute engines
+    (:data:`COMPUTE_POWER_FRACTION` of it, amortized over the peak tensor
+    rate) and the HBM subsystem (the remainder, amortized over the peak HBM
+    bandwidth).  The energy objective multiplies these by the roofline
+    FLOP/byte counts of a configuration, so energy tracks *activity* rather
+    than duplicating the time axis.
+    """
+    power = gpu_power_watts(gpu)
+    joules_per_flop = COMPUTE_POWER_FRACTION * power / gpu.tensor_flops
+    joules_per_byte = (1.0 - COMPUTE_POWER_FRACTION) * power / gpu.hbm_bandwidth
+    return joules_per_flop, joules_per_byte
 
 
 def make_gpu(generation: str, **overrides) -> GpuSpec:

@@ -58,7 +58,12 @@ from repro.utils.serialization import (
 #: are an optimization input, not a search input — they provably do not
 #: change the selected optimum — so they must not (and do not) enter the
 #: cache identity.
-CACHE_FORMAT_VERSION = 7
+#: v8: multi-objective search — the fingerprint includes the task's
+#: ``objectives`` tuple (a Pareto solve and a scalar solve of the same point
+#: store different result trees and must never collide), and
+#: :meth:`SearchCache.warm_hints` gained a deterministic final tie-break, so
+#: hint order no longer depends on recording order at equal distance.
+CACHE_FORMAT_VERSION = 8
 
 #: Winner records kept per reduced key; the oldest are evicted first.  A
 #: sweep along one axis revisits the same reduced key once per point, so a
@@ -154,6 +159,7 @@ class SearchCache:
                 "objective": getattr(task, "objective", TRAINING_OBJECTIVE),
                 "serving": to_jsonable(getattr(task, "serving", None)),
                 "eval_mode": getattr(task, "eval_mode", "scalar"),
+                "objectives": list(getattr(task, "objectives", ()) or ()),
             }
         )
 
@@ -163,9 +169,16 @@ class SearchCache:
 
         Training tasks store :class:`~repro.core.search.SearchResult` trees;
         serving-objective tasks store
-        :class:`~repro.core.inference.ServingSearchResult` trees.  The
-        fingerprint includes the objective, so the two can never collide.
+        :class:`~repro.core.inference.ServingSearchResult` trees; tasks with
+        a non-empty ``objectives`` tuple store
+        :class:`~repro.core.search.ParetoResult` trees.  The fingerprint
+        includes the objective and the objectives tuple, so none of the
+        three can ever collide.
         """
+        if getattr(task, "objectives", ()):
+            from repro.core.search import ParetoResult
+
+            return ParetoResult
         if getattr(task, "objective", TRAINING_OBJECTIVE) != TRAINING_OBJECTIVE:
             from repro.core.inference import ServingSearchResult
 
@@ -241,7 +254,11 @@ class SearchCache:
         Looks up the reduced key (:func:`reduced_fingerprint`) and returns
         up to ``limit`` recorded winner configs ordered by distance to the
         requested point — the absolute log2 ratio of GPU count, then of
-        global batch size, then of arrival rate.  The configs are raw
+        global batch size, then of arrival rate, with the canonical
+        fingerprint of the config as the final tie-break so equidistant
+        records rank identically no matter in which order sweeps recorded
+        them (merge-on-save can interleave buckets arbitrarily across
+        processes).  The configs are raw
         (native to the point they won at); the solver adapts and validates
         them (:func:`repro.core.search.adapt_warm_hints`), so a hint can
         never change the search result, only speed it up.
@@ -262,11 +279,12 @@ class SearchCache:
 
         arrival = getattr(getattr(task, "serving", None), "arrival_rate", None)
 
-        def _distance(record: Dict[str, Any]) -> Tuple[float, float, float]:
+        def _distance(record: Dict[str, Any]) -> Tuple[float, float, float, str]:
             return (
                 _log_ratio(record.get("n_gpus"), task.n_gpus),
                 _log_ratio(record.get("global_batch_size"), task.global_batch_size),
                 0.0 if arrival is None else _log_ratio(record.get("arrival_rate"), arrival),
+                canonical_fingerprint(record.get("config")),
             )
 
         hints: List[ParallelConfig] = []

@@ -31,7 +31,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.config_space import DEFAULT_SEARCH_SPACE, SearchSpace, count_configurations
+from repro.core.config_space import (
+    DEFAULT_SEARCH_SPACE,
+    SearchSpace,
+    count_configurations,
+    gpu_assignments,
+    parallel_configs,
+)
 from repro.core.execution import DEFAULT_BACKEND, DEFAULT_OPTIONS, ModelingOptions, clear_caches
 from repro.core.inference import ServingSpec
 from repro.core.model import TransformerConfig
@@ -43,6 +49,7 @@ from repro.core.search import (
     TRAINING_OBJECTIVE,
     SearchResult,
     find_optimal_config,
+    find_pareto_configs,
 )
 from repro.core.system import SystemSpec
 from repro.runtime.cache import SearchCache, reduced_fingerprint
@@ -76,6 +83,13 @@ class SearchTask:
     objective: str = TRAINING_OBJECTIVE
     #: Traffic description for serving-objective tasks (``None`` -> defaults).
     serving: Optional[ServingSpec] = None
+    #: Multi-objective mode: a non-empty tuple of registered objective names
+    #: (see :mod:`repro.core.objectives`) switches the task to
+    #: :func:`~repro.core.search.find_pareto_configs` and its result to a
+    #: :class:`~repro.core.search.ParetoResult`.  Unlike ``warm_hints`` this
+    #: *is* part of equality and of the cache fingerprint — a Pareto solve
+    #: and a scalar solve of the same point are different computations.
+    objectives: Tuple[str, ...] = ()
     #: Candidate pricing mode (see :mod:`repro.core.batch_eval`): the scalar
     #: per-candidate oracle, or the vectorized ``"batch"`` pricer (identical
     #: results, several times faster; analytic backend only).
@@ -96,6 +110,8 @@ class SearchTask:
             object.__setattr__(self, "strategy", tuple(self.strategy))
         if not isinstance(self.warm_hints, tuple):
             object.__setattr__(self, "warm_hints", tuple(self.warm_hints))
+        if not isinstance(self.objectives, tuple):
+            object.__setattr__(self, "objectives", tuple(self.objectives))
 
 
 #: Relative per-candidate cost of the vectorized batch pricer versus the
@@ -106,13 +122,44 @@ class SearchTask:
 _BATCH_MODE_COST_FACTOR = 0.2
 
 
+def _serving_task_candidates(task: SearchTask) -> int:
+    """Candidate count of a serving-objective task's *actual* enumeration.
+
+    Serving searches do not run the training enumeration: they restrict to
+    the tp1d strategy, collapse the training-only axes (microbatch size,
+    schedule, interleaving — see
+    :func:`repro.core.inference._serving_space`) and apply the prompt's
+    tensor-parallel divisibility rules.  Counting the training space instead
+    (as this function's caller once did) overstated a serving task's cost by
+    the collapsed axes' product — enough to push every serving point to the
+    front of the longest-first dispatch order ahead of genuinely larger
+    training searches.
+    """
+    from repro.core.inference import ServingSpec, _serving_space
+
+    serving = task.serving if task.serving is not None else ServingSpec()
+    serving_space = _serving_space(task.space)
+    prefill_model = task.model.scaled(seq_len=serving.prompt_tokens)
+    total = 0
+    for config in parallel_configs(
+        prefill_model, task.n_gpus, task.n_gpus, "tp1d", serving_space
+    ):
+        total += len(
+            gpu_assignments(config, task.system.nvs_domain_size, serving_space)
+        )
+    return total
+
+
 def estimate_task_cost(task: SearchTask) -> float:
     """Estimated solve cost of ``task`` (arbitrary units, larger = longer).
 
-    Counts the full (parallelization, NVS-assignment) candidate set via
-    :func:`repro.core.config_space.count_configurations` — the same
-    enumeration the solver runs, minus any evaluation — summed over the
-    task's strategies, then scaled by the evaluation mode's per-candidate
+    Counts the full (parallelization, NVS-assignment) candidate set the
+    task's solver actually enumerates: for training (and Pareto) tasks,
+    :func:`repro.core.config_space.count_configurations` summed over the
+    task's strategies; for serving-objective tasks the post-filter tp1d
+    serving enumeration (:func:`_serving_task_candidates`) — the training
+    count would overstate serving work by the collapsed microbatch/schedule
+    axes.  The count is then scaled by the evaluation mode's per-candidate
     cost (:data:`_BATCH_MODE_COST_FACTOR`): a batch-mode search of the same
     space finishes ~5x sooner than a scalar one.  Used by
     :meth:`SweepExecutor.run` to dispatch the longest searches first
@@ -126,19 +173,25 @@ def estimate_task_cost(task: SearchTask) -> float:
     else:
         strategies = task.strategy
     total = 0
-    for strategy in strategies:
+    if task.objective != TRAINING_OBJECTIVE and not task.objectives:
         try:
-            _, n_candidates = count_configurations(
-                task.model,
-                task.n_gpus,
-                task.global_batch_size,
-                strategy,
-                task.system.nvs_domain_size,
-                task.space,
-            )
-            total += n_candidates
+            total = _serving_task_candidates(task)
         except (ValueError, KeyError):
-            total += task.n_gpus
+            total = task.n_gpus
+    else:
+        for strategy in strategies:
+            try:
+                _, n_candidates = count_configurations(
+                    task.model,
+                    task.n_gpus,
+                    task.global_batch_size,
+                    strategy,
+                    task.system.nvs_domain_size,
+                    task.space,
+                )
+                total += n_candidates
+            except (ValueError, KeyError):
+                total += task.n_gpus
     if task.eval_mode == "batch":
         return float(total) * _BATCH_MODE_COST_FACTOR
     return float(total)
@@ -149,9 +202,24 @@ def solve_search_task(task: SearchTask):
 
     Module-level (not a method) so :class:`ProcessPoolExecutor` can pickle
     it.  Returns a :class:`~repro.core.search.SearchResult` for training
-    tasks and a :class:`~repro.core.inference.ServingSearchResult` for
-    serving-objective tasks.
+    tasks, a :class:`~repro.core.inference.ServingSearchResult` for
+    serving-objective tasks and a :class:`~repro.core.search.ParetoResult`
+    for tasks with a non-empty ``objectives`` tuple.
     """
+    if task.objectives:
+        return find_pareto_configs(
+            task.model,
+            task.system,
+            n_gpus=task.n_gpus,
+            global_batch_size=task.global_batch_size,
+            objectives=task.objectives,
+            strategy=task.strategy,
+            space=task.space,
+            options=task.options,
+            backend=task.backend,
+            eval_mode=task.eval_mode,
+            warm_hints=task.warm_hints,
+        )
     return find_optimal_config(
         task.model,
         task.system,
@@ -198,6 +266,7 @@ def _incumbent_slots_for(tasks: Sequence[SearchTask]) -> Optional[Dict[str, obje
             task.eval_mode != "batch"
             or task.top_k != 0
             or task.objective != TRAINING_OBJECTIVE
+            or task.objectives  # a shared scalar bound cannot prune a frontier
             or task.backend != DEFAULT_BACKEND
             or not task.space.prune_with_lower_bound
         ):

@@ -340,6 +340,38 @@ class PlannerApp:
             body=lambda results, sources: schema.result_body(results[0], source=sources[0]),
         )
 
+    def pareto(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/pareto`` — one multi-objective (frontier) search."""
+        task = schema.parse_pareto_request(payload)
+        result, source = self.solve_task(task)
+        return schema.pareto_body(result, source=source)
+
+    def pareto_events(self, payload: Any) -> Iterator[Dict[str, Any]]:
+        """Streaming variant of :meth:`pareto`.
+
+        On top of the usual ``accepted``/``progress``/``result`` stream,
+        every frontier member is emitted as its own ``frontier`` event line
+        just before the final ``result`` — a client can render the frontier
+        incrementally without parsing the (larger) result body, which
+        therefore omits the ``frontier`` list it already streamed.
+        """
+        task = schema.parse_pareto_request(payload)
+
+        def stream() -> Iterator[Dict[str, Any]]:
+            events = self.solve_events(
+                [task],
+                body=lambda results, sources: schema.pareto_body(
+                    results[0], source=sources[0]
+                ),
+            )
+            for event in events:
+                if event.get("event") == "result":
+                    for point in event.pop("frontier", ()):
+                        yield {"event": "frontier", "point": point}
+                yield event
+
+        return stream()
+
     def sweep(self, payload: Any) -> Dict[str, Any]:
         """``POST /v1/sweep`` — a batch of searches over a GPU-count list."""
         tasks = schema.parse_sweep_request(payload)

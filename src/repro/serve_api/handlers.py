@@ -16,6 +16,7 @@ GET       ``/v1/health``     liveness probe (no engine state touched)
 GET       ``/v1/status``     counters: requests, engine solves, dedup, cache
 GET       ``/v1/workloads``  the workload registry (request vocabulary)
 POST      ``/v1/search``     training search (``"stream": true`` -> NDJSON)
+POST      ``/v1/pareto``     multi-objective search; streams ``frontier`` events
 POST      ``/v1/serve``      inference-serving search (streamable)
 POST      ``/v1/sweep``      batch of searches over a GPU-count list (streamable)
 POST      ``/v1/evaluate``   price one explicit configuration
@@ -140,6 +141,7 @@ class PlannerRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
         routes = {
             "/v1/search": (self.app.search, self.app.search_events),
+            "/v1/pareto": (self.app.pareto, self.app.pareto_events),
             "/v1/serve": (self.app.serve, self.app.serve_events),
             "/v1/sweep": (self.app.sweep, self.app.sweep_events),
             "/v1/evaluate": (self.app.evaluate, None),

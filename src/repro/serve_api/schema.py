@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.core.backends import available_backends
 from repro.core.execution import DEFAULT_OPTIONS, ModelingOptions, evaluate_config
 from repro.core.inference import SERVING_OBJECTIVES, ServingSpec
+from repro.core.objectives import DEFAULT_PARETO_OBJECTIVES, resolve_objectives
 from repro.core.parallelism.base import GpuAssignment, ParallelConfig
 from repro.core.search import ALL_STRATEGIES, DEFAULT_EVAL_MODE, EVAL_MODES
 from repro.core.system import SystemSpec, make_system
@@ -217,6 +218,49 @@ def parse_search_request(payload: Any) -> SearchTask:
         raise ApiError(str(exc)) from None
 
 
+def parse_pareto_request(payload: Any) -> SearchTask:
+    """``POST /v1/pareto`` body -> a multi-objective :class:`SearchTask`.
+
+    Identical to a search request plus an ``objectives`` list (defaulting
+    to :data:`~repro.core.objectives.DEFAULT_PARETO_OBJECTIVES`), validated
+    against the objective registry up front so unknown names answer 400
+    with the registered vocabulary.  ``top_k`` does not apply to a frontier
+    and is pinned to 0 (one cache entry per Pareto point).
+    """
+    payload = _expect_mapping(payload)
+    spec = _resolve_workload(payload, "gpt3-1t")
+    system = _resolve_system(payload)
+    n_gpus = _get_positive_int(payload, "gpus", required=True)
+    global_batch = _get_positive_int(payload, "global_batch", spec.default_global_batch)
+    objectives = payload.get("objectives", list(DEFAULT_PARETO_OBJECTIVES))
+    if (
+        not isinstance(objectives, list)
+        or not objectives
+        or not all(isinstance(name, str) for name in objectives)
+    ):
+        raise ApiError("field 'objectives' must be a non-empty list of objective names")
+    try:
+        resolve_objectives(objectives)
+    except (KeyError, ValueError) as exc:
+        raise ApiError(str(exc.args[0] if exc.args else exc)) from None
+    common = _common_task_fields(payload)
+    common["top_k"] = 0
+    try:
+        return SearchTask(
+            model=spec.model,
+            system=system,
+            n_gpus=n_gpus,
+            global_batch_size=global_batch,
+            strategy=_resolve_strategy(payload),
+            space=_resolve_space(payload, spec.name),
+            options=_resolve_options(payload),
+            objectives=tuple(objectives),
+            **common,
+        )
+    except ValueError as exc:
+        raise ApiError(str(exc)) from None
+
+
 def parse_sweep_request(payload: Any) -> List[SearchTask]:
     """``POST /v1/sweep`` body -> one :class:`SearchTask` per GPU count.
 
@@ -361,6 +405,27 @@ def result_body(result, *, source: str) -> Dict[str, Any]:
     if getattr(result, "top_k", None):
         body["top_k"] = [to_jsonable(est.summary()) for est in result.top_k]
     return body
+
+
+def pareto_point_body(point) -> Dict[str, Any]:
+    """JSON form of one frontier member (shared by body and stream events)."""
+    return {
+        "config": point.estimate.config.describe(),
+        "assignment": list(point.estimate.assignment.as_tuple()),
+        "metrics": to_jsonable(point.metrics),
+    }
+
+
+def pareto_body(result, *, source: str) -> Dict[str, Any]:
+    """Response body of a solved Pareto task: summary plus the frontier."""
+    return {
+        "found": result.found,
+        "source": source,
+        "summary": to_jsonable(result.summary()),
+        "statistics": to_jsonable(result.statistics),
+        "objectives": list(result.objectives),
+        "frontier": [pareto_point_body(point) for point in result.points],
+    }
 
 
 def evaluate_body(estimate) -> Dict[str, Any]:

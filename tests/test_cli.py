@@ -45,6 +45,59 @@ class TestSearchCommand:
         assert data["n_gpus"] == 256
 
 
+class TestParetoCommand:
+    def test_list_objectives(self, capsys):
+        rc = main(["pareto", "--list-objectives"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("time", "hbm_headroom", "cost", "energy"):
+            assert name in out
+        assert "max" in out and "min" in out
+
+    def test_frontier_table(self, capsys):
+        rc = main([
+            "pareto", "--model", "gpt3-175b", "--gpus", "64",
+            "--global-batch", "64", "--eval-mode", "batch",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Pareto frontier" in out
+        assert "pruned by dominance bound" in out
+        assert "hbm_headroom(GB)" in out
+
+    def test_objective_subset_and_json(self, tmp_path, capsys):
+        path = tmp_path / "pareto.json"
+        rc = main([
+            "pareto", "--model", "gpt3-175b", "--gpus", "64",
+            "--global-batch", "64", "--objectives", "time,cost",
+            "--eval-mode", "batch", "--json", str(path),
+        ])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["summary"]["objectives"] == ["time", "cost"]
+        assert data["summary"]["frontier_size"] == len(data["frontier"])
+        assert all("metrics" in point for point in data["frontier"])
+
+    def test_unknown_objective_is_a_usage_error(self, capsys):
+        rc = main([
+            "pareto", "--model", "gpt3-175b", "--gpus", "64",
+            "--objectives", "time,warp-drive",
+        ])
+        assert rc == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pareto", "--objectives", "time,time"])
+
+    def test_infeasible_returns_nonzero(self, capsys):
+        rc = main([
+            "pareto", "--model", "gpt3-1t", "--gpus", "4", "--gpu", "A100",
+        ])
+        assert rc == 1
+        assert "No feasible configuration" in capsys.readouterr().out
+
+
 class TestOtherCommands:
     def test_scaling(self, capsys):
         rc = main(["scaling", "--model", "gpt3-1t", "--gpus", "256,512"])

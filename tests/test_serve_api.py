@@ -192,6 +192,34 @@ class TestSchema:
         with pytest.raises(ApiError, match="does not divide"):
             schema.run_evaluate(bad)
 
+    def test_pareto_request_defaults(self):
+        task = schema.parse_pareto_request({"gpus": 128})
+        assert task.objectives == ("time", "hbm_headroom", "cost", "energy")
+        assert task.top_k == 0  # pinned: top_k does not apply to a frontier
+        assert task.model.name == "GPT3-1T"
+
+    def test_pareto_request_objective_subset(self):
+        task = schema.parse_pareto_request(
+            {"gpus": 128, "objectives": ["time", "cost"], "top_k": 5}
+        )
+        assert task.objectives == ("time", "cost")
+        assert task.top_k == 0  # a requested top_k is ignored, not an error
+
+    @pytest.mark.parametrize(
+        "objectives, fragment",
+        [
+            ([], "non-empty list"),
+            ("time", "non-empty list"),
+            ([1, 2], "non-empty list"),
+            (["time", "warp-drive"], "unknown objective"),
+            (["time", "time"], "duplicate"),
+        ],
+    )
+    def test_pareto_request_rejects(self, objectives, fragment):
+        with pytest.raises(ApiError, match=fragment) as excinfo:
+            schema.parse_pareto_request({"gpus": 128, "objectives": objectives})
+        assert excinfo.value.status == 400
+
     def test_stream_flag(self):
         assert schema.get_stream_flag({"stream": True})
         assert not schema.get_stream_flag({})
@@ -426,6 +454,57 @@ class TestHttpApi:
         assert kinds[0] == "accepted"
         assert kinds[-1] == "result"
         assert kinds.index("progress") < kinds.index("result")
+
+    PARETO = {
+        "workload": "gpt3-1t",
+        "gpus": 128,
+        "global_batch": 512,
+        "objectives": ["time", "cost", "hbm_headroom"],
+        "eval_mode": "batch",
+    }
+
+    def test_pareto_cold_then_cached(self, live_server):
+        base, _ = live_server
+        status, raw = _post(base, "/v1/pareto", self.PARETO)
+        cold = json.loads(raw)
+        assert status == 200 and cold["found"] and cold["source"] == "solved"
+        assert cold["objectives"] == self.PARETO["objectives"]
+        assert cold["summary"]["frontier_size"] == len(cold["frontier"])
+        assert all(
+            set(p["metrics"]) == set(self.PARETO["objectives"])
+            for p in cold["frontier"]
+        )
+        status, raw = _post(base, "/v1/pareto", self.PARETO)
+        warm = json.loads(raw)
+        assert status == 200 and warm["source"] == "cache"
+        assert warm["frontier"] == cold["frontier"]  # survives serialization
+
+    def test_pareto_streaming_frontier_events(self, live_server):
+        base, _ = live_server
+        status, raw = _post(base, "/v1/pareto", {**self.PARETO, "stream": True})
+        assert status == 200
+        events = [json.loads(line) for line in raw.splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "result"
+        frontier_events = [e["point"] for e in events if e["event"] == "frontier"]
+        result = events[-1]
+        # The frontier is streamed one point per event, and the closing
+        # result does not repeat it.
+        assert "frontier" not in result
+        assert len(frontier_events) == result["summary"]["frontier_size"]
+        status, raw = _post(base, "/v1/pareto", self.PARETO)
+        assert frontier_events == json.loads(raw)["frontier"]
+
+    def test_pareto_rejects_unknown_objective(self, live_server):
+        base, _ = live_server
+        status, raw = _post(
+            base, "/v1/pareto", {**self.PARETO, "objectives": ["karma"]}
+        )
+        assert status == 400
+        body = json.loads(raw)
+        assert "unknown objective" in body["error"]
+        assert "'time'" in body["error"]  # the registry vocabulary is listed
 
     def test_evaluate_matches_engine(self, live_server):
         base, _ = live_server

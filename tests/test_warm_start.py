@@ -121,6 +121,19 @@ class TestWarmEqualsColdTraining:
         assert [e.config for e in cold.top_k] == [e.config for e in warm.top_k]
         assert warm.statistics.warm_start_hits == 0
 
+    @pytest.mark.parametrize("strategy", ["tp2d", "summa"])
+    def test_warm_equals_cold_when_shrinking(self, b200, strategy):
+        """Donor *larger* than the target exercises the shrink path, which
+        must absorb the GPU ratio through the second tensor axis for these
+        strategies instead of silently dropping the hint."""
+        hint = _donor_config(VIT_LONG_SEQ, b200, 1024, strategy)
+        kwargs = dict(n_gpus=256, global_batch_size=4096, strategy=strategy)
+        cold = find_optimal_config(VIT_LONG_SEQ, b200, **kwargs)
+        warm = find_optimal_config(VIT_LONG_SEQ, b200, warm_hints=(hint,), **kwargs)
+        assert cold == warm
+        assert cold.best.config == warm.best.config
+        assert cold.best.total_time == warm.best.total_time
+
 
 class TestWarmEqualsColdServing:
     """Serving-objective searches honour the same identity contract."""
@@ -166,6 +179,28 @@ class TestAdaptWarmHints:
         )
         assert len(adapted) == 1  # duplicates collapse
         assert len(adapted) <= MAX_WARM_HINTS
+
+    def test_shrinks_through_the_second_tensor_axis(self):
+        """A tp2d hint whose DP/PP/TP1 axes cannot absorb the whole GPU
+        ratio must shrink through ``tensor_parallel_2`` — with the axis set
+        restricted to DP/PP/TP1 this donor was dropped outright."""
+        donor = next(
+            c for c in parallel_configs(
+                VIT_LONG_SEQ, 1024, 4096, "tp2d", DEFAULT_SEARCH_SPACE
+            )
+            if (c.data_parallel, c.pipeline_parallel,
+                c.tensor_parallel_1, c.tensor_parallel_2) == (2, 16, 1, 32)
+        )
+        adapted = adapt_warm_hints(
+            VIT_LONG_SEQ, 16, 4096, "tp2d", DEFAULT_SEARCH_SPACE, [donor]
+        )
+        assert adapted, "shrink dropped a tp2d hint it can absorb via n2"
+        for config in adapted:
+            assert config.total_gpus == 16
+            assert config.tensor_parallel_2 < donor.tensor_parallel_2
+            assert config_in_space(
+                VIT_LONG_SEQ, 16, 4096, "tp2d", DEFAULT_SEARCH_SPACE, config
+            )
 
     def test_filters_foreign_strategies_and_junk(self, b200):
         hint = _donor_config(VIT_LONG_SEQ, b200, 512, "tp2d")
@@ -234,6 +269,38 @@ class TestEstimateTaskCost:
         bad = _task(b200, 256, strategy="no-such-strategy")
         assert estimate_task_cost(bad) == 256.0
 
+    def test_serving_cost_counts_the_serving_enumeration(self, b200):
+        """A serving task is priced by what its solver enumerates: the
+        post-filter tp1d serving space at the prompt's sequence length."""
+        from repro.core.config_space import gpu_assignments
+        from repro.core.inference import _serving_space
+
+        spec = ServingSpec(arrival_rate=8.0, prompt_tokens=512, output_tokens=64)
+        task = _task(b200, 256, objective="throughput", serving=spec)
+        serving_space = _serving_space(task.space)
+        prefill = task.model.scaled(seq_len=spec.prompt_tokens)
+        expected = sum(
+            len(gpu_assignments(c, b200.nvs_domain_size, serving_space))
+            for c in parallel_configs(prefill, 256, 256, "tp1d", serving_space)
+        )
+        assert expected > 0
+        assert estimate_task_cost(task) == float(expected)
+
+    def test_serving_no_longer_outranks_training_in_lpt_order(self, b200):
+        """Pricing serving work off the *training* enumeration overstated it
+        by the collapsed microbatch/schedule axes, pushing every serving
+        point ahead of genuinely larger training searches in the
+        longest-first dispatch order."""
+        serving = _task(b200, 256, objective="throughput", serving=ServingSpec())
+        training = _task(b200, 256)
+        assert estimate_task_cost(serving) < estimate_task_cost(training)
+
+    def test_pareto_tasks_price_like_training(self, b200):
+        """A Pareto task enumerates the full training space."""
+        training = _task(b200, 256)
+        pareto = _task(b200, 256, objectives=("time", "cost"))
+        assert estimate_task_cost(pareto) == estimate_task_cost(training)
+
 
 class TestHintIndex:
     """Structure-keyed hint index: reduced keys, persistence, merging."""
@@ -256,6 +323,25 @@ class TestHintIndex:
         # The 256-GPU winner is log-nearest to 512; it must sort first.
         nearest = cache.warm_hints(_task(b200, 300))
         assert nearest[0].total_gpus == 256
+
+    def test_hint_order_is_insertion_order_independent(self, b200):
+        """Equidistant records must rank identically no matter which sweep
+        recorded them first — merge-on-save can interleave buckets
+        arbitrarily across processes, so the distance sort carries a
+        deterministic final tie-break (the config's canonical fingerprint)
+        instead of leaning on bucket insertion order."""
+        tasks = [_task(b200, 256), _task(b200, 1024)]
+        results = [solve_search_task(t) for t in tasks]
+        forward, backward = SearchCache(), SearchCache()
+        for task, result in zip(tasks, results):
+            forward.put(task, result)
+        for task, result in zip(reversed(tasks), reversed(results)):
+            backward.put(task, result)
+        # 512 is log2-equidistant from both recorded points: the order of
+        # the returned hints is decided purely by the tie-break.
+        query = _task(b200, 512)
+        assert forward.warm_hints(query)
+        assert forward.warm_hints(query) == backward.warm_hints(query)
 
     def test_round_trip_through_save_and_load(self, b200, tmp_path):
         path = tmp_path / "cache.json"
